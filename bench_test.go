@@ -1,0 +1,413 @@
+// Package edgescope's repository-level benchmarks regenerate every table
+// and figure of the paper (one benchmark per artifact, over a shared
+// small-scale suite with substrates pre-built), plus ablation and
+// micro-benchmarks for the design choices DESIGN.md calls out.
+//
+// Run with: go test -bench=. -benchmem
+package edgescope
+
+import (
+	"sync"
+	"testing"
+
+	"edgescope/internal/core"
+	"edgescope/internal/emunet"
+	"edgescope/internal/netmodel"
+	"edgescope/internal/placement"
+	"edgescope/internal/predict"
+	"edgescope/internal/probe"
+	"edgescope/internal/rng"
+	"edgescope/internal/workload"
+
+	"time"
+)
+
+var (
+	suiteOnce sync.Once
+	benchS    *core.Suite
+)
+
+// suite returns a shared small-scale suite with all substrates warm, so
+// each benchmark measures its experiment's analysis cost.
+func suite() *core.Suite {
+	suiteOnce.Do(func() {
+		benchS = core.NewSuite(1, core.Small)
+		benchS.LatencyObs()
+		benchS.ThroughputObs()
+		benchS.NEPTrace()
+		benchS.CloudTrace()
+	})
+	return benchS
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable1Deployment(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table1(); len(tbl.Rows) != 12 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure2aRTT(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure2a(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure2bJitter(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure2b(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable3HopBreakdown(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table3(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable4CoLocation(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table4(); len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure3HopCount(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Figure3(); len(f.Series) != 2 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure4InterSite(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Figure4(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure5Throughput(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure5(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable5QoERTT(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table5(); len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure6Gaming(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure6(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure7Streaming(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure7(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure8VMSize(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure8(); len(tbl.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure9AppVMs(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Figure9(); len(f.Series) != 2 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure10CPUUtil(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Figure10(); len(f.Series) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure11Imbalance(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure11(); len(tbl.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure12AppBalance(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Figure12(); len(f.Series) < 2 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure13BWVariation(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Figure13(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure14Prediction(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure14(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable6Cost(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table6(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable7Pricing(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table7(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationPlacement compares placement strategies end to end: how
+// long trace generation takes under each, reporting the cross-site sales
+// gap as a metric.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, strat := range []placement.Strategy{
+		placement.NEPDefault{}, placement.BestFit{}, placement.Random{}, placement.LeastLoaded{},
+	} {
+		b.Run(strat.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := workload.GenerateNEP(rng.New(uint64(i)), workload.Options{
+					Apps: 10, Days: 2, Strategy: strat,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares the request schedulers of §4.3.
+func BenchmarkAblationScheduler(b *testing.B) {
+	replicas := []placement.Replica{
+		{CapacityRPS: 100, DelayMs: 10},
+		{CapacityRPS: 100, DelayMs: 13},
+		{CapacityRPS: 100, DelayMs: 15},
+		{CapacityRPS: 100, DelayMs: 18},
+	}
+	for _, sched := range []placement.Scheduler{
+		placement.NearestSite{}, placement.LoadAware{DelaySlackMs: 6},
+	} {
+		b.Run(sched.Name(), func(b *testing.B) {
+			r := rng.New(1)
+			for i := 0; i < b.N; i++ {
+				placement.SimulateScheduling(r, sched, replicas, 1000)
+			}
+		})
+	}
+}
+
+// BenchmarkForecasters isolates model cost: Holt-Winters vs the LSTM on the
+// same series (the LSTM is ~1000× dearer, which is why Figure 14 samples
+// fewer VMs for it).
+func BenchmarkForecasters(b *testing.B) {
+	r := rng.New(2)
+	const period = 48
+	data := make([]float64, period*10)
+	for i := range data {
+		data[i] = 10 + 5*float64(i%period)/period + r.Normal(0, 0.3)
+	}
+	train, test := data[:period*8], data[period*8:]
+	b.Run("holt-winters", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hw := predict.NewHoltWinters(period)
+			if _, err := hw.FitPredict(train, test); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lstm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := predict.NewLSTM(3)
+			l.Epochs = 2
+			if _, err := l.FitPredict(train, test); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPathModel measures the core network-model hot paths.
+func BenchmarkPathModel(b *testing.B) {
+	r := rng.New(3)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			netmodel.BuildPath(r, netmodel.WiFi, netmodel.CloudSite, 800)
+		}
+	})
+	p := netmodel.BuildPath(r, netmodel.WiFi, netmodel.CloudSite, 800)
+	b.Run("sample-rtt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.SampleRTT(r)
+		}
+	})
+	b.Run("sample-throughput", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.SampleThroughput(r, netmodel.Downlink, 1000)
+		}
+	})
+}
+
+// BenchmarkTraceGeneration measures workload synthesis throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.Run("nep-10apps-2days", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.GenerateNEP(rng.New(uint64(i)), workload.Options{Apps: 10, Days: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cloud-40apps-2days", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.GenerateCloud(rng.New(uint64(i)), workload.Options{Apps: 40, Days: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- extension benchmarks ---
+
+func BenchmarkExtDensity(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.ExtDensity(); len(tbl.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkExtMigration(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.ExtMigration(); len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkExtScheduling(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.ExtScheduling(); len(tbl.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSocketPing measures a real UDP echo round trip through the
+// emulator (zero added delay isolates the socket + scheduler cost).
+func BenchmarkSocketPing(b *testing.B) {
+	e, err := emunet.NewUDPEcho(emunet.Link{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := probe.Ping(e.Addr(), 1, time.Second)
+		if err != nil || st.Received != 1 {
+			b.Fatalf("ping failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkTable2TraceSurvey(b *testing.B) {
+	s := suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table2(); len(tbl.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}

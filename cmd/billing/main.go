@@ -1,0 +1,34 @@
+// Command billing runs the §4.5 monetary-cost study: Table 6 (cost of the
+// heaviest edge apps on two virtual cloud baselines, normalised to NEP) and
+// Table 7 (pricing-model worked examples).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	paper := flag.Bool("paper", false, "paper scale (50 heaviest apps, 4-week trace)")
+	flag.Parse()
+
+	scale := core.Small
+	if *paper {
+		scale = core.PaperScale
+	}
+	s := core.NewSuite(*seed, scale)
+	for _, a := range []core.NamedArtifact{
+		{ID: "table6", Desc: "cost ratios", Artifact: s.Table6()},
+		{ID: "table7", Desc: "pricing examples", Artifact: s.Table7()},
+	} {
+		fmt.Printf("\n# %s — %s\n", a.ID, a.Desc)
+		if err := a.Artifact.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "billing:", err)
+			os.Exit(1)
+		}
+	}
+}

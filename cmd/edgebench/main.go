@@ -1,0 +1,40 @@
+// Command edgebench runs the crowd-sourced network measurement campaign
+// (§3.1): deployment density, latency, jitter, hop breakdowns, co-location
+// analysis, hop counts and inter-site RTTs — Table 1, Figures 2–4, Tables
+// 3–4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	paper := flag.Bool("paper", false, "run at paper scale (158 users, 30 repeats)")
+	flag.Parse()
+
+	scale := core.Small
+	if *paper {
+		scale = core.PaperScale
+	}
+	s := core.NewSuite(*seed, scale)
+	for _, a := range []core.NamedArtifact{
+		{ID: "table1", Desc: "deployment density", Artifact: s.Table1()},
+		{ID: "fig2a", Desc: "median RTT", Artifact: s.Figure2a()},
+		{ID: "fig2b", Desc: "RTT jitter", Artifact: s.Figure2b()},
+		{ID: "table3", Desc: "hop breakdown", Artifact: s.Table3()},
+		{ID: "table4", Desc: "co-location", Artifact: s.Table4()},
+		{ID: "fig3", Desc: "hop counts", Artifact: s.Figure3()},
+		{ID: "fig4", Desc: "inter-site RTT", Artifact: s.Figure4()},
+	} {
+		fmt.Printf("\n# %s — %s\n", a.ID, a.Desc)
+		if err := a.Artifact.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "edgebench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command gslbd runs the customer-side traffic scheduler of §2 as a real
+// HTTP service: clients GET /route and are 302-redirected to a replica;
+// replica agents POST /report?id=X&load=0.7. The policy implements either
+// today's nearest-site routing or the load-aware GSLB §5 recommends.
+//
+// Usage:
+//
+//	gslbd -listen 127.0.0.1:8400 -policy load-aware -slack 6 \
+//	      -backend gz-1=http://10.0.0.1:8080@10 \
+//	      -backend sz-1=http://10.0.0.2:8080@15
+//
+// Each -backend is id=url@delayMs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"edgescope/internal/gslb"
+	"edgescope/internal/placement"
+)
+
+// backendFlags accumulates repeated -backend flags.
+type backendFlags []gslb.Backend
+
+func (b *backendFlags) String() string { return fmt.Sprintf("%d backends", len(*b)) }
+
+func (b *backendFlags) Set(v string) error {
+	eq := strings.Index(v, "=")
+	at := strings.LastIndex(v, "@")
+	if eq < 1 || at < eq {
+		return fmt.Errorf("backend %q must be id=url@delayMs", v)
+	}
+	delay, err := strconv.ParseFloat(v[at+1:], 64)
+	if err != nil {
+		return fmt.Errorf("backend %q: bad delay: %w", v, err)
+	}
+	*b = append(*b, gslb.Backend{
+		ID: v[:eq], URL: v[eq+1 : at], DelayMs: delay, CapacityRPS: 100,
+	})
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8400", "listen address")
+	policy := flag.String("policy", "nearest-site", "nearest-site or load-aware")
+	slack := flag.Float64("slack", 6, "delay slack in ms for load-aware routing")
+	var backends backendFlags
+	flag.Var(&backends, "backend", "replica as id=url@delayMs (repeatable)")
+	flag.Parse()
+
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "gslbd: at least one -backend required")
+		os.Exit(2)
+	}
+	var sched placement.Scheduler
+	switch *policy {
+	case "nearest-site":
+		sched = placement.NearestSite{}
+	case "load-aware":
+		sched = placement.LoadAware{DelaySlackMs: *slack}
+	default:
+		fmt.Fprintf(os.Stderr, "gslbd: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	b := gslb.New(sched, 1)
+	for _, be := range backends {
+		if err := b.Register(be); err != nil {
+			fmt.Fprintln(os.Stderr, "gslbd:", err)
+			os.Exit(2)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gslbd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gslbd: %s routing %d backends on http://%s\n",
+		sched.Name(), len(backends), ln.Addr())
+	if err := (&http.Server{Handler: b.Handler()}).Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "gslbd:", err)
+		os.Exit(1)
+	}
+}

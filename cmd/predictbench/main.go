@@ -1,0 +1,28 @@
+// Command predictbench runs the §4.4 forecasting comparison (Figure 14):
+// Holt-Winters and LSTM predicting half-hour max/mean CPU on the edge and
+// cloud traces, scored by rolling one-step-ahead RMSE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	paper := flag.Bool("paper", false, "paper scale (more VMs, full LSTM epochs)")
+	flag.Parse()
+
+	scale := core.Small
+	if *paper {
+		scale = core.PaperScale
+	}
+	s := core.NewSuite(*seed, scale)
+	if err := s.Figure14().Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "predictbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,31 @@
+// Command qoebench runs the application-QoE experiments of §3.3: backend
+// RTTs (Table 5), cloud-gaming response delay (Figure 6) and live-streaming
+// delay (Figure 7), including the GPU/core-count and jitter-buffer
+// ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	s := core.NewSuite(*seed, core.PaperScale)
+	for _, a := range []core.NamedArtifact{
+		{ID: "table5", Desc: "QoE backend RTTs", Artifact: s.Table5()},
+		{ID: "fig6", Desc: "cloud gaming response delay", Artifact: s.Figure6()},
+		{ID: "fig7", Desc: "live streaming delay", Artifact: s.Figure7()},
+	} {
+		fmt.Printf("\n# %s — %s\n", a.ID, a.Desc)
+		if err := a.Artifact.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "qoebench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command reproall regenerates every table and figure of the paper in one
+// run and prints them in paper order. With -csvdir it also exports each
+// artifact as CSV for external plotting.
+//
+// Usage:
+//
+//	reproall [-seed N] [-scale small|paper] [-csvdir DIR] [-only id,id,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edgescope/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed (same seed → identical outputs)")
+	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	csvdir := flag.String("csvdir", "", "directory to export per-artifact CSVs")
+	only := flag.String("only", "", "comma-separated artifact IDs to run (default all)")
+	ext := flag.Bool("ext", false, "also run the extension experiments (density/migration/scheduling)")
+	flag.Parse()
+
+	sc := core.Small
+	switch *scale {
+	case "small":
+	case "paper":
+		sc = core.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "reproall: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	filter := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			filter[id] = true
+		}
+	}
+
+	suite := core.NewSuite(*seed, sc)
+	artifacts := suite.All()
+	if *ext {
+		artifacts = append(artifacts, suite.Extensions()...)
+	}
+	for _, a := range artifacts {
+		if len(filter) > 0 && !filter[a.ID] {
+			continue
+		}
+		fmt.Printf("\n# %s — %s\n", a.ID, a.Desc)
+		if err := a.Artifact.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: render %s: %v\n", a.ID, err)
+			os.Exit(1)
+		}
+		if *csvdir != "" {
+			if err := exportCSV(*csvdir, a); err != nil {
+				fmt.Fprintf(os.Stderr, "reproall: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func exportCSV(dir string, a core.NamedArtifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, a.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := a.Artifact.WriteCSV(f); err != nil {
+		return fmt.Errorf("export %s: %w", a.ID, err)
+	}
+	return f.Close()
+}

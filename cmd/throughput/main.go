@@ -1,0 +1,28 @@
+// Command throughput runs the iperf campaign of §3.2 (Figure 5): selected
+// users measure down/uplink against 20 edge sites, and the tool reports the
+// distance↔throughput correlation per access network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	paper := flag.Bool("paper", false, "run at paper scale (25 users, 20 sites)")
+	flag.Parse()
+
+	scale := core.Small
+	if *paper {
+		scale = core.PaperScale
+	}
+	s := core.NewSuite(*seed, scale)
+	if err := s.Figure5().Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "throughput:", err)
+		os.Exit(1)
+	}
+}

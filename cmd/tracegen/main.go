@@ -1,0 +1,82 @@
+// Command tracegen synthesises a platform workload trace (the stand-in for
+// the paper's 3-month NEP dataset or the Azure 2019 dataset) and writes it
+// as a compressed gob archive, optionally exporting the VM table as CSV.
+//
+// Usage:
+//
+//	tracegen -platform nep -apps 100 -days 28 -out nep.gob.gz -csv vms.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/vm"
+	"edgescope/internal/workload"
+)
+
+func main() {
+	platform := flag.String("platform", "nep", "nep or cloud")
+	apps := flag.Int("apps", 0, "number of apps (0 = platform default)")
+	days := flag.Int("days", 14, "trace duration in days")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output trace path (.gob.gz)")
+	csvPath := flag.String("csv", "", "optional VM-table CSV export path")
+	flag.Parse()
+
+	if *out == "" && *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: need -out and/or -csv")
+		os.Exit(2)
+	}
+
+	opts := workload.Options{Apps: *apps, Days: *days}
+	var (
+		d   *vm.Dataset
+		err error
+	)
+	switch *platform {
+	case "nep":
+		d, err = workload.GenerateNEP(rng.New(*seed), opts)
+	case "cloud":
+		d, err = workload.GenerateCloud(rng.New(*seed), opts)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := d.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: generated trace invalid:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated %s trace: %d sites, %d VMs, %d days\n",
+		d.Platform, len(d.Sites), len(d.VMs), *days)
+
+	if *out != "" {
+		if err := vm.Save(d, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := vm.WriteVMTableCSV(d, f); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}

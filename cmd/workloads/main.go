@@ -1,0 +1,69 @@
+// Command workloads runs the §4 workload characterisation (Figures 8–13)
+// over generated traces, or over a trace previously written by tracegen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgescope/internal/analysis"
+	"edgescope/internal/core"
+	"edgescope/internal/report"
+	"edgescope/internal/vm"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	paper := flag.Bool("paper", false, "paper-scale traces (4 weeks)")
+	tracePath := flag.String("trace", "", "optional NEP trace file from tracegen (skips generation)")
+	flag.Parse()
+
+	scale := core.Small
+	if *paper {
+		scale = core.PaperScale
+	}
+	s := core.NewSuite(*seed, scale)
+
+	if *tracePath != "" {
+		d, err := vm.Load(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workloads:", err)
+			os.Exit(1)
+		}
+		renderLoaded(d)
+		return
+	}
+
+	for _, a := range []core.NamedArtifact{
+		{ID: "fig8", Desc: "VM sizes", Artifact: s.Figure8()},
+		{ID: "fig9", Desc: "VMs per app", Artifact: s.Figure9()},
+		{ID: "fig10", Desc: "CPU utilisation", Artifact: s.Figure10()},
+		{ID: "fig11", Desc: "cross-site/server imbalance", Artifact: s.Figure11()},
+		{ID: "fig12", Desc: "per-app cross-VM gap", Artifact: s.Figure12()},
+		{ID: "fig13", Desc: "weekly bandwidth volatility", Artifact: s.Figure13()},
+	} {
+		fmt.Printf("\n# %s — %s\n", a.ID, a.Desc)
+		if err := a.Artifact.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "workloads:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderLoaded characterises a single loaded trace (no cloud comparison).
+func renderLoaded(d *vm.Dataset) {
+	sz := analysis.VMSizes(d)
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s trace: VM sizing", d.Platform),
+		Headers: []string{"median-vcpus", "median-mem-gb", "vms", "sites"},
+	}
+	t.AddRow(sz.MedianVCPUs, sz.MedianMemGB, len(d.VMs), len(d.Sites))
+	_ = t.Render(os.Stdout)
+
+	util := analysis.Utilization(d)
+	f := &report.Figure{Title: "CPU utilisation", XLabel: "CPU %", YLabel: "CDF"}
+	f.AddCDF("mean-cpu", util.MeanCPU)
+	f.AddCDF("p95max-cpu", util.P95MaxCPU)
+	_ = f.Render(os.Stdout)
+}

@@ -1,0 +1,72 @@
+// Capacity: prediction-driven operations for an edge provider (§4.4's
+// implication). It forecasts per-VM CPU with Holt-Winters, compares
+// placement strategies' load balance, and shows load-aware request
+// scheduling fixing the §4.3 hot-replica pathology.
+package main
+
+import (
+	"fmt"
+
+	"edgescope/internal/placement"
+	"edgescope/internal/predict"
+	"edgescope/internal/rng"
+	"edgescope/internal/stats"
+	"edgescope/internal/workload"
+)
+
+func main() {
+	r := rng.New(5)
+
+	// 1. Forecast VM usage: edge workloads are strongly seasonal, so even
+	// the statistical model predicts the next half-hour well.
+	trace, err := workload.GenerateNEP(r.Fork("trace"), workload.Options{Apps: 15, Days: 8})
+	if err != nil {
+		panic(err)
+	}
+	res, err := predict.Evaluate(trace, predict.Options{
+		MaxVMs: 25, Models: []string{"holt-winters"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Holt-Winters next-30-min forecast over %d VMs:\n", 25)
+	fmt.Printf("  max-CPU median RMSE:  %.2f pct-points\n",
+		predict.MedianRMSE(res, "holt-winters", predict.MaxCPU))
+	fmt.Printf("  mean-CPU median RMSE: %.2f pct-points\n\n",
+		predict.MedianRMSE(res, "holt-winters", predict.MeanCPU))
+
+	// 2. Placement ablation: how balanced does each strategy leave the
+	// cluster's sales ratio?
+	for _, strat := range []placement.Strategy{
+		placement.NEPDefault{}, placement.BestFit{}, placement.Random{},
+	} {
+		t, err := workload.GenerateNEP(r.Fork("p"+strat.Name()), workload.Options{
+			Apps: 15, Days: 2, Strategy: strat,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var rates []float64
+		for _, sr := range t.SiteSalesRates() {
+			rates = append(rates, sr.CPU)
+		}
+		fmt.Printf("placement %-12s cross-site CPU sales-rate gap (P95/P5): %6.1fx\n",
+			strat.Name(), stats.GapRatio(rates, 0.005))
+	}
+
+	// 3. Request scheduling: nearest-site vs load-aware GSLB.
+	replicas := []placement.Replica{
+		{CapacityRPS: 100, DelayMs: 10},
+		{CapacityRPS: 100, DelayMs: 13},
+		{CapacityRPS: 100, DelayMs: 15},
+	}
+	near := placement.SimulateScheduling(r.Fork("near"), placement.NearestSite{}, replicas, 4000)
+	aware := placement.SimulateScheduling(r.Fork("aware"),
+		placement.LoadAware{DelaySlackMs: 6}, replicas, 4000)
+	fmt.Printf("\nscheduler %-13s max load %.2f  time>80%%: %4.1f%%  mean delay %.1f ms\n",
+		near.SchedulerName, near.MaxLoad, 100*near.OverThresholdFrac, near.MeanDelayMs)
+	fmt.Printf("scheduler %-13s max load %.2f  time>80%%: %4.1f%%  mean delay %.1f ms\n",
+		aware.SchedulerName, aware.MaxLoad, 100*aware.OverThresholdFrac, aware.MeanDelayMs)
+	fmt.Println("\nLoad-aware scheduling trades a few ms of delay for eliminating the")
+	fmt.Println("hot replica — viable because nearby edge sites are milliseconds apart.")
+}

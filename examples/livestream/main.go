@@ -1,0 +1,56 @@
+// Livestream: an online-education operator decides how to deploy a live
+// streaming pipeline (§3.3.2): edge vs cloud relay, 1080p vs 720p, server
+// transcoding, jitter buffering, and player software.
+package main
+
+import (
+	"fmt"
+
+	"edgescope/internal/netmodel"
+	"edgescope/internal/qoe"
+	"edgescope/internal/qoe/streaming"
+	"edgescope/internal/rng"
+)
+
+func run(r *rng.Source, name string, cfg streaming.Config) streaming.Summary {
+	sum := streaming.Summarize(streaming.Simulate(r.Fork(name), cfg, 50))
+	fmt.Printf("  %-26s median %6.0f ms  (network %4.0f ms, capture+render %4.0f ms)\n",
+		name, sum.MedianMs,
+		sum.Breakdown.UplinkNet+sum.Breakdown.DownNet,
+		sum.Breakdown.Capture+sum.Breakdown.Render)
+	return sum
+}
+
+func main() {
+	r := rng.New(11)
+	base := streaming.Config{Access: netmodel.WiFi, Resolution: streaming.R1080p}
+
+	fmt.Println("Same-city live streaming, WiFi, 50 events per setting:")
+	edge := run(r, "edge-1080p", base)
+
+	far := base
+	far.Backend = qoe.Backends()[3]
+	cloud := run(r, "cloud3-1080p", far)
+	fmt.Printf("  -> edge saves %.0f%% of streaming delay (paper: up to 24%%)\n\n",
+		100*(1-edge.MedianMs/cloud.MedianMs))
+
+	lower := base
+	lower.Resolution = streaming.R720p
+	run(r, "edge-720p", lower)
+
+	trans := base
+	trans.Transcode = true
+	run(r, "edge-1080p+transcode", trans)
+
+	buffered := base
+	buffered.JitterBufferMB = 2
+	run(r, "edge-1080p+2MB-buffer", buffered)
+
+	ffplay := base
+	ffplay.Player, _ = streaming.PlayerByName("FFplay")
+	run(r, "edge-1080p+ffplay", ffplay)
+
+	fmt.Println("\nConclusion: the camera/software stack, not the network, bounds the")
+	fmt.Println("experience — matching the paper's finding that edge relays alone")
+	fmt.Println("cannot make live streaming real-time.")
+}

@@ -1,0 +1,37 @@
+// Quickstart: build the edge platform, run a small crowd campaign, and
+// print the headline latency comparison — the fastest path through the
+// edgescope API.
+package main
+
+import (
+	"fmt"
+
+	"edgescope/internal/crowd"
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+)
+
+func main() {
+	r := rng.New(42)
+
+	// A campaign bundles the NEP edge platform (~520 sites), the AliCloud
+	// baseline (8 regions) and a crowd of measurement users.
+	campaign := crowd.NewCampaign(r, crowd.Options{NumUsers: 50, Repeats: 15})
+	fmt.Printf("platform: %d edge sites, %d cloud regions, %d users\n",
+		len(campaign.NEP.Sites), len(campaign.Cloud.Sites), len(campaign.Users))
+
+	// Run the ping campaign and aggregate per-user medians.
+	obs := campaign.RunLatency(r.Fork("latency"))
+	for _, access := range []netmodel.Access{netmodel.WiFi, netmodel.LTE} {
+		edge := crowd.MedianRTTAcrossUsers(obs, access, crowd.NearestEdge)
+		cloud := crowd.MedianRTTAcrossUsers(obs, access, crowd.NearestCloud)
+		fmt.Printf("%-4s  nearest edge %5.1f ms   nearest cloud %5.1f ms   edge wins %.2fx\n",
+			access, edge, cloud, cloud/edge)
+	}
+
+	// Jitter: the edge is far more stable.
+	edgeCV := crowd.MedianCVAcrossUsers(obs, netmodel.WiFi, crowd.NearestEdge)
+	cloudCV := crowd.MedianCVAcrossUsers(obs, netmodel.WiFi, crowd.NearestCloud)
+	fmt.Printf("WiFi RTT jitter (CV): edge %.3f vs cloud %.3f (%.1fx more stable)\n",
+		edgeCV, cloudCV, cloudCV/edgeCV)
+}

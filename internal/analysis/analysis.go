@@ -1,0 +1,349 @@
+// Package analysis computes the paper's §4 workload characterisations from
+// a vm.Dataset: VM sizing (Fig 8), per-app fleet sizes (Fig 9), CPU
+// utilisation and its temporal variance (Fig 10), cross-server/site load
+// imbalance (Fig 11), per-app cross-VM imbalance (Fig 12), and week-scale
+// bandwidth volatility (Fig 13). Every function works on the trace schema
+// alone, so it would run unchanged on the released EdgeWorkloadsTraces data.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"edgescope/internal/stats"
+	"edgescope/internal/timeseries"
+	"edgescope/internal/vm"
+)
+
+// SizeDistribution summarises Figure 8 for one platform.
+type SizeDistribution struct {
+	MedianVCPUs float64
+	MedianMemGB float64
+	// SmallShare/MediumShare/LargeShare bucket VMs at ≤4 / 5–16 / >16
+	// vCPUs (or GB), the paper's small/medium/large split.
+	CPUSmall, CPUMedium, CPULarge float64
+	MemSmall, MemMedium, MemLarge float64
+}
+
+// VMSizes computes Figure 8's distribution for a dataset.
+func VMSizes(d *vm.Dataset) SizeDistribution {
+	var out SizeDistribution
+	n := float64(len(d.VMs))
+	if n == 0 {
+		return out
+	}
+	cpus := make([]float64, len(d.VMs))
+	mems := make([]float64, len(d.VMs))
+	for i, v := range d.VMs {
+		cpus[i] = float64(v.VCPUs)
+		mems[i] = float64(v.MemGB)
+		switch {
+		case v.VCPUs <= 4:
+			out.CPUSmall++
+		case v.VCPUs <= 16:
+			out.CPUMedium++
+		default:
+			out.CPULarge++
+		}
+		switch {
+		case v.MemGB <= 4:
+			out.MemSmall++
+		case v.MemGB <= 16:
+			out.MemMedium++
+		default:
+			out.MemLarge++
+		}
+	}
+	out.CPUSmall /= n
+	out.CPUMedium /= n
+	out.CPULarge /= n
+	out.MemSmall /= n
+	out.MemMedium /= n
+	out.MemLarge /= n
+	out.MedianVCPUs = stats.Median(cpus)
+	out.MedianMemGB = stats.Median(mems)
+	return out
+}
+
+// AppVMCounts returns the per-app fleet sizes (Figure 9's CDF input) sorted
+// ascending.
+func AppVMCounts(d *vm.Dataset) []float64 {
+	apps := d.AppVMs()
+	out := make([]float64, 0, len(apps))
+	for _, vms := range apps {
+		out = append(out, float64(len(vms)))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// ShareAtLeast returns the fraction of values ≥ threshold (e.g. the paper's
+// "9.6% of apps deploy at least 50 VMs").
+func ShareAtLeast(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// UtilizationSummary summarises Figure 10 for one platform.
+type UtilizationSummary struct {
+	// MeanCPU / P95MaxCPU / CPUCVs hold one entry per VM.
+	MeanCPU   []float64
+	P95MaxCPU []float64
+	CPUCVs    []float64
+}
+
+// Utilization computes Figure 10's inputs.
+func Utilization(d *vm.Dataset) UtilizationSummary {
+	out := UtilizationSummary{
+		MeanCPU:   make([]float64, len(d.VMs)),
+		P95MaxCPU: make([]float64, len(d.VMs)),
+		CPUCVs:    make([]float64, len(d.VMs)),
+	}
+	for i, v := range d.VMs {
+		out.MeanCPU[i] = v.MeanCPU()
+		out.P95MaxCPU[i] = v.P95MaxCPU()
+		out.CPUCVs[i] = v.CPUCV()
+	}
+	return out
+}
+
+// ImbalanceReport quantifies Figure 11 for one province sample: per-server
+// and per-site CPU usage and bandwidth, normalised to the smallest, plus
+// their max/min gaps.
+type ImbalanceReport struct {
+	Province string
+	// SiteCPU / SiteNET hold one mean value per site (normalised); Gap
+	// fields are max/min ratios before normalisation flooring.
+	SiteCPU []float64
+	SiteNET []float64
+	// ServerCPU / ServerNET are for the servers of the busiest site.
+	ServerCPU []float64
+	ServerNET []float64
+
+	SiteCPUGap   float64
+	SiteNETGap   float64
+	ServerCPUGap float64
+	ServerNETGap float64
+}
+
+// Imbalance computes Figure 11 over the sites of one province (the paper
+// samples Guangdong). Site CPU usage is the mean of its servers' weighted
+// usage; NET is total bandwidth. Returns a zero report when the province
+// hosts nothing.
+func Imbalance(d *vm.Dataset, province string) ImbalanceReport {
+	rep := ImbalanceReport{Province: province}
+	siteVMs := d.SiteVMs()
+
+	type siteStat struct {
+		idx  int
+		cpu  float64
+		net  float64
+		vmCt int
+	}
+	var sites []siteStat
+	for i, s := range d.Sites {
+		if s.Province != province || len(siteVMs[i]) == 0 {
+			continue
+		}
+		// Mean CPU across hosted servers.
+		servers := map[int]bool{}
+		for _, vi := range siteVMs[i] {
+			servers[d.VMs[vi].Server] = true
+		}
+		var cpuSum float64
+		var cnt int
+		for srv := range servers {
+			if u := d.ServerCPUUsage(i, srv); u != nil {
+				cpuSum += u.Mean()
+				cnt++
+			}
+		}
+		var net float64
+		if bw := d.SiteBandwidth(i); bw != nil {
+			net = bw.Mean()
+		}
+		if cnt == 0 {
+			continue
+		}
+		sites = append(sites, siteStat{idx: i, cpu: cpuSum / float64(cnt), net: net, vmCt: len(siteVMs[i])})
+	}
+	if len(sites) == 0 {
+		return rep
+	}
+
+	for _, s := range sites {
+		rep.SiteCPU = append(rep.SiteCPU, s.cpu)
+		rep.SiteNET = append(rep.SiteNET, s.net)
+	}
+	rep.SiteCPUGap = gap(rep.SiteCPU)
+	rep.SiteNETGap = gap(rep.SiteNET)
+	rep.SiteCPU = stats.Normalize(rep.SiteCPU, 1e-6)
+	rep.SiteNET = stats.Normalize(rep.SiteNET, 1e-6)
+
+	// Busiest site's servers.
+	busiest := sites[0]
+	for _, s := range sites[1:] {
+		if s.vmCt > busiest.vmCt {
+			busiest = s
+		}
+	}
+	servers := map[int]bool{}
+	for _, vi := range siteVMs[busiest.idx] {
+		servers[d.VMs[vi].Server] = true
+	}
+	srvIdx := make([]int, 0, len(servers))
+	for s := range servers {
+		srvIdx = append(srvIdx, s)
+	}
+	sort.Ints(srvIdx)
+	for _, srv := range srvIdx {
+		u := d.ServerCPUUsage(busiest.idx, srv)
+		if u == nil {
+			continue
+		}
+		rep.ServerCPU = append(rep.ServerCPU, u.Mean())
+		var net float64
+		for _, vi := range siteVMs[busiest.idx] {
+			if d.VMs[vi].Server == srv && d.VMs[vi].PublicBW != nil {
+				net += d.VMs[vi].PublicBW.Mean()
+			}
+		}
+		rep.ServerNET = append(rep.ServerNET, net)
+	}
+	rep.ServerCPUGap = gap(rep.ServerCPU)
+	rep.ServerNETGap = gap(rep.ServerNET)
+	rep.ServerCPU = stats.Normalize(rep.ServerCPU, 1e-6)
+	rep.ServerNET = stats.Normalize(rep.ServerNET, 1e-6)
+	return rep
+}
+
+// gap is max/min with a tiny floor to keep ratios finite.
+func gap(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mn, mx := stats.Min(xs), stats.Max(xs)
+	if mn < 1e-6 {
+		mn = 1e-6
+	}
+	return mx / mn
+}
+
+// AppGaps returns, for every app with at least minVMs VMs, the P95/P5 gap of
+// its VMs' mean CPU usage — Figure 12a's CDF input.
+func AppGaps(d *vm.Dataset, minVMs int) []float64 {
+	if minVMs < 2 {
+		minVMs = 2
+	}
+	var out []float64
+	apps := d.AppVMs()
+	ids := make([]int, 0, len(apps))
+	for id := range apps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		vms := apps[id]
+		if len(vms) < minVMs {
+			continue
+		}
+		means := make([]float64, len(vms))
+		for i, vi := range vms {
+			means[i] = d.VMs[vi].MeanCPU()
+		}
+		out = append(out, stats.GapRatio(means, 0.01))
+	}
+	return out
+}
+
+// AppDaySample extracts one day of CPU usage for up to maxVMs VMs of the
+// app with the most VMs — Figure 12b's spaghetti plot.
+func AppDaySample(d *vm.Dataset, maxVMs int) [][]float64 {
+	apps := d.AppVMs()
+	bestApp, bestN := -1, 0
+	for id, vms := range apps {
+		if len(vms) > bestN || (len(vms) == bestN && id < bestApp) {
+			bestApp, bestN = id, len(vms)
+		}
+	}
+	if bestApp < 0 {
+		return nil
+	}
+	var out [][]float64
+	for _, vi := range apps[bestApp] {
+		if len(out) >= maxVMs {
+			break
+		}
+		cpu := d.VMs[vi].CPU
+		perDay := int(24 * time.Hour / cpu.Interval)
+		if perDay > cpu.Len() {
+			perDay = cpu.Len()
+		}
+		day := make([]float64, perDay)
+		copy(day, cpu.Values[:perDay])
+		out = append(out, day)
+	}
+	return out
+}
+
+// WeeklyBandwidth returns each selected VM's weekly-averaged bandwidth
+// (Figure 13): one row per VM, one column per week.
+func WeeklyBandwidth(d *vm.Dataset, vmIdx []int) [][]float64 {
+	var out [][]float64
+	for _, vi := range vmIdx {
+		if vi < 0 || vi >= len(d.VMs) || d.VMs[vi].PublicBW == nil {
+			continue
+		}
+		weekly := d.VMs[vi].PublicBW.Resample(7*24*time.Hour, timeseries.AggMean)
+		row := make([]float64, weekly.Len())
+		copy(row, weekly.Values)
+		out = append(out, row)
+	}
+	return out
+}
+
+// MostVolatileBW returns the indices of the n VMs whose weekly bandwidth
+// averages vary the most (max/min ratio), the paper's Figure 13 selection.
+func MostVolatileBW(d *vm.Dataset, n int) []int {
+	type cand struct {
+		idx   int
+		ratio float64
+	}
+	var cands []cand
+	for i, v := range d.VMs {
+		if v.PublicBW == nil {
+			continue
+		}
+		weekly := v.PublicBW.Resample(7*24*time.Hour, timeseries.AggMean)
+		if weekly.Len() < 2 {
+			continue
+		}
+		mn, mx := stats.Min(weekly.Values), stats.Max(weekly.Values)
+		if mn <= 0 {
+			mn = 1e-6
+		}
+		cands = append(cands, cand{idx: i, ratio: mx / mn})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].ratio != cands[b].ratio {
+			return cands[a].ratio > cands[b].ratio
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package core is edgescope's experiment registry: one constructor per
+// table and figure of the paper's evaluation, sharing lazily built
+// substrates (the crowd campaign, the NEP and cloud workload traces) through
+// a Suite. The cmd/ binaries and the repository-level benchmarks are thin
+// wrappers over this package.
+package core
+
+import (
+	"edgescope/internal/crowd"
+	"edgescope/internal/rng"
+	"edgescope/internal/topology"
+	"edgescope/internal/vm"
+	"edgescope/internal/workload"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Scales: Small keeps every experiment under a second or two for CI and
+// benchmarks; PaperScale approaches the paper's parameters (158 users, 30
+// repeats, 4-week traces, LSTM sweeps).
+const (
+	Small Scale = iota
+	PaperScale
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == PaperScale {
+		return "paper"
+	}
+	return "small"
+}
+
+// params bundles the per-scale experiment sizing.
+type params struct {
+	users        int
+	repeats      int
+	nepApps      int
+	cloudApps    int
+	nepDays      int
+	cloudDays    int
+	interPairs   int
+	qoeSamples   int
+	predictVMs   int
+	lstmVMs      int
+	lstmEpochs   int
+	billingTopN  int
+	throughUsers int
+	throughSites int
+}
+
+func paramsFor(s Scale) params {
+	if s == PaperScale {
+		return params{
+			users: 158, repeats: 30,
+			nepApps: 100, cloudApps: 500,
+			nepDays: 28, cloudDays: 28,
+			interPairs: 20000, qoeSamples: 50,
+			predictVMs: 150, lstmVMs: 20, lstmEpochs: 8,
+			billingTopN:  50,
+			throughUsers: 25, throughSites: 20,
+		}
+	}
+	return params{
+		users: 60, repeats: 10,
+		nepApps: 40, cloudApps: 150,
+		nepDays: 14, cloudDays: 8,
+		interPairs: 3000, qoeSamples: 30,
+		predictVMs: 40, lstmVMs: 3, lstmEpochs: 3,
+		billingTopN:  25,
+		throughUsers: 15, throughSites: 12,
+	}
+}
+
+// Suite shares substrates across experiments. All artifacts produced from
+// the same (seed, scale) are byte-identical across runs.
+type Suite struct {
+	Seed  uint64
+	Scale Scale
+	p     params
+
+	campaign   *crowd.Campaign
+	latencyObs []crowd.Observation
+	thrObs     []crowd.ThroughputObs
+	nepTrace   *vm.Dataset
+	cloudTrace *vm.Dataset
+}
+
+// NewSuite builds an experiment suite.
+func NewSuite(seed uint64, scale Scale) *Suite {
+	return &Suite{Seed: seed, Scale: scale, p: paramsFor(scale)}
+}
+
+func (s *Suite) root() *rng.Source { return rng.New(s.Seed) }
+
+// Campaign returns (building on first use) the crowd campaign.
+func (s *Suite) Campaign() *crowd.Campaign {
+	if s.campaign == nil {
+		s.campaign = crowd.NewCampaign(s.root().Fork("campaign"), crowd.Options{
+			NumUsers: s.p.users,
+			Repeats:  s.p.repeats,
+		})
+	}
+	return s.campaign
+}
+
+// LatencyObs returns the cached latency-campaign observations.
+func (s *Suite) LatencyObs() []crowd.Observation {
+	if s.latencyObs == nil {
+		s.latencyObs = s.Campaign().RunLatency(s.root().Fork("latency"))
+	}
+	return s.latencyObs
+}
+
+// ThroughputObs returns the cached throughput-campaign observations.
+func (s *Suite) ThroughputObs() []crowd.ThroughputObs {
+	if s.thrObs == nil {
+		s.thrObs = s.Campaign().RunThroughput(s.root().Fork("throughput"), crowd.ThroughputOptions{
+			NumUsers: s.p.throughUsers,
+			NumSites: s.p.throughSites,
+		})
+	}
+	return s.thrObs
+}
+
+// NEP returns the edge platform topology of the campaign.
+func (s *Suite) NEP() *topology.Platform { return s.Campaign().NEP }
+
+// NEPTrace returns (generating on first use) the edge workload trace.
+func (s *Suite) NEPTrace() *vm.Dataset {
+	if s.nepTrace == nil {
+		d, err := workload.GenerateNEP(s.root().Fork("nep-trace"), workload.Options{
+			Apps: s.p.nepApps,
+			Days: s.p.nepDays,
+		})
+		if err != nil {
+			panic("core: NEP trace generation failed: " + err.Error())
+		}
+		s.nepTrace = d
+	}
+	return s.nepTrace
+}
+
+// CloudTrace returns (generating on first use) the Azure-like cloud trace.
+func (s *Suite) CloudTrace() *vm.Dataset {
+	if s.cloudTrace == nil {
+		d, err := workload.GenerateCloud(s.root().Fork("cloud-trace"), workload.Options{
+			Apps: s.p.cloudApps,
+			Days: s.p.cloudDays,
+		})
+		if err != nil {
+			panic("core: cloud trace generation failed: " + err.Error())
+		}
+		s.cloudTrace = d
+	}
+	return s.cloudTrace
+}

@@ -1,0 +1,328 @@
+// Package crowd reproduces the paper's crowd-sourced measurement campaign
+// (§2.1.1, §3.1, §3.2): a population of volunteer users spread over Chinese
+// cities and surrounding county areas runs repeated pings, traceroutes and
+// iperf tests against the nearest/3rd-nearest edge sites and the cloud
+// regions, and the per-user results aggregate into the paper's Figures 2, 3
+// and 5 and Tables 3 and 4.
+package crowd
+
+import (
+	"math"
+
+	"edgescope/internal/geo"
+	"edgescope/internal/netmodel"
+	"edgescope/internal/probe"
+	"edgescope/internal/rng"
+	"edgescope/internal/topology"
+)
+
+// User is one crowd participant.
+type User struct {
+	ID     int
+	Metro  geo.City
+	Loc    geo.Point
+	Access netmodel.Access
+	// County reports that the user lives outside the metro proper (in a
+	// county-level town 60–300 km away), and is therefore not co-located
+	// with any site city. The paper found 69% of its participants were not
+	// co-located with any edge or cloud site.
+	County bool
+}
+
+// Options configures user generation.
+type Options struct {
+	// NumUsers defaults to 158, the paper's participant count.
+	NumUsers int
+	// WiFiShare, LTEShare, FiveGShare default to the paper's 59/34/7 mix.
+	// They must sum to ~1 when set.
+	WiFiShare, LTEShare, FiveGShare float64
+	// CountyFraction is the probability a user lives outside the metro
+	// proper. Defaults to 0.7 (paper: 69% not co-located).
+	CountyFraction float64
+	// Repeats is the per-target ping count. Defaults to 30.
+	Repeats int
+}
+
+func (o *Options) fill() {
+	if o.NumUsers == 0 {
+		o.NumUsers = 158
+	}
+	if o.WiFiShare == 0 && o.LTEShare == 0 && o.FiveGShare == 0 {
+		o.WiFiShare, o.LTEShare, o.FiveGShare = 0.59, 0.34, 0.07
+	}
+	if o.CountyFraction == 0 {
+		o.CountyFraction = 0.7
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 30
+	}
+}
+
+// GenerateUsers creates the participant population: metros drawn
+// population-weighted, a CountyFraction of users displaced 60–300 km out of
+// town, and 5G users pinned to Beijing (the paper notes almost all its 5G
+// samples came from Beijing due to limited coverage elsewhere in 2020).
+func GenerateUsers(r *rng.Source, opts Options) []User {
+	opts.fill()
+	cities := geo.Cities()
+	weights := make([]float64, len(cities))
+	for i, c := range cities {
+		weights[i] = c.PopulationM
+	}
+	users := make([]User, 0, opts.NumUsers)
+	for i := 0; i < opts.NumUsers; i++ {
+		var access netmodel.Access
+		switch r.Choice([]float64{opts.WiFiShare, opts.LTEShare, opts.FiveGShare}) {
+		case 0:
+			access = netmodel.WiFi
+		case 1:
+			access = netmodel.LTE
+		default:
+			access = netmodel.FiveG
+		}
+		var metro geo.City
+		county := false
+		if access == netmodel.FiveG {
+			metro = geo.MustCity("Beijing")
+		} else {
+			metro = cities[r.Choice(weights)]
+			county = r.Bernoulli(opts.CountyFraction)
+		}
+		loc := metro.Loc
+		if county {
+			d := r.Uniform(60, 300)
+			theta := r.Uniform(0, 2*math.Pi)
+			loc = geo.Point{
+				Lat: metro.Loc.Lat + d*math.Cos(theta)/111,
+				Lon: metro.Loc.Lon + d*math.Sin(theta)/(111*math.Cos(metro.Loc.Lat*math.Pi/180)),
+			}
+		} else {
+			// In-town scatter of a few km.
+			loc = geo.Point{
+				Lat: metro.Loc.Lat + r.Normal(0, 0.05),
+				Lon: metro.Loc.Lon + r.Normal(0, 0.05),
+			}
+		}
+		users = append(users, User{ID: i, Metro: metro, Loc: loc, Access: access, County: county})
+	}
+	return users
+}
+
+// TargetKind identifies which destination a latency observation measured.
+type TargetKind int
+
+// The paper's four latency baselines (§3.1).
+const (
+	NearestEdge TargetKind = iota
+	ThirdNearestEdge
+	NearestCloud
+	// CloudMember marks one observation of the "all clouds" average: every
+	// cloud region is measured and results are averaged per user.
+	CloudMember
+)
+
+// String names the target kind.
+func (k TargetKind) String() string {
+	switch k {
+	case NearestEdge:
+		return "nearest-edge"
+	case ThirdNearestEdge:
+		return "3rd-nearest-edge"
+	case NearestCloud:
+		return "nearest-cloud"
+	default:
+		return "all-clouds"
+	}
+}
+
+// Observation is one user×target latency measurement: the aggregate of
+// Repeats pings plus one traceroute over a freshly built path.
+type Observation struct {
+	UserID      int
+	Access      netmodel.Access
+	Target      TargetKind
+	SiteID      string
+	SiteMetro   string
+	DistanceKm  float64 // great-circle user→site
+	CityDistKm  float64 // city-level distance (0 when co-located, Table 4)
+	MedianRTTMs float64
+	MeanRTTMs   float64
+	CV          float64
+	HopCount    int
+	Share1      float64
+	Share2      float64
+	Share3      float64
+	ShareRest   float64
+}
+
+// Campaign binds the platforms and participants of one measurement study.
+type Campaign struct {
+	NEP   *topology.Platform
+	Cloud *topology.Platform
+	Users []User
+	// Repeats is the ping count per user×target (paper: 30).
+	Repeats int
+}
+
+// NewCampaign assembles a campaign with the default paper-scale settings.
+func NewCampaign(r *rng.Source, opts Options) *Campaign {
+	opts.fill()
+	return &Campaign{
+		NEP:     topology.BuildNEP(r.Fork("nep"), topology.NEPOptions{}),
+		Cloud:   topology.BuildAliCloud(),
+		Users:   GenerateUsers(r.Fork("users"), opts),
+		Repeats: opts.Repeats,
+	}
+}
+
+// RunLatency executes the ping campaign: for every user it measures the
+// nearest edge site, the 3rd-nearest edge site, the nearest cloud region and
+// every cloud region (for the all-clouds average).
+func (c *Campaign) RunLatency(r *rng.Source) []Observation {
+	var out []Observation
+	for _, u := range c.Users {
+		edgeRank := c.NEP.NearestSites(u.Loc)
+		cloudRank := c.Cloud.NearestSites(u.Loc)
+
+		out = append(out, c.observe(r, u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
+		if len(edgeRank) >= 3 {
+			out = append(out, c.observe(r, u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
+		}
+		out = append(out, c.observe(r, u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
+		for _, ci := range cloudRank {
+			out = append(out, c.observe(r, u, CloudMember, c.Cloud.Sites[ci]))
+		}
+	}
+	return out
+}
+
+func (c *Campaign) observe(r *rng.Source, u User, kind TargetKind, site *topology.Site) Observation {
+	dist := geo.Haversine(u.Loc, site.Loc)
+	path := netmodel.BuildPath(r, u.Access, site.Class, dist)
+	st := probe.VirtualPing(r, path, c.Repeats)
+	s1, s2, s3, rest := path.HopShare()
+
+	cityDist := geo.Haversine(u.Metro.Loc, site.City.Loc)
+	if !u.County && u.Metro.Name == site.City.Name {
+		cityDist = 0
+	}
+	if u.County {
+		cityDist = dist
+	}
+	return Observation{
+		UserID:      u.ID,
+		Access:      u.Access,
+		Target:      kind,
+		SiteID:      site.ID,
+		SiteMetro:   site.City.Name,
+		DistanceKm:  dist,
+		CityDistKm:  cityDist,
+		MedianRTTMs: st.MedianMs(),
+		MeanRTTMs:   mean(st.RTTs),
+		CV:          st.CV(),
+		HopCount:    path.HopCount(),
+		Share1:      s1,
+		Share2:      s2,
+		Share3:      s3,
+		ShareRest:   rest,
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ThroughputObs is one user×site×direction iperf measurement (Figure 5).
+type ThroughputObs struct {
+	UserID     int
+	Access     netmodel.Access
+	Dir        netmodel.Direction
+	DistanceKm float64
+	Mbps       float64
+}
+
+// ThroughputOptions configures RunThroughput.
+type ThroughputOptions struct {
+	// NumUsers defaults to 25 (a subset of the latency volunteers plus
+	// wired vantage points, as in the paper).
+	NumUsers int
+	// NumSites defaults to 20 edge VMs at different cities.
+	NumSites int
+	// ServerMbps is the per-VM bandwidth allocation; the paper provisioned
+	// 1 Gbps VMs. Defaults to 1000.
+	ServerMbps float64
+	// WiredShare is the fraction of throughput testers on wired access.
+	// Defaults to 0.2.
+	WiredShare float64
+}
+
+func (o *ThroughputOptions) fill() {
+	if o.NumUsers == 0 {
+		o.NumUsers = 25
+	}
+	if o.NumSites == 0 {
+		o.NumSites = 20
+	}
+	if o.ServerMbps == 0 {
+		o.ServerMbps = 1000
+	}
+	if o.WiredShare == 0 {
+		o.WiredShare = 0.2
+	}
+}
+
+// RunThroughput executes the iperf campaign: each selected user measures
+// down- and uplink against each of the selected edge sites (one site per
+// metro, maximising distance spread).
+func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []ThroughputObs {
+	opts.fill()
+
+	// One site per distinct metro, round-robin until NumSites.
+	seen := map[string]bool{}
+	var sites []*topology.Site
+	for _, s := range c.NEP.Sites {
+		if len(sites) >= opts.NumSites {
+			break
+		}
+		if seen[s.City.Name] {
+			continue
+		}
+		seen[s.City.Name] = true
+		sites = append(sites, s)
+	}
+
+	// Testers: reuse latency users, flipping some to wired access.
+	n := opts.NumUsers
+	if n > len(c.Users) {
+		n = len(c.Users)
+	}
+	var out []ThroughputObs
+	for i := 0; i < n; i++ {
+		u := c.Users[i]
+		if r.Bernoulli(opts.WiredShare) {
+			u.Access = netmodel.Wired
+		}
+		for _, s := range sites {
+			dist := geo.Haversine(u.Loc, s.Loc)
+			path := netmodel.BuildPath(r, u.Access, netmodel.EdgeSite, dist)
+			for _, dir := range []netmodel.Direction{netmodel.Downlink, netmodel.Uplink} {
+				res := probe.VirtualIperf(r, path, dir, opts.ServerMbps)
+				out = append(out, ThroughputObs{
+					UserID:     u.ID,
+					Access:     u.Access,
+					Dir:        dir,
+					DistanceKm: dist,
+					Mbps:       res.Mbps,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+	"edgescope/internal/stats"
+)
+
+func testCampaign(t *testing.T, seed uint64) (*Campaign, []Observation) {
+	t.Helper()
+	r := rng.New(seed)
+	c := NewCampaign(r, Options{})
+	obs := c.RunLatency(r.Fork("latency"))
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	return c, obs
+}
+
+func TestGenerateUsersMix(t *testing.T) {
+	r := rng.New(1)
+	users := GenerateUsers(r, Options{NumUsers: 2000})
+	var wifi, lte, fiveg, county int
+	for _, u := range users {
+		switch u.Access {
+		case netmodel.WiFi:
+			wifi++
+		case netmodel.LTE:
+			lte++
+		case netmodel.FiveG:
+			fiveg++
+			if u.Metro.Name != "Beijing" {
+				t.Fatalf("5G user in %s; 2020 coverage pins them to Beijing", u.Metro.Name)
+			}
+		}
+		if u.County {
+			county++
+		}
+	}
+	n := float64(len(users))
+	if w := float64(wifi) / n; math.Abs(w-0.59) > 0.05 {
+		t.Fatalf("WiFi share = %.2f, want ~0.59", w)
+	}
+	if l := float64(lte) / n; math.Abs(l-0.34) > 0.05 {
+		t.Fatalf("LTE share = %.2f, want ~0.34", l)
+	}
+	if f := float64(fiveg) / n; math.Abs(f-0.07) > 0.03 {
+		t.Fatalf("5G share = %.2f, want ~0.07", f)
+	}
+	if c := float64(county) / n; c < 0.5 || c > 0.8 {
+		t.Fatalf("county share = %.2f, want ~0.65 (0.7 of non-5G users)", c)
+	}
+}
+
+func TestCampaignObservationShape(t *testing.T) {
+	c, obs := testCampaign(t, 2)
+	// Per user: 1 nearest edge + 1 third edge + 1 nearest cloud + 8 members.
+	want := len(c.Users) * (3 + len(c.Cloud.Sites))
+	if len(obs) != want {
+		t.Fatalf("observations = %d, want %d", len(obs), want)
+	}
+	for _, o := range obs {
+		if o.MedianRTTMs <= 0 {
+			t.Fatalf("non-positive RTT in %+v", o)
+		}
+		if s := o.Share1 + o.Share2 + o.Share3 + o.ShareRest; math.Abs(s-1) > 1e-9 {
+			t.Fatalf("hop shares sum to %v", s)
+		}
+	}
+}
+
+func TestFigure2aShape(t *testing.T) {
+	_, obs := testCampaign(t, 3)
+	for _, a := range []netmodel.Access{netmodel.WiFi, netmodel.LTE} {
+		ne := MedianRTTAcrossUsers(obs, a, NearestEdge)
+		e3 := MedianRTTAcrossUsers(obs, a, ThirdNearestEdge)
+		nc := MedianRTTAcrossUsers(obs, a, NearestCloud)
+		ac := MedianRTTAcrossUsers(obs, a, CloudMember)
+		if !(ne < nc && nc < ac) {
+			t.Fatalf("%v: ordering broken: edge %.1f, cloud %.1f, all-clouds %.1f", a, ne, nc, ac)
+		}
+		if e3 < ne {
+			t.Fatalf("%v: 3rd-nearest edge (%.1f) below nearest (%.1f)", a, e3, ne)
+		}
+		ratio := nc / ne
+		if ratio < 1.15 || ratio > 3.2 {
+			t.Fatalf("%v: cloud/edge RTT ratio = %.2f, paper reports 1.4-1.9x", a, ratio)
+		}
+	}
+	// WiFi nearest edge ≈ 10.5 ms in the paper; ours includes county users
+	// at up to 300 km, so allow a wider band.
+	wifiEdge := MedianRTTAcrossUsers(obs, netmodel.WiFi, NearestEdge)
+	if wifiEdge < 6 || wifiEdge > 22 {
+		t.Fatalf("WiFi nearest-edge median = %.1f ms", wifiEdge)
+	}
+	lteEdge := MedianRTTAcrossUsers(obs, netmodel.LTE, NearestEdge)
+	if lteEdge < 26 || lteEdge > 48 {
+		t.Fatalf("LTE nearest-edge median = %.1f ms, want ~34", lteEdge)
+	}
+	if lteEdge <= wifiEdge {
+		t.Fatal("LTE should be slower than WiFi at the edge")
+	}
+}
+
+func TestFigure2bJitterShape(t *testing.T) {
+	_, obs := testCampaign(t, 4)
+	for _, a := range []netmodel.Access{netmodel.WiFi, netmodel.LTE} {
+		edgeCV := MedianCVAcrossUsers(obs, a, NearestEdge)
+		cloudCV := MedianCVAcrossUsers(obs, a, NearestCloud)
+		if edgeCV <= 0 || cloudCV <= 0 {
+			t.Fatalf("%v: CVs must be positive", a)
+		}
+		if cloudCV < 1.8*edgeCV {
+			t.Fatalf("%v: cloud CV (%.4f) should be ≫ edge CV (%.4f)", a, cloudCV, edgeCV)
+		}
+	}
+}
+
+func TestTable3HopBreakdown(t *testing.T) {
+	_, obs := testCampaign(t, 5)
+	wifiEdge := HopBreakdown(obs, netmodel.WiFi, NearestEdge)
+	if wifiEdge.Share1 < 0.28 {
+		t.Fatalf("WiFi edge 1st-hop share = %.2f, paper reports 44%%", wifiEdge.Share1)
+	}
+	lteEdge := HopBreakdown(obs, netmodel.LTE, NearestEdge)
+	if lteEdge.Share2 < 0.45 {
+		t.Fatalf("LTE edge 2nd-hop share = %.2f, paper reports 70%%", lteEdge.Share2)
+	}
+	// Cloud paths spend more latency beyond the first three hops.
+	wifiCloud := HopBreakdown(obs, netmodel.WiFi, NearestCloud)
+	if wifiCloud.ShareRest <= wifiEdge.ShareRest {
+		t.Fatalf("cloud rest-share (%.2f) should exceed edge (%.2f)",
+			wifiCloud.ShareRest, wifiEdge.ShareRest)
+	}
+	// 5G: nearly all latency in the first three hops to the nearest edge.
+	fgEdge := HopBreakdown(obs, netmodel.FiveG, NearestEdge)
+	if first3 := fgEdge.Share1 + fgEdge.Share2 + fgEdge.Share3; first3 < 0.6 {
+		t.Fatalf("5G edge first-3 share = %.2f, paper reports 98%%", first3)
+	}
+}
+
+func TestTable4CoLocation(t *testing.T) {
+	_, obs := testCampaign(t, 6)
+	rows := CoLocationTable(obs)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var shareSum float64
+	for _, r := range rows {
+		shareSum += r.UserShare
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Fatalf("class shares sum to %v", shareSum)
+	}
+	none := rows[NoneCoLocated]
+	if none.UserShare < 0.5 || none.UserShare > 0.85 {
+		t.Fatalf("none-co-located share = %.2f, paper reports 0.69", none.UserShare)
+	}
+	// Co-located users have zero city distance by definition.
+	if rows[BothCoLocated].DistEdgeKm != 0 || rows[BothCoLocated].DistCloudKm != 0 {
+		t.Fatal("both-co-located distances must be zero")
+	}
+	if rows[EdgeCoLocated].DistEdgeKm != 0 {
+		t.Fatal("edge-co-located edge distance must be zero")
+	}
+	if rows[EdgeCoLocated].UserShare > 0 && rows[EdgeCoLocated].DistCloudKm <= 0 {
+		t.Fatal("edge-co-located users must be away from cloud cities")
+	}
+	// Edge wins on RTT in every class (Table 4's headline).
+	for _, r := range rows {
+		if r.UserShare == 0 {
+			continue
+		}
+		if r.RTTEdgeMs >= r.RTTCloudMs {
+			t.Fatalf("%v: edge RTT %.1f not below cloud %.1f", r.Class, r.RTTEdgeMs, r.RTTCloudMs)
+		}
+	}
+	// None-co-located users sit farther from clouds than from edges.
+	if none.DistEdgeKm >= none.DistCloudKm {
+		t.Fatalf("none class: edge dist %.0f should be below cloud dist %.0f",
+			none.DistEdgeKm, none.DistCloudKm)
+	}
+}
+
+func TestFigure3HopCounts(t *testing.T) {
+	_, obs := testCampaign(t, 7)
+	edge := HopCounts(obs, true)
+	cloud := HopCounts(obs, false)
+	if len(edge) == 0 || len(cloud) == 0 {
+		t.Fatal("missing hop-count samples")
+	}
+	me, mc := stats.Median(edge), stats.Median(cloud)
+	if me < 5 || me > 12 {
+		t.Fatalf("edge median hops = %v, paper reports 5-12 (median 8)", me)
+	}
+	if mc < 10 || mc > 17 {
+		t.Fatalf("cloud median hops = %v, paper reports 10-16", mc)
+	}
+	if me >= mc {
+		t.Fatal("edge should have fewer hops than cloud")
+	}
+}
+
+func TestFigure5ThroughputCorrelations(t *testing.T) {
+	r := rng.New(8)
+	c := NewCampaign(r, Options{})
+	tobs := c.RunThroughput(r.Fork("tp"), ThroughputOptions{})
+	rows := ThroughputCorrelations(tobs)
+	if len(rows) == 0 {
+		t.Fatal("no correlation rows")
+	}
+	get := func(a netmodel.Access, d netmodel.Direction) (CorrRow, bool) {
+		for _, row := range rows {
+			if row.Access == a && row.Dir == d {
+				return row, true
+			}
+		}
+		return CorrRow{}, false
+	}
+	if row, ok := get(netmodel.FiveG, netmodel.Downlink); ok && row.N > 30 {
+		if row.Corr > -0.45 {
+			t.Fatalf("5G down corr = %.2f, paper reports strong negative", row.Corr)
+		}
+		if row.MeanMbps < 150 {
+			t.Fatalf("5G down mean = %.0f Mbps, want hundreds", row.MeanMbps)
+		}
+	}
+	if row, ok := get(netmodel.Wired, netmodel.Downlink); ok && row.N > 30 {
+		if row.Corr > -0.45 {
+			t.Fatalf("wired down corr = %.2f, want strong negative", row.Corr)
+		}
+	}
+	for _, a := range []netmodel.Access{netmodel.WiFi, netmodel.LTE} {
+		if row, ok := get(a, netmodel.Downlink); ok && row.N > 50 {
+			if math.Abs(row.Corr) > 0.4 {
+				t.Fatalf("%v down corr = %.2f, paper reports negligible", a, row.Corr)
+			}
+		}
+	}
+	if row, ok := get(netmodel.FiveG, netmodel.Uplink); ok && row.N > 30 {
+		if row.MeanMbps > 65 {
+			t.Fatalf("5G uplink mean = %.0f Mbps, TDD-capped at ~52", row.MeanMbps)
+		}
+	}
+}
+
+func TestRunThroughputSiteSpread(t *testing.T) {
+	r := rng.New(9)
+	c := NewCampaign(r, Options{})
+	tobs := c.RunThroughput(r.Fork("tp"), ThroughputOptions{NumUsers: 5, NumSites: 10})
+	// 5 users × 10 sites × 2 directions.
+	if len(tobs) != 100 {
+		t.Fatalf("observations = %d, want 100", len(tobs))
+	}
+}
+
+func TestTargetKindString(t *testing.T) {
+	names := map[TargetKind]string{
+		NearestEdge: "nearest-edge", ThirdNearestEdge: "3rd-nearest-edge",
+		NearestCloud: "nearest-cloud", CloudMember: "all-clouds",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if BothCoLocated.String() == "" || EdgeCoLocated.String() == "" || NoneCoLocated.String() == "" {
+		t.Fatal("CoLocClass names empty")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	_, obs1 := testCampaign(t, 11)
+	_, obs2 := testCampaign(t, 11)
+	if len(obs1) != len(obs2) {
+		t.Fatal("observation counts differ")
+	}
+	for i := range obs1 {
+		if obs1[i] != obs2[i] {
+			t.Fatalf("observation %d differs across identical seeds", i)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package emunet is a real-socket network emulator: UDP echo servers with
+// injected delay, jitter and loss, and TCP endpoints shaped by a token
+// bucket. The measurement tools in internal/probe run against these
+// endpoints over the loopback interface, exercising the same Go networking
+// code paths an operational deployment of the benchmark would use against
+// remote edge/cloud VMs.
+//
+// The emulator stands in for the volunteer-to-datacenter Internet paths of
+// the paper's crowd campaign, which are gated behind the real platform; the
+// statistical path model lives in internal/netmodel, and emunet realises a
+// single parameterised link faithfully enough that probes measure what the
+// model prescribes.
+package emunet
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket rate limiter over bytes. The zero
+// value is unusable; use NewTokenBucket.
+type TokenBucket struct {
+	mu      sync.Mutex
+	rate    float64 // tokens (bytes) per second
+	burst   float64 // bucket capacity in bytes
+	tokens  float64
+	last    time.Time
+	nowFunc func() time.Time // test hook
+}
+
+// NewTokenBucket builds a bucket admitting rateBytesPerSec with the given
+// burst capacity (also in bytes). It panics on non-positive parameters.
+func NewTokenBucket(rateBytesPerSec, burst float64) *TokenBucket {
+	if rateBytesPerSec <= 0 || burst <= 0 {
+		panic("emunet: token bucket parameters must be positive")
+	}
+	return &TokenBucket{
+		rate:    rateBytesPerSec,
+		burst:   burst,
+		tokens:  burst,
+		last:    time.Now(),
+		nowFunc: time.Now,
+	}
+}
+
+// delayFor reserves n tokens and returns how long the caller must wait
+// before the reserved bytes conform to the rate. It never blocks itself.
+func (tb *TokenBucket) delayFor(n int) time.Duration {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.nowFunc()
+	elapsed := now.Sub(tb.last).Seconds()
+	tb.last = now
+	tb.tokens += elapsed * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens -= float64(n)
+	if tb.tokens >= 0 {
+		return 0
+	}
+	// Negative balance: wait until it refills.
+	return time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+}
+
+// WaitN blocks until n bytes conform to the configured rate.
+func (tb *TokenBucket) WaitN(n int) {
+	if d := tb.delayFor(n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// MbpsToBytesPerSec converts a rate in megabits per second to bytes per
+// second.
+func MbpsToBytesPerSec(mbps float64) float64 { return mbps * 1e6 / 8 }

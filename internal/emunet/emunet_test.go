@@ -1,0 +1,256 @@
+package emunet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTokenBucketConformance(t *testing.T) {
+	// 1 MB/s with 8 KB burst: sending 100 KB must take ~(100-8)/1000 ≈ 92 ms.
+	tb := NewTokenBucket(1e6, 8*1024)
+	start := time.Now()
+	for sent := 0; sent < 100*1024; sent += 4096 {
+		tb.WaitN(4096)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 60*time.Millisecond || elapsed > 250*time.Millisecond {
+		t.Fatalf("100 KB at 1 MB/s took %v, want ~95 ms", elapsed)
+	}
+}
+
+func TestTokenBucketBurstPassesImmediately(t *testing.T) {
+	tb := NewTokenBucket(1000, 64*1024)
+	start := time.Now()
+	tb.WaitN(32 * 1024) // within burst
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("burst-sized request should not block")
+	}
+}
+
+func TestTokenBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTokenBucket(0, 1)
+}
+
+func TestTokenBucketDelayNeverNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(rate, burst float64, n uint16) bool {
+		if rate <= 0 || burst <= 0 || rate > 1e12 || burst > 1e12 {
+			return true
+		}
+		tb := NewTokenBucket(rate, burst)
+		return tb.delayFor(int(n)) >= 0
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMbpsConversion(t *testing.T) {
+	if got := MbpsToBytesPerSec(8); got != 1e6 {
+		t.Fatalf("8 Mbps = %v B/s, want 1e6", got)
+	}
+}
+
+func TestFromPathSample(t *testing.T) {
+	l := FromPathSample(20, 1.5, 0.01, 100)
+	if l.OneWayDelay != 10*time.Millisecond {
+		t.Fatalf("one-way delay = %v", l.OneWayDelay)
+	}
+	if l.Jitter != 1500*time.Microsecond {
+		t.Fatalf("jitter = %v", l.Jitter)
+	}
+	if l.Loss != 0.01 || l.RateMbps != 100 {
+		t.Fatal("loss/rate not carried over")
+	}
+}
+
+// udpPing sends one datagram and waits for the echo; helper for tests.
+func udpPing(t *testing.T, addr string, timeout time.Duration) (time.Duration, bool) {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := []byte("edgescope-ping")
+	start := time.Now()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return 0, false
+	}
+	if !bytes.Equal(buf[:n], payload) {
+		t.Fatalf("echo payload mismatch: %q", buf[:n])
+	}
+	return time.Since(start), true
+}
+
+func TestUDPEchoDelay(t *testing.T) {
+	e, err := NewUDPEcho(Link{OneWayDelay: 15 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rtt, ok := udpPing(t, e.Addr(), time.Second)
+	if !ok {
+		t.Fatal("echo lost without loss configured")
+	}
+	if rtt < 28*time.Millisecond || rtt > 90*time.Millisecond {
+		t.Fatalf("RTT = %v, want ~30 ms", rtt)
+	}
+}
+
+func TestUDPEchoTotalLoss(t *testing.T) {
+	e, err := NewUDPEcho(Link{Loss: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, ok := udpPing(t, e.Addr(), 100*time.Millisecond); ok {
+		t.Fatal("packet survived 100% loss")
+	}
+}
+
+func TestUDPEchoPartialLoss(t *testing.T) {
+	e, err := NewUDPEcho(Link{Loss: 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	lost := 0
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, ok := udpPing(t, e.Addr(), 120*time.Millisecond); !ok {
+			lost++
+		}
+	}
+	if lost < n/5 || lost > 4*n/5 {
+		t.Fatalf("lost %d/%d at 50%% loss", lost, n)
+	}
+}
+
+func TestUDPEchoCloseTwice(t *testing.T) {
+	e, err := NewUDPEcho(Link{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err == nil {
+		t.Fatal("second Close should error")
+	}
+}
+
+func TestThroughputServerDownloadShaped(t *testing.T) {
+	const rate = 16 // Mbps
+	s, err := NewThroughputServer(Link{RateMbps: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{ModeDownload}); err != nil {
+		t.Fatal(err)
+	}
+	const dur = 400 * time.Millisecond
+	deadline := time.Now().Add(dur)
+	_ = conn.SetReadDeadline(deadline)
+	var total int
+	buf := make([]byte, 32*1024)
+	for time.Now().Before(deadline) {
+		n, err := conn.Read(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	mbps := float64(total) * 8 / 1e6 / dur.Seconds()
+	if mbps < rate*0.6 || mbps > rate*1.5 {
+		t.Fatalf("download measured %.1f Mbps, want ~%d", mbps, rate)
+	}
+}
+
+func TestThroughputServerUploadDrains(t *testing.T) {
+	s, err := NewThroughputServer(Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{ModeUpload}); err != nil {
+		t.Fatal(err)
+	}
+	// Shape the upload at 16 Mbps for 300 ms and verify the pacing works.
+	sw := NewShapedWriter(conn, 16)
+	chunk := make([]byte, 8*1024)
+	start := time.Now()
+	var sent int
+	for time.Since(start) < 300*time.Millisecond {
+		n, err := sw.Write(chunk)
+		sent += n
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mbps := float64(sent) * 8 / 1e6 / time.Since(start).Seconds()
+	if mbps < 9 || mbps > 24 {
+		t.Fatalf("upload measured %.1f Mbps, want ~16", mbps)
+	}
+}
+
+func TestShapedWriterSplitsLargeBuffers(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewShapedWriter(&buf, 1000) // effectively unshaped for this size
+	big := make([]byte, 50*1024)
+	n, err := sw.Write(big)
+	if err != nil || n != len(big) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if buf.Len() != len(big) {
+		t.Fatal("bytes lost in shaping")
+	}
+}
+
+func TestShapedWriterPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewShapedWriter(io.Discard, 0)
+}
+
+func TestThroughputServerCloseTwice(t *testing.T) {
+	s, err := NewThroughputServer(Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("second Close should error")
+	}
+}

@@ -1,0 +1,61 @@
+package emunet
+
+import (
+	"sync"
+	"time"
+
+	"edgescope/internal/rng"
+)
+
+// Link describes the emulated network conditions applied to traffic between
+// a probe client and an emulated site endpoint.
+type Link struct {
+	// OneWayDelay is the base one-way propagation+queueing delay.
+	OneWayDelay time.Duration
+	// Jitter is the standard deviation of normally distributed per-packet
+	// delay noise (applied once per round trip, truncated at zero total).
+	Jitter time.Duration
+	// Loss is the per-packet loss probability in [0,1].
+	Loss float64
+	// RateMbps caps throughput; 0 means unshaped.
+	RateMbps float64
+}
+
+// FromPathSample builds a Link from netmodel path statistics: rttMs is the
+// base round-trip time, jitterMs the per-sample noise, loss the end-to-end
+// loss probability, and rateMbps the bottleneck rate.
+func FromPathSample(rttMs, jitterMs, loss, rateMbps float64) Link {
+	return Link{
+		OneWayDelay: time.Duration(rttMs / 2 * float64(time.Millisecond)),
+		Jitter:      time.Duration(jitterMs * float64(time.Millisecond)),
+		Loss:        loss,
+		RateMbps:    rateMbps,
+	}
+}
+
+// sampler wraps an rng.Source with a mutex: emunet servers sample loss and
+// jitter from handler goroutines.
+type sampler struct {
+	mu sync.Mutex
+	r  *rng.Source
+}
+
+func newSampler(seed uint64) *sampler { return &sampler{r: rng.New(seed)} }
+
+func (s *sampler) drop(p float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Bernoulli(p)
+}
+
+// rttDelay returns the full round-trip service delay for one packet.
+func (s *sampler) rttDelay(l Link) time.Duration {
+	s.mu.Lock()
+	noise := s.r.Normal(0, float64(l.Jitter))
+	s.mu.Unlock()
+	d := 2*l.OneWayDelay + time.Duration(noise)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

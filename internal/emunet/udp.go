@@ -1,0 +1,81 @@
+package emunet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPEcho is a UDP echo server that replies to every datagram after the
+// link's emulated round-trip service time, dropping packets per the link's
+// loss probability. It emulates the ping destination VMs the paper deployed
+// on every NEP site and AliCloud region.
+type UDPEcho struct {
+	pc   net.PacketConn
+	link Link
+	smp  *sampler
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewUDPEcho starts an echo server on a loopback ephemeral port.
+func NewUDPEcho(link Link, seed uint64) (*UDPEcho, error) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	e := &UDPEcho{pc: pc, link: link, smp: newSampler(seed)}
+	e.wg.Add(1)
+	go e.serve()
+	return e, nil
+}
+
+// Addr returns the server's address for clients to dial.
+func (e *UDPEcho) Addr() string { return e.pc.LocalAddr().String() }
+
+func (e *UDPEcho) serve() {
+	defer e.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := e.pc.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		if e.smp.drop(e.link.Loss) {
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		delay := e.smp.rttDelay(e.link)
+		e.wg.Add(1)
+		go func(addr net.Addr, data []byte, d time.Duration) {
+			defer e.wg.Done()
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			<-timer.C
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if !closed {
+				_, _ = e.pc.WriteTo(data, addr)
+			}
+		}(from, payload, delay)
+	}
+}
+
+// Close stops the server and waits for in-flight replies to finish.
+func (e *UDPEcho) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("emunet: echo server already closed")
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.pc.Close()
+	e.wg.Wait()
+	return err
+}

@@ -1,0 +1,191 @@
+// Package geo provides geographic primitives for edgescope: great-circle
+// distance, a database of major Chinese cities (the deployment footprint of
+// the NEP edge platform studied by the paper), and nearest-neighbour queries
+// used by the topology builder and the crowd-measurement campaign.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a geographic coordinate in decimal degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// EarthRadiusKm is the mean Earth radius used by Haversine.
+const EarthRadiusKm = 6371.0
+
+// Haversine returns the great-circle distance between two points in
+// kilometres.
+func Haversine(a, b Point) float64 {
+	const deg = math.Pi / 180
+	la1, lo1 := a.Lat*deg, a.Lon*deg
+	la2, lo2 := b.Lat*deg, b.Lon*deg
+	dla, dlo := la2-la1, lo2-lo1
+	h := sinSq(dla/2) + math.Cos(la1)*math.Cos(la2)*sinSq(dlo/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+func sinSq(x float64) float64 {
+	s := math.Sin(x)
+	return s * s
+}
+
+// City describes one metro area in the deployment footprint.
+type City struct {
+	Name     string
+	Province string
+	// PopulationM is the metro population in millions; it weights edge-site
+	// density and user-demand skew.
+	PopulationM float64
+	Loc         Point
+	// Tier is the conventional Chinese city tier (1 = largest). Tier-1 metros
+	// host multiple NEP sites and the cloud regions.
+	Tier int
+}
+
+// cities is the built-in database. Coordinates are city centres; populations
+// are metro-level estimates. 43 cities across 30 provinces, matching the
+// scale of the paper's 41-city crowd campaign.
+var cities = []City{
+	{"Beijing", "Beijing", 21.5, Point{39.90, 116.40}, 1},
+	{"Shanghai", "Shanghai", 24.9, Point{31.23, 121.47}, 1},
+	{"Guangzhou", "Guangdong", 15.3, Point{23.13, 113.26}, 1},
+	{"Shenzhen", "Guangdong", 17.6, Point{22.54, 114.06}, 1},
+	{"Chengdu", "Sichuan", 16.3, Point{30.57, 104.07}, 1},
+	{"Chongqing", "Chongqing", 32.1, Point{29.56, 106.55}, 1},
+	{"Hangzhou", "Zhejiang", 12.2, Point{30.27, 120.16}, 1},
+	{"Wuhan", "Hubei", 11.2, Point{30.59, 114.31}, 1},
+	{"Xian", "Shaanxi", 12.9, Point{34.34, 108.94}, 1},
+	{"Nanjing", "Jiangsu", 9.3, Point{32.06, 118.80}, 1},
+	{"Tianjin", "Tianjin", 13.9, Point{39.13, 117.20}, 1},
+	{"Suzhou", "Jiangsu", 12.7, Point{31.30, 120.58}, 2},
+	{"Zhengzhou", "Henan", 12.6, Point{34.75, 113.62}, 2},
+	{"Changsha", "Hunan", 10.0, Point{28.23, 112.94}, 2},
+	{"Dongguan", "Guangdong", 10.5, Point{23.02, 113.75}, 2},
+	{"Qingdao", "Shandong", 10.1, Point{36.07, 120.38}, 2},
+	{"Shenyang", "Liaoning", 9.1, Point{41.80, 123.43}, 2},
+	{"Jinan", "Shandong", 9.2, Point{36.65, 117.12}, 2},
+	{"Harbin", "Heilongjiang", 10.0, Point{45.80, 126.53}, 2},
+	{"Kunming", "Yunnan", 8.5, Point{25.04, 102.72}, 2},
+	{"Dalian", "Liaoning", 7.5, Point{38.91, 121.60}, 2},
+	{"Fuzhou", "Fujian", 8.3, Point{26.08, 119.30}, 2},
+	{"Xiamen", "Fujian", 5.2, Point{24.48, 118.09}, 2},
+	{"Hefei", "Anhui", 9.4, Point{31.82, 117.23}, 2},
+	{"Nanning", "Guangxi", 8.7, Point{22.82, 108.37}, 2},
+	{"Shijiazhuang", "Hebei", 11.0, Point{38.04, 114.51}, 2},
+	{"Taiyuan", "Shanxi", 5.3, Point{37.87, 112.55}, 2},
+	{"Guiyang", "Guizhou", 5.9, Point{26.65, 106.63}, 2},
+	{"Nanchang", "Jiangxi", 6.3, Point{28.68, 115.86}, 2},
+	{"Changchun", "Jilin", 9.1, Point{43.82, 125.32}, 2},
+	{"Urumqi", "Xinjiang", 4.1, Point{43.83, 87.62}, 3},
+	{"Lanzhou", "Gansu", 4.4, Point{36.06, 103.83}, 3},
+	{"Hohhot", "InnerMongolia", 3.4, Point{40.84, 111.75}, 3},
+	{"Yinchuan", "Ningxia", 2.9, Point{38.49, 106.23}, 3},
+	{"Xining", "Qinghai", 2.5, Point{36.62, 101.78}, 3},
+	{"Lhasa", "Tibet", 0.9, Point{29.65, 91.14}, 3},
+	{"Haikou", "Hainan", 2.9, Point{20.04, 110.34}, 3},
+	{"Ningbo", "Zhejiang", 9.4, Point{29.87, 121.54}, 2},
+	{"Wuxi", "Jiangsu", 7.5, Point{31.49, 120.31}, 2},
+	{"Foshan", "Guangdong", 9.5, Point{23.02, 113.12}, 2},
+	{"Wenzhou", "Zhejiang", 9.6, Point{27.99, 120.70}, 2},
+	{"Zhuhai", "Guangdong", 2.4, Point{22.27, 113.58}, 3},
+	{"Tangshan", "Hebei", 7.7, Point{39.63, 118.18}, 3},
+}
+
+// Cities returns a copy of the built-in city database.
+func Cities() []City {
+	out := make([]City, len(cities))
+	copy(out, cities)
+	return out
+}
+
+// CityByName looks a city up by name. The second result reports whether the
+// city exists in the database.
+func CityByName(name string) (City, bool) {
+	for _, c := range cities {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return City{}, false
+}
+
+// MustCity returns the named city or panics; use for static configuration.
+func MustCity(name string) City {
+	c, ok := CityByName(name)
+	if !ok {
+		panic(fmt.Sprintf("geo: unknown city %q", name))
+	}
+	return c
+}
+
+// CitiesInProvince returns all database cities in the given province.
+func CitiesInProvince(province string) []City {
+	var out []City
+	for _, c := range cities {
+		if c.Province == province {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Provinces returns the sorted list of distinct provinces in the database.
+func Provinces() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range cities {
+		if !seen[c.Province] {
+			seen[c.Province] = true
+			out = append(out, c.Province)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPopulationM returns the summed metro population of the database in
+// millions; it normalises population weights.
+func TotalPopulationM() float64 {
+	var t float64
+	for _, c := range cities {
+		t += c.PopulationM
+	}
+	return t
+}
+
+// Located is anything with a geographic position.
+type Located interface{ Position() Point }
+
+// Position implements Located for City.
+func (c City) Position() Point { return c.Loc }
+
+// NearestCity returns the database city closest to p.
+func NearestCity(p Point) City {
+	best := cities[0]
+	bestD := Haversine(p, best.Loc)
+	for _, c := range cities[1:] {
+		if d := Haversine(p, c.Loc); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// RankByDistance returns indices of items sorted by ascending great-circle
+// distance from p. The positions slice supplies each item's location.
+func RankByDistance(p Point, positions []Point) []int {
+	idx := make([]int, len(positions))
+	d := make([]float64, len(positions))
+	for i, q := range positions {
+		idx[i] = i
+		d[i] = Haversine(p, q)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	return idx
+}

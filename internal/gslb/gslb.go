@@ -1,0 +1,201 @@
+// Package gslb implements the customer-side end-user traffic scheduling the
+// paper describes in §2 ("edge customers typically route user requests to
+// their nearby sites based on DNS or HTTP 302") as a real HTTP-redirect
+// service: clients GET /route and receive a 302 Location pointing at the
+// chosen replica; replicas POST load reports. The routing policy plugs in
+// from internal/placement, so the same NearestSite / LoadAware schedulers
+// studied offline in §4.3 can be exercised over real sockets.
+package gslb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"edgescope/internal/placement"
+	"edgescope/internal/rng"
+)
+
+// Backend is one schedulable replica of the customer's app.
+type Backend struct {
+	// ID names the replica in load reports.
+	ID string
+	// URL is the Location clients are redirected to.
+	URL string
+	// DelayMs is the modelled network delay from the user population.
+	DelayMs float64
+	// CapacityRPS is the replica's service capacity.
+	CapacityRPS float64
+}
+
+// Balancer routes requests to backends under a placement.Scheduler policy.
+// It is safe for concurrent use.
+type Balancer struct {
+	policy placement.Scheduler
+
+	mu       sync.Mutex
+	r        *rng.Source
+	backends []Backend
+	loads    []float64
+	picks    []int
+}
+
+// New creates a balancer with the given policy and RNG seed.
+func New(policy placement.Scheduler, seed uint64) *Balancer {
+	return &Balancer{policy: policy, r: rng.New(seed)}
+}
+
+// Register adds a backend. It returns an error on duplicate IDs.
+func (b *Balancer) Register(be Backend) error {
+	if be.ID == "" || be.URL == "" {
+		return errors.New("gslb: backend needs ID and URL")
+	}
+	if be.CapacityRPS <= 0 {
+		return fmt.Errorf("gslb: backend %s needs positive capacity", be.ID)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, cur := range b.backends {
+		if cur.ID == be.ID {
+			return fmt.Errorf("gslb: duplicate backend %s", be.ID)
+		}
+	}
+	b.backends = append(b.backends, be)
+	b.loads = append(b.loads, 0)
+	b.picks = append(b.picks, 0)
+	return nil
+}
+
+// ReportLoad records a replica's current utilisation in [0,1+).
+func (b *Balancer) ReportLoad(id string, load float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, be := range b.backends {
+		if be.ID == id {
+			b.loads[i] = load
+			return nil
+		}
+	}
+	return fmt.Errorf("gslb: unknown backend %s", id)
+}
+
+// Pick chooses a backend under the policy, bumping its load slightly to
+// reflect the admitted request.
+func (b *Balancer) Pick() (Backend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.backends) == 0 {
+		return Backend{}, errors.New("gslb: no backends registered")
+	}
+	reps := make([]placement.Replica, len(b.backends))
+	for i, be := range b.backends {
+		reps[i] = placement.Replica{
+			CapacityRPS: be.CapacityRPS,
+			DelayMs:     be.DelayMs,
+			Load:        b.loads[i],
+		}
+	}
+	idx := b.policy.Pick(b.r, reps)
+	if idx < 0 || idx >= len(b.backends) {
+		idx = 0
+	}
+	b.loads[idx] += 1 / b.backends[idx].CapacityRPS
+	b.picks[idx]++
+	return b.backends[idx], nil
+}
+
+// PickCounts returns how many requests each backend received, keyed by ID.
+func (b *Balancer) PickCounts() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.backends))
+	for i, be := range b.backends {
+		out[be.ID] = b.picks[i]
+	}
+	return out
+}
+
+// Handler serves the routing protocol:
+//
+//	GET  /route                → 302 Location: <backend URL>
+//	POST /report?id=X&load=0.7 → 204
+func (b *Balancer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		be, err := b.Pick()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Backend-ID", be.ID)
+		http.Redirect(w, r, be.URL, http.StatusFound)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("id")
+		load, err := strconv.ParseFloat(r.URL.Query().Get("load"), 64)
+		if err != nil {
+			http.Error(w, "bad load", http.StatusBadRequest)
+			return
+		}
+		if err := b.ReportLoad(id, load); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// Server wraps a Balancer in a loopback HTTP listener.
+type Server struct {
+	Balancer *Balancer
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// Serve starts the balancer on a loopback ephemeral port.
+func Serve(b *Balancer) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Balancer: b, ln: ln, srv: &http.Server{Handler: b.Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's base URL.
+func (s *Server) Addr() string { return "http://" + s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Resolve asks a running balancer for a backend, without following the
+// redirect, returning the backend URL and ID.
+func Resolve(baseURL string) (url, id string, err error) {
+	client := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	resp, err := client.Get(baseURL + "/route")
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		return "", "", fmt.Errorf("gslb: unexpected status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("Location"), resp.Header.Get("X-Backend-ID"), nil
+}

@@ -1,0 +1,212 @@
+package gslb
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"edgescope/internal/placement"
+)
+
+func threeBackends(t *testing.T, b *Balancer) {
+	t.Helper()
+	for _, be := range []Backend{
+		{ID: "gz-1", URL: "http://edge-gz-1.example/app", DelayMs: 10, CapacityRPS: 100},
+		{ID: "gz-2", URL: "http://edge-gz-2.example/app", DelayMs: 13, CapacityRPS: 100},
+		{ID: "sz-1", URL: "http://edge-sz-1.example/app", DelayMs: 15, CapacityRPS: 100},
+	} {
+		if err := b.Register(be); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	b := New(placement.NearestSite{}, 1)
+	if err := b.Register(Backend{ID: "", URL: "x", CapacityRPS: 1}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := b.Register(Backend{ID: "a", URL: "x", CapacityRPS: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if err := b.Register(Backend{ID: "a", URL: "x", CapacityRPS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Backend{ID: "a", URL: "y", CapacityRPS: 1}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	b := New(placement.NearestSite{}, 1)
+	if _, err := b.Pick(); err == nil {
+		t.Fatal("expected error with no backends")
+	}
+}
+
+func TestNearestSitePinsHotReplica(t *testing.T) {
+	b := New(placement.NearestSite{}, 2)
+	threeBackends(t, b)
+	for i := 0; i < 300; i++ {
+		if _, err := b.Pick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := b.PickCounts()
+	if counts["gz-1"] != 300 {
+		t.Fatalf("nearest-site should pin gz-1, got %v", counts)
+	}
+}
+
+func TestLoadAwareSpreads(t *testing.T) {
+	b := New(placement.LoadAware{DelaySlackMs: 6}, 3)
+	threeBackends(t, b)
+	for i := 0; i < 300; i++ {
+		if _, err := b.Pick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := b.PickCounts()
+	// gz-1, gz-2 and sz-1 are within the 6 ms slack; load-aware should use
+	// all three.
+	for _, id := range []string{"gz-1", "gz-2", "sz-1"} {
+		if counts[id] < 50 {
+			t.Fatalf("load-aware left %s cold: %v", id, counts)
+		}
+	}
+}
+
+func TestReportLoadShiftsRouting(t *testing.T) {
+	b := New(placement.LoadAware{DelaySlackMs: 6}, 4)
+	threeBackends(t, b)
+	if err := b.ReportLoad("gz-1", 0.95); err != nil {
+		t.Fatal(err)
+	}
+	be, err := b.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.ID == "gz-1" {
+		t.Fatal("hot replica still picked")
+	}
+	if err := b.ReportLoad("nope", 0.5); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestHTTPRedirectEndToEnd(t *testing.T) {
+	b := New(placement.NearestSite{}, 5)
+	threeBackends(t, b)
+	srv, err := Serve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	url, id, err := Resolve(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "gz-1" || !strings.Contains(url, "edge-gz-1") {
+		t.Fatalf("resolved %s → %s, want gz-1", id, url)
+	}
+
+	// Load reports over HTTP shift subsequent routing under a load-aware
+	// policy.
+	b2 := New(placement.LoadAware{DelaySlackMs: 6}, 6)
+	threeBackends(t, b2)
+	srv2, err := Serve(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := http.Post(srv2.Addr()+"/report?id=gz-1&load=0.99", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("report status = %d", resp.StatusCode)
+	}
+	_, id2, err := Resolve(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == "gz-1" {
+		t.Fatal("routing ignored the load report")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	b := New(placement.NearestSite{}, 7)
+	srv, err := Serve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// No backends: 503.
+	resp, err := http.Get(srv.Addr() + "/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty route status = %d", resp.StatusCode)
+	}
+	// Bad load value: 400.
+	resp, err = http.Post(srv.Addr()+"/report?id=x&load=notanumber", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad report status = %d", resp.StatusCode)
+	}
+	// Wrong methods: 405.
+	resp, err = http.Post(srv.Addr()+"/route", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /route status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.Addr() + "/report?id=x&load=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /report status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentPicks(t *testing.T) {
+	b := New(placement.LoadAware{DelaySlackMs: 10}, 8)
+	threeBackends(t, b)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				if _, err := b.Pick(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, c := range b.PickCounts() {
+		total += c
+	}
+	if total != 800 {
+		t.Fatalf("picks = %d, want 800", total)
+	}
+}

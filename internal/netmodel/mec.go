@@ -1,0 +1,42 @@
+package netmodel
+
+import "edgescope/internal/rng"
+
+// BuildSunkPath models the paper's §3.1/§5 recommendation taken to its
+// conclusion: edge resources sunk into the ISP's access aggregation point
+// (Mobile Edge Computing). The path collapses to the access hop, the
+// aggregation hop, and a single in-site hop — no metro core, no backbone.
+// Comparing SampleRTT on these paths against regular EdgeSite paths
+// quantifies how much of today's NEP latency is recoverable by sinking.
+func BuildSunkPath(r *rng.Source, access Access) *Path {
+	p := ProfileFor(access)
+	hops := []Hop{
+		{
+			Kind:        HopAccess,
+			BaseRTTMs:   r.LogNormalMeanMedian(p.AccessHopMs, p.AccessHopSigma),
+			JitterStdMs: p.AccessJitterMs,
+			Visible:     p.AccessVisible,
+		},
+		{
+			Kind:        HopAgg,
+			BaseRTTMs:   r.LogNormalMeanMedian(p.AggHopMs, p.AggHopSigma),
+			JitterStdMs: p.AggJitterMs,
+			Visible:     p.AggVisible,
+		},
+		{
+			Kind:        HopDC,
+			BaseRTTMs:   r.LogNormalMeanMedian(dcHopMs, 0.3),
+			JitterStdMs: dcJitterMs,
+			Visible:     true,
+		},
+	}
+	path := &Path{
+		Access:   access,
+		Class:    EdgeSite,
+		Hops:     hops,
+		LossRate: lossBase + p.ExtraLoss,
+		profile:  p,
+	}
+	path.extraJitterStd = edgeJitterFactor * path.BaseRTTMs()
+	return path
+}

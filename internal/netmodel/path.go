@@ -1,0 +1,260 @@
+package netmodel
+
+import (
+	"fmt"
+
+	"edgescope/internal/rng"
+)
+
+// SiteClass distinguishes the destination datacenter type; it determines the
+// provider-internal hop count (cloud DCs have deeper internal fabrics) and
+// feeds the hop-count gap of Figure 3.
+type SiteClass int
+
+// Destination classes.
+const (
+	EdgeSite SiteClass = iota
+	CloudSite
+)
+
+// String returns "edge" or "cloud".
+func (c SiteClass) String() string {
+	if c == EdgeSite {
+		return "edge"
+	}
+	return "cloud"
+}
+
+// HopKind classifies a hop on the user→site path.
+type HopKind int
+
+// Hop kinds, ordered from the user outwards.
+const (
+	HopAccess   HopKind = iota // wireless / local first hop
+	HopAgg                     // aggregation (GTP-U tunnel for LTE, UPF for 5G)
+	HopMetro                   // metro / ISP core within the city
+	HopBackbone                // inter-city backbone
+	HopDC                      // provider-internal hops inside the DC
+)
+
+// String names the hop kind.
+func (k HopKind) String() string {
+	switch k {
+	case HopAccess:
+		return "access"
+	case HopAgg:
+		return "agg"
+	case HopMetro:
+		return "metro"
+	case HopBackbone:
+		return "backbone"
+	case HopDC:
+		return "dc"
+	default:
+		return fmt.Sprintf("HopKind(%d)", int(k))
+	}
+}
+
+// Hop is one hop of a path. BaseRTTMs is its round-trip latency
+// contribution; JitterStdMs the standard deviation of per-sample noise it
+// adds; Visible whether it responds to TTL-expired probes (traceroute).
+type Hop struct {
+	Kind        HopKind
+	BaseRTTMs   float64
+	JitterStdMs float64
+	Visible     bool
+}
+
+// Path is a modelled route from an end user to a destination site.
+type Path struct {
+	Access     Access
+	Class      SiteClass
+	DistanceKm float64
+	Hops       []Hop
+	// LossRate is the end-to-end packet-loss probability.
+	LossRate float64
+	// extraJitterStd models transit/peering congestion noise that is not
+	// attributable to a single hop. It scales with the base RTT and is much
+	// larger for cloud paths (which cross congested transit links) than for
+	// edge paths terminating in nearby CDN PoPs — the mechanism behind the
+	// ~5× jitter gap of Figure 2b.
+	extraJitterStd float64
+	// profile snapshot used when the path was built.
+	profile AccessProfile
+}
+
+// Propagation and router constants calibrated to the paper (Fig 4 slope,
+// Table 3 "rest" shares). RTT propagation is ~0.02 ms/km: fibre propagation
+// with a typical path-inflation factor over great-circle distance.
+const (
+	rttPerKm         = 0.020 // ms RTT per km of great-circle distance
+	metroHopMs       = 0.6
+	backboneRouterMs = 0.45
+	dcHopMs          = 0.30
+	metroJitterMs    = 0.05
+	backboneJitterMs = 0.05
+	dcJitterMs       = 0.02
+	lossPerBackbone  = 8e-7
+	lossPerKm        = 1.5e-9
+	lossBase         = 3e-7
+	// Relative congestion-jitter factors (fraction of base RTT).
+	edgeJitterFactor  = 0.008
+	cloudJitterFactor = 0.045
+)
+
+// BuildPath constructs a path from a user to a site of the given class at
+// the given great-circle distance, drawing per-path parameters from r.
+// The same Path is then sampled many times (SampleRTT) to model repeated
+// pings over a stable route.
+func BuildPath(r *rng.Source, access Access, class SiteClass, distKm float64) *Path {
+	if distKm < 0 {
+		panic("netmodel: negative distance")
+	}
+	p := ProfileFor(access)
+	var hops []Hop
+
+	hops = append(hops, Hop{
+		Kind:        HopAccess,
+		BaseRTTMs:   r.LogNormalMeanMedian(p.AccessHopMs, p.AccessHopSigma),
+		JitterStdMs: p.AccessJitterMs,
+		Visible:     p.AccessVisible,
+	})
+	hops = append(hops, Hop{
+		Kind:        HopAgg,
+		BaseRTTMs:   r.LogNormalMeanMedian(p.AggHopMs, p.AggHopSigma),
+		JitterStdMs: p.AggJitterMs,
+		Visible:     p.AggVisible,
+	})
+
+	// Metro hops: traffic always crosses the ISP's in-city core (the paper
+	// notes NEP has "not generally sunk into cellular core networks").
+	nMetro := 2 + r.IntN(2)
+	for i := 0; i < nMetro; i++ {
+		hops = append(hops, Hop{
+			Kind:        HopMetro,
+			BaseRTTMs:   r.LogNormalMeanMedian(metroHopMs, 0.4),
+			JitterStdMs: metroJitterMs,
+			Visible:     true,
+		})
+	}
+
+	// Backbone hops: only when leaving the metro area. Hop count grows with
+	// distance; propagation delay is spread across the backbone hops.
+	nBackbone := 0
+	if distKm > 30 {
+		nBackbone = 2 + int(distKm/350) + r.IntN(2)
+		if nBackbone > 9 {
+			nBackbone = 9
+		}
+	}
+	prop := rttPerKm * distKm
+	for i := 0; i < nBackbone; i++ {
+		base := r.LogNormalMeanMedian(backboneRouterMs, 0.4) + prop/float64(nBackbone)
+		hops = append(hops, Hop{
+			Kind:        HopBackbone,
+			BaseRTTMs:   base,
+			JitterStdMs: backboneJitterMs,
+			Visible:     true,
+		})
+	}
+	if nBackbone == 0 && distKm > 0 {
+		// Co-located: attribute residual propagation to the last metro hop.
+		hops[len(hops)-1].BaseRTTMs += prop
+	}
+
+	// Provider-internal hops: clouds have deeper DC fabrics than the micro
+	// datacenters of the edge platform.
+	nDC := 1
+	if class == CloudSite {
+		nDC = 3 + r.IntN(2)
+	}
+	for i := 0; i < nDC; i++ {
+		hops = append(hops, Hop{
+			Kind:        HopDC,
+			BaseRTTMs:   r.LogNormalMeanMedian(dcHopMs, 0.3),
+			JitterStdMs: dcJitterMs,
+			Visible:     true,
+		})
+	}
+
+	loss := lossBase + p.ExtraLoss + float64(nBackbone)*lossPerBackbone + distKm*lossPerKm
+	path := &Path{
+		Access:     access,
+		Class:      class,
+		DistanceKm: distKm,
+		Hops:       hops,
+		LossRate:   loss,
+		profile:    p,
+	}
+	factor := edgeJitterFactor
+	if class == CloudSite {
+		factor = cloudJitterFactor
+	}
+	path.extraJitterStd = factor * path.BaseRTTMs()
+	return path
+}
+
+// HopCount returns the total number of hops on the path.
+func (p *Path) HopCount() int { return len(p.Hops) }
+
+// BaseRTTMs returns the deterministic component of the path RTT.
+func (p *Path) BaseRTTMs() float64 {
+	var t float64
+	for _, h := range p.Hops {
+		t += h.BaseRTTMs
+	}
+	return t
+}
+
+// SampleRTT draws one end-to-end RTT sample in milliseconds: the base RTT
+// plus independent per-hop jitter (truncated so the sample never drops below
+// 80% of base, as queueing can only add delay beyond serialisation variance).
+func (p *Path) SampleRTT(r *rng.Source) float64 {
+	rtt := r.Normal(0, p.extraJitterStd)
+	for _, h := range p.Hops {
+		rtt += h.BaseRTTMs + r.Normal(0, h.JitterStdMs)
+	}
+	if floor := 0.8 * p.BaseRTTMs(); rtt < floor {
+		rtt = floor
+	}
+	return rtt
+}
+
+// HopRTTs returns per-hop cumulative RTTs as a TTL-walking traceroute would
+// observe them: entry i is the RTT to hop i, or NaN-like -1 when the hop does
+// not answer TTL-expired probes (e.g. the first 5G hops).
+func (p *Path) HopRTTs(r *rng.Source) []float64 {
+	out := make([]float64, len(p.Hops))
+	var cum float64
+	for i, h := range p.Hops {
+		cum += h.BaseRTTMs + r.Normal(0, h.JitterStdMs)
+		if h.Visible {
+			out[i] = cum
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// HopShare returns the fraction of the base RTT contributed by the 1st, 2nd,
+// 3rd hop and the rest, matching the breakdown of Table 3.
+func (p *Path) HopShare() (h1, h2, h3, rest float64) {
+	total := p.BaseRTTMs()
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	for i, h := range p.Hops {
+		switch i {
+		case 0:
+			h1 = h.BaseRTTMs / total
+		case 1:
+			h2 = h.BaseRTTMs / total
+		case 2:
+			h3 = h.BaseRTTMs / total
+		default:
+			rest += h.BaseRTTMs / total
+		}
+	}
+	return h1, h2, h3, rest
+}

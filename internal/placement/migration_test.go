@@ -1,0 +1,111 @@
+package placement
+
+import (
+	"testing"
+	"time"
+
+	"edgescope/internal/timeseries"
+	"edgescope/internal/vm"
+)
+
+// unbalancedDataset puts three hot VMs on one server and nothing on the
+// others.
+func unbalancedDataset() *vm.Dataset {
+	t0 := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(level float64) *timeseries.Series {
+		return timeseries.New(t0, 5*time.Minute, []float64{level, level, level})
+	}
+	d := &vm.Dataset{
+		Platform: "NEP",
+		Start:    t0,
+		Duration: 15 * time.Minute,
+		Sites: []*vm.Site{
+			{Name: "a", Province: "Guangdong", Servers: []vm.Server{
+				{CPUCores: 64, MemGB: 256}, {CPUCores: 64, MemGB: 256},
+			}},
+			{Name: "b", Province: "Guangdong", Servers: []vm.Server{
+				{CPUCores: 64, MemGB: 256},
+			}},
+		},
+	}
+	for i := 0; i < 3; i++ {
+		d.VMs = append(d.VMs, &vm.VM{
+			ID: i, App: 0, Site: 0, Server: 0,
+			VCPUs: 16, MemGB: 64, DiskGB: 100,
+			CPU: mk(80), PublicBW: mk(100),
+		})
+	}
+	// One cold VM on the second server so every server has a utilisation.
+	d.VMs = append(d.VMs, &vm.VM{
+		ID: 3, App: 1, Site: 0, Server: 1,
+		VCPUs: 4, MemGB: 16, DiskGB: 50,
+		CPU: mk(2), PublicBW: mk(5),
+	})
+	return d
+}
+
+func TestRebalanceReducesGap(t *testing.T) {
+	d := unbalancedDataset()
+	res := RebalanceCPU(d, 10, 10)
+	if len(res.Migrations) == 0 {
+		t.Fatal("no migrations planned for a pathological imbalance")
+	}
+	if res.GapAfter >= res.GapBefore {
+		t.Fatalf("gap did not shrink: %.1f → %.1f", res.GapBefore, res.GapAfter)
+	}
+	// The plan must not mutate the dataset.
+	if d.VMs[0].Server != 0 || d.VMs[0].Site != 0 {
+		t.Fatal("RebalanceCPU mutated the dataset")
+	}
+}
+
+func TestRebalanceCostAccounting(t *testing.T) {
+	res := RebalanceCPU(unbalancedDataset(), 10, 10)
+	var gb float64
+	for _, m := range res.Migrations {
+		gb += float64(m.MemGB)
+		if m.From == m.To {
+			t.Fatal("no-op migration planned")
+		}
+	}
+	if gb != res.MovedGB {
+		t.Fatalf("MovedGB %.0f inconsistent with plan %.0f", res.MovedGB, gb)
+	}
+	// 20 s per move plus transfer time.
+	if res.EstSeconds < 20*float64(len(res.Migrations)) {
+		t.Fatalf("EstSeconds %.0f below per-move overhead", res.EstSeconds)
+	}
+}
+
+func TestRebalanceRespectsBudget(t *testing.T) {
+	res := RebalanceCPU(unbalancedDataset(), 1, 10)
+	if len(res.Migrations) > 1 {
+		t.Fatalf("budget exceeded: %d moves", len(res.Migrations))
+	}
+}
+
+func TestRebalanceBalancedClusterNoMoves(t *testing.T) {
+	d := unbalancedDataset()
+	// Make all VMs identical and spread them.
+	d.VMs[0].Server = 0
+	d.VMs[1].Server = 1
+	d.VMs[2].Site, d.VMs[2].Server = 1, 0
+	for _, v := range d.VMs[:3] {
+		for i := range v.CPU.Values {
+			v.CPU.Values[i] = 40
+		}
+	}
+	d.VMs[3].CPU.Values = []float64{38, 38, 38}
+	d.VMs[3].VCPUs = 64 // similar absolute load on its server
+	res := RebalanceCPU(d, 10, 10)
+	if res.GapAfter > res.GapBefore {
+		t.Fatal("rebalance made things worse")
+	}
+}
+
+func TestRebalanceZeroLinkDefaults(t *testing.T) {
+	res := RebalanceCPU(unbalancedDataset(), 5, 0)
+	if res.EstSeconds <= 0 && len(res.Migrations) > 0 {
+		t.Fatal("zero link rate should default, not zero out cost")
+	}
+}

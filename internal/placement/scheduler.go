@@ -1,0 +1,152 @@
+package placement
+
+import (
+	"math"
+
+	"edgescope/internal/rng"
+)
+
+// The request schedulers model stage two of NEP operation: once VMs are
+// placed, the *customer* routes end-user requests to them (DNS / HTTP 302).
+// §4.3 shows this often goes wrong — one VM of an app runs above the 80%
+// safety threshold while siblings idle below 30% — and §5 argues for
+// load-aware scheduling that exploits the low inter-site RTTs of §3.1.
+
+// Replica is one schedulable VM of an app, with its service capacity and
+// the network delay from the requesting user population.
+type Replica struct {
+	// CapacityRPS is the request rate the replica sustains at full load.
+	CapacityRPS float64
+	// DelayMs is the user→replica network delay.
+	DelayMs float64
+	// Load is the current utilisation in [0,1+); schedulers update it.
+	Load float64
+}
+
+// Scheduler routes one request to a replica index.
+type Scheduler interface {
+	Name() string
+	Pick(r *rng.Source, replicas []Replica) int
+}
+
+// NearestSite always picks the lowest-delay replica — the DNS-style
+// geo-routing NEP customers use today.
+type NearestSite struct{}
+
+// Name implements Scheduler.
+func (NearestSite) Name() string { return "nearest-site" }
+
+// Pick implements Scheduler.
+func (NearestSite) Pick(r *rng.Source, replicas []Replica) int {
+	best, bestD := 0, math.Inf(1)
+	for i, rep := range replicas {
+		if rep.DelayMs < bestD {
+			best, bestD = i, rep.DelayMs
+		}
+	}
+	return best
+}
+
+// LoadAware trades a bounded delay penalty for balance: among replicas
+// within DelaySlackMs of the nearest, it picks the least loaded — the GSLB
+// approach §5 recommends, viable because nearby edge sites are only a few
+// ms apart (§3.1).
+type LoadAware struct {
+	// DelaySlackMs is how much extra delay the scheduler will accept to
+	// offload a hot replica. Zero degenerates to NearestSite.
+	DelaySlackMs float64
+}
+
+// Name implements Scheduler.
+func (s LoadAware) Name() string { return "load-aware" }
+
+// Pick implements Scheduler.
+func (s LoadAware) Pick(r *rng.Source, replicas []Replica) int {
+	nearest := math.Inf(1)
+	for _, rep := range replicas {
+		if rep.DelayMs < nearest {
+			nearest = rep.DelayMs
+		}
+	}
+	best, bestLoad := -1, math.Inf(1)
+	for i, rep := range replicas {
+		if rep.DelayMs > nearest+s.DelaySlackMs {
+			continue
+		}
+		if rep.Load < bestLoad {
+			best, bestLoad = i, rep.Load
+		}
+	}
+	return best
+}
+
+// SimOutcome summarises one scheduling simulation.
+type SimOutcome struct {
+	SchedulerName string
+	// MaxLoad is the peak replica utilisation observed.
+	MaxLoad float64
+	// LoadGap is max/min mean utilisation across replicas.
+	LoadGap float64
+	// MeanDelayMs is the request-weighted mean network delay.
+	MeanDelayMs float64
+	// OverThresholdFrac is the fraction of request-time a replica spent
+	// above the 80% safety threshold.
+	OverThresholdFrac float64
+}
+
+// SimulateScheduling drives nRequests through the scheduler against the
+// replica set, decaying load between requests (requests arrive uniformly;
+// each adds 1/capacity of load that drains at unit rate). It reproduces the
+// §4.3 pathology under NearestSite and its repair under LoadAware.
+func SimulateScheduling(r *rng.Source, sched Scheduler, replicas []Replica, nRequests int) SimOutcome {
+	reps := make([]Replica, len(replicas))
+	copy(reps, replicas)
+	sums := make([]float64, len(reps))
+	var delaySum, maxLoad float64
+	var overCount int
+	// Popularity of user regions is skewed: most requests come from the
+	// region nearest replica 0 (a hot province), which is what starves
+	// nearest-site routing.
+	for i := 0; i < nRequests; i++ {
+		// Decay all loads a little between arrivals.
+		for j := range reps {
+			reps[j].Load *= 0.995
+		}
+		idx := sched.Pick(r, reps)
+		if idx < 0 {
+			idx = 0
+		}
+		reps[idx].Load += 1 / reps[idx].CapacityRPS
+		sums[idx] += reps[idx].Load
+		delaySum += reps[idx].DelayMs
+		if reps[idx].Load > maxLoad {
+			maxLoad = reps[idx].Load
+		}
+		if reps[idx].Load > 0.8 {
+			overCount++
+		}
+	}
+	mn, mx := math.Inf(1), 0.0
+	for j := range reps {
+		mean := sums[j] / float64(nRequests)
+		if mean < mn {
+			mn = mean
+		}
+		if mean > mx {
+			mx = mean
+		}
+	}
+	gap := 0.0
+	if mn > 0 {
+		gap = mx / mn
+	} else if mx > 0 {
+		gap = math.Inf(1)
+	}
+	return SimOutcome{
+		SchedulerName:     sched.Name(),
+		MaxLoad:           maxLoad,
+		LoadGap:           gap,
+		MeanDelayMs:       delaySum / float64(nRequests),
+		OverThresholdFrac: float64(overCount) / float64(nRequests),
+	}
+}

@@ -1,0 +1,141 @@
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"edgescope/internal/stats"
+	"edgescope/internal/timeseries"
+	"edgescope/internal/vm"
+)
+
+// Target selects which half-hour aggregate is being forecast.
+type Target int
+
+// Forecast targets of Figure 14.
+const (
+	MaxCPU Target = iota
+	MeanCPU
+)
+
+// String names the target.
+func (t Target) String() string {
+	if t == MaxCPU {
+		return "max-cpu"
+	}
+	return "mean-cpu"
+}
+
+// Options configures the Figure 14 evaluation.
+type Options struct {
+	// Window is the aggregation window (paper: 30 minutes).
+	Window time.Duration
+	// TrainFrac is the training share (paper: 3 of 4 weeks = 0.75).
+	TrainFrac float64
+	// MaxVMs bounds how many VMs are evaluated (0 = all).
+	MaxVMs int
+	// LSTMEpochs caps LSTM training epochs (0 = default).
+	LSTMEpochs int
+	// Models filters which models run; empty means both.
+	Models []string
+}
+
+func (o *Options) fill() {
+	if o.Window == 0 {
+		o.Window = 30 * time.Minute
+	}
+	if o.TrainFrac == 0 {
+		o.TrainFrac = 0.75
+	}
+	if len(o.Models) == 0 {
+		o.Models = []string{"holt-winters", "lstm"}
+	}
+}
+
+// Result is one (VM, model, target) RMSE in CPU percentage points.
+type Result struct {
+	VMIndex int
+	Model   string
+	Target  Target
+	RMSE    float64
+}
+
+// Evaluate runs the Figure 14 experiment over a dataset: per VM and target,
+// rolling one-step-ahead forecasts on the test week, scored by RMSE.
+func Evaluate(d *vm.Dataset, opts Options) ([]Result, error) {
+	opts.fill()
+	n := len(d.VMs)
+	if opts.MaxVMs > 0 && opts.MaxVMs < n {
+		n = opts.MaxVMs
+	}
+	var out []Result
+	for vi := 0; vi < n; vi++ {
+		cpu := d.VMs[vi].CPU
+		if opts.Window%cpu.Interval != 0 {
+			return nil, fmt.Errorf("predict: window %v not a multiple of series interval %v",
+				opts.Window, cpu.Interval)
+		}
+		period := int(24 * time.Hour / opts.Window)
+		for _, target := range []Target{MaxCPU, MeanCPU} {
+			agg := timeseries.AggMax
+			if target == MeanCPU {
+				agg = timeseries.AggMean
+			}
+			series := cpu.Resample(opts.Window, agg)
+			split := int(float64(series.Len()) * opts.TrainFrac)
+			if split < 2*period || series.Len()-split < period/2 {
+				continue // series too short for this split
+			}
+			train := series.Values[:split]
+			test := series.Values[split:]
+			for _, model := range opts.Models {
+				f, err := buildModel(model, period, uint64(vi), opts)
+				if err != nil {
+					return nil, err
+				}
+				pred, err := f.FitPredict(train, test)
+				if err != nil {
+					return nil, fmt.Errorf("predict: VM %d %s: %w", vi, model, err)
+				}
+				out = append(out, Result{
+					VMIndex: vi,
+					Model:   f.Name(),
+					Target:  target,
+					RMSE:    stats.RMSE(pred, test),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func buildModel(name string, period int, seed uint64, opts Options) (Forecaster, error) {
+	switch name {
+	case "holt-winters":
+		return NewHoltWinters(period), nil
+	case "lstm":
+		l := NewLSTM(seed + 1)
+		if opts.LSTMEpochs > 0 {
+			l.Epochs = opts.LSTMEpochs
+		}
+		return l, nil
+	default:
+		return nil, fmt.Errorf("predict: unknown model %q", name)
+	}
+}
+
+// RMSEs extracts the RMSE distribution for one (model, target) pair.
+func RMSEs(results []Result, model string, target Target) []float64 {
+	var out []float64
+	for _, r := range results {
+		if r.Model == model && r.Target == target {
+			out = append(out, r.RMSE)
+		}
+	}
+	return out
+}
+
+// MedianRMSE is a convenience over RMSEs.
+func MedianRMSE(results []Result, model string, target Target) float64 {
+	return stats.Median(RMSEs(results, model, target))
+}

@@ -1,0 +1,304 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"edgescope/internal/rng"
+)
+
+// LSTM is a single-layer LSTM regressor with a linear read-out, trained by
+// truncated backpropagation through time with Adam. With the paper's
+// configuration (1 input, 24 hidden units) it carries 4·24·(1+24+1) = 2,496
+// gate weights, matching the model of §4.4.
+type LSTM struct {
+	// Hidden is the number of hidden units (paper: 24).
+	Hidden int
+	// Epochs over the training sequence (default 8).
+	Epochs int
+	// Window is the truncated-BPTT length (default 48 = one day of
+	// 30-minute samples).
+	Window int
+	// LearningRate for Adam (default 0.01).
+	LearningRate float64
+	// Seed for weight initialisation.
+	Seed uint64
+
+	h int // cached Hidden
+
+	// Parameters: wx maps [x; hPrev] (1+h wide) to the 4 gate blocks
+	// (i,f,g,o), each h units; b is the gate bias; wo/bo the read-out.
+	wx []float64 // (4h) × (1+h), row-major
+	b  []float64 // 4h
+	wo []float64 // h
+	bo float64
+
+	// Normalisation fitted on train.
+	lo, scale float64
+}
+
+// NewLSTM returns the paper-sized model (24 hidden units).
+func NewLSTM(seed uint64) *LSTM {
+	return &LSTM{Hidden: 24, Epochs: 8, Window: 48, LearningRate: 0.01, Seed: seed}
+}
+
+// Name implements Forecaster.
+func (l *LSTM) Name() string { return "lstm" }
+
+// NumWeights returns the gate-weight count (the paper quotes 2,496).
+func (l *LSTM) NumWeights() int {
+	h := l.Hidden
+	return 4 * h * (1 + h + 1)
+}
+
+func (l *LSTM) init() {
+	l.h = l.Hidden
+	r := rng.New(l.Seed)
+	in := 1 + l.h
+	l.wx = make([]float64, 4*l.h*in)
+	bound := 1 / math.Sqrt(float64(in))
+	for i := range l.wx {
+		l.wx[i] = r.Uniform(-bound, bound)
+	}
+	l.b = make([]float64, 4*l.h)
+	// Forget-gate bias starts at 1 (standard practice for gradient flow).
+	for i := l.h; i < 2*l.h; i++ {
+		l.b[i] = 1
+	}
+	l.wo = make([]float64, l.h)
+	for i := range l.wo {
+		l.wo[i] = r.Uniform(-bound, bound)
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// cell state carried across steps.
+type cellState struct{ h, c []float64 }
+
+func (l *LSTM) newState() cellState {
+	return cellState{h: make([]float64, l.h), c: make([]float64, l.h)}
+}
+
+// stepRecord stores activations for backprop.
+type stepRecord struct {
+	x          float64
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64
+	c, tanhC   []float64
+	h          []float64
+	yhat       float64
+}
+
+// forward runs one step, returning the record and updating st.
+func (l *LSTM) forward(x float64, st *cellState) stepRecord {
+	h := l.h
+	rec := stepRecord{
+		x:     x,
+		hPrev: append([]float64(nil), st.h...),
+		cPrev: append([]float64(nil), st.c...),
+		i:     make([]float64, h), f: make([]float64, h),
+		g: make([]float64, h), o: make([]float64, h),
+		c: make([]float64, h), tanhC: make([]float64, h), h: make([]float64, h),
+	}
+	in := 1 + h
+	for u := 0; u < h; u++ {
+		var zi, zf, zg, zo float64
+		// input column 0 is x; columns 1..h are hPrev.
+		zi = l.wx[(0*h+u)*in] * x
+		zf = l.wx[(1*h+u)*in] * x
+		zg = l.wx[(2*h+u)*in] * x
+		zo = l.wx[(3*h+u)*in] * x
+		for k := 0; k < h; k++ {
+			hp := rec.hPrev[k]
+			zi += l.wx[(0*h+u)*in+1+k] * hp
+			zf += l.wx[(1*h+u)*in+1+k] * hp
+			zg += l.wx[(2*h+u)*in+1+k] * hp
+			zo += l.wx[(3*h+u)*in+1+k] * hp
+		}
+		rec.i[u] = sigmoid(zi + l.b[0*h+u])
+		rec.f[u] = sigmoid(zf + l.b[1*h+u])
+		rec.g[u] = math.Tanh(zg + l.b[2*h+u])
+		rec.o[u] = sigmoid(zo + l.b[3*h+u])
+		rec.c[u] = rec.f[u]*rec.cPrev[u] + rec.i[u]*rec.g[u]
+		rec.tanhC[u] = math.Tanh(rec.c[u])
+		rec.h[u] = rec.o[u] * rec.tanhC[u]
+	}
+	rec.yhat = l.bo
+	for u := 0; u < h; u++ {
+		rec.yhat += l.wo[u] * rec.h[u]
+	}
+	copy(st.h, rec.h)
+	copy(st.c, rec.c)
+	return rec
+}
+
+// adam holds optimiser moments for one parameter vector.
+type adam struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
+
+func (a *adam) update(w, g []float64, lr float64) {
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	for i := range w {
+		a.m[i] = b1*a.m[i] + (1-b1)*g[i]
+		a.v[i] = b2*a.v[i] + (1-b2)*g[i]*g[i]
+		w[i] -= lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + eps)
+	}
+}
+
+// FitPredict implements Forecaster: trains on train with truncated BPTT and
+// then rolls through test, predicting one step ahead.
+func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
+	if l.Hidden <= 0 {
+		return nil, fmt.Errorf("predict: LSTM hidden size must be positive")
+	}
+	if l.Epochs <= 0 {
+		l.Epochs = 8
+	}
+	if l.Window <= 0 {
+		l.Window = 48
+	}
+	if l.LearningRate <= 0 {
+		l.LearningRate = 0.01
+	}
+	if len(train) < l.Window+1 {
+		return nil, fmt.Errorf("predict: need ≥%d training samples, have %d", l.Window+1, len(train))
+	}
+	l.init()
+
+	// Min-max normalisation from the training window.
+	l.lo, l.scale = math.Inf(1), 0
+	hi := math.Inf(-1)
+	for _, x := range train {
+		if x < l.lo {
+			l.lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	l.scale = hi - l.lo
+	if l.scale == 0 {
+		l.scale = 1
+	}
+	norm := func(x float64) float64 { return (x - l.lo) / l.scale }
+	denorm := func(y float64) float64 { return y*l.scale + l.lo }
+
+	in := 1 + l.h
+	optWx := newAdam(len(l.wx))
+	optB := newAdam(len(l.b))
+	optWo := newAdam(len(l.wo))
+	optBo := newAdam(1)
+
+	for epoch := 0; epoch < l.Epochs; epoch++ {
+		st := l.newState()
+		for begin := 0; begin+1 < len(train); begin += l.Window {
+			end := begin + l.Window
+			if end+1 > len(train) {
+				end = len(train) - 1
+			}
+			// Forward through the window.
+			recs := make([]stepRecord, 0, end-begin)
+			for t := begin; t < end; t++ {
+				recs = append(recs, l.forward(norm(train[t]), &st))
+			}
+			// Backward.
+			gWx := make([]float64, len(l.wx))
+			gB := make([]float64, len(l.b))
+			gWo := make([]float64, len(l.wo))
+			var gBo float64
+			dhNext := make([]float64, l.h)
+			dcNext := make([]float64, l.h)
+			for k := len(recs) - 1; k >= 0; k-- {
+				rec := recs[k]
+				target := norm(train[begin+k+1])
+				dy := 2 * (rec.yhat - target) / float64(len(recs))
+				gBo += dy
+				dh := make([]float64, l.h)
+				for u := 0; u < l.h; u++ {
+					gWo[u] += dy * rec.h[u]
+					dh[u] = dy*l.wo[u] + dhNext[u]
+				}
+				dhPrev := make([]float64, l.h)
+				dcPrev := make([]float64, l.h)
+				for u := 0; u < l.h; u++ {
+					do := dh[u] * rec.tanhC[u]
+					dc := dh[u]*rec.o[u]*(1-rec.tanhC[u]*rec.tanhC[u]) + dcNext[u]
+					di := dc * rec.g[u]
+					dg := dc * rec.i[u]
+					df := dc * rec.cPrev[u]
+					dcPrev[u] = dc * rec.f[u]
+
+					dzi := di * rec.i[u] * (1 - rec.i[u])
+					dzf := df * rec.f[u] * (1 - rec.f[u])
+					dzg := dg * (1 - rec.g[u]*rec.g[u])
+					dzo := do * rec.o[u] * (1 - rec.o[u])
+
+					rows := [4]float64{dzi, dzf, dzg, dzo}
+					for blk := 0; blk < 4; blk++ {
+						base := (blk*l.h + u) * in
+						gB[blk*l.h+u] += rows[blk]
+						gWx[base] += rows[blk] * rec.x
+						for kk := 0; kk < l.h; kk++ {
+							gWx[base+1+kk] += rows[blk] * rec.hPrev[kk]
+							dhPrev[kk] += rows[blk] * l.wx[base+1+kk]
+						}
+					}
+				}
+				dhNext, dcNext = dhPrev, dcPrev
+			}
+			clip(gWx, 5)
+			clip(gB, 5)
+			clip(gWo, 5)
+			optWx.update(l.wx, gWx, l.LearningRate)
+			optB.update(l.b, gB, l.LearningRate)
+			optWo.update(l.wo, gWo, l.LearningRate)
+			bo := []float64{l.bo}
+			optBo.update(bo, []float64{gBo}, l.LearningRate)
+			l.bo = bo[0]
+		}
+	}
+
+	// Prime the state on the tail of train, then roll through test.
+	st := l.newState()
+	for _, x := range train {
+		l.forward(norm(x), &st)
+	}
+	// The last forward already consumed train[len-1]; its yhat predicts
+	// test[0]. Re-run to capture predictions cleanly.
+	st = l.newState()
+	var lastY float64
+	for _, x := range train {
+		lastY = l.forward(norm(x), &st).yhat
+	}
+	out := make([]float64, len(test))
+	for i, actual := range test {
+		out[i] = denorm(lastY)
+		lastY = l.forward(norm(actual), &st).yhat
+	}
+	return out, nil
+}
+
+// clip bounds the L2 norm of a gradient vector.
+func clip(g []float64, maxNorm float64) {
+	var s float64
+	for _, x := range g {
+		s += x * x
+	}
+	n := math.Sqrt(s)
+	if n <= maxNorm || n == 0 {
+		return
+	}
+	f := maxNorm / n
+	for i := range g {
+		g[i] *= f
+	}
+}

@@ -1,0 +1,289 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/stats"
+	"edgescope/internal/workload"
+)
+
+// synthetic builds a seasonal series with controllable noise.
+func synthetic(n, period int, amp, noise float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 + amp*math.Sin(2*math.Pi*float64(i)/float64(period)) + r.Normal(0, noise)
+	}
+	return out
+}
+
+func TestHoltWintersLearnsSeasonality(t *testing.T) {
+	const period = 48
+	data := synthetic(period*28, period, 5, 0.3, 1)
+	split := period * 21
+	hw := NewHoltWinters(period)
+	pred, err := hw.FitPredict(data[:split], data[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := stats.RMSE(pred, data[split:])
+	if rmse > 1.0 {
+		t.Fatalf("HW RMSE = %.3f on clean seasonal data, want <1", rmse)
+	}
+	// Must beat a naive last-value-of-season predictor's error bound of the
+	// raw amplitude.
+	if rmse > 2 {
+		t.Fatal("HW failed to learn the cycle")
+	}
+}
+
+func TestHoltWintersBeatsMeanOnSeasonal(t *testing.T) {
+	const period = 24
+	data := synthetic(period*20, period, 8, 0.5, 2)
+	split := period * 15
+	hw := NewHoltWinters(period)
+	pred, err := hw.FitPredict(data[:split], data[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := data[split:]
+	m := stats.Mean(data[:split])
+	flat := make([]float64, len(test))
+	for i := range flat {
+		flat[i] = m
+	}
+	if stats.RMSE(pred, test) >= stats.RMSE(flat, test) {
+		t.Fatal("HW no better than predicting the mean")
+	}
+}
+
+func TestHoltWintersValidation(t *testing.T) {
+	hw := NewHoltWinters(48)
+	if _, err := hw.FitPredict(make([]float64, 10), nil); err == nil {
+		t.Fatal("expected error for short training data")
+	}
+	hw2 := NewHoltWinters(1)
+	if _, err := hw2.FitPredict(make([]float64, 100), nil); err == nil {
+		t.Fatal("expected error for period 1")
+	}
+	hw3 := NewHoltWinters(4)
+	hw3.Alpha = 2
+	if _, err := hw3.FitPredict(make([]float64, 100), nil); err == nil {
+		t.Fatal("expected error for bad alpha")
+	}
+}
+
+func TestLSTMWeightCount(t *testing.T) {
+	l := NewLSTM(1)
+	// Paper: 1 layer, 24 units, 2,496 weights.
+	if got := l.NumWeights(); got != 2496 {
+		t.Fatalf("NumWeights = %d, want 2496", got)
+	}
+}
+
+func TestLSTMLearnsSeasonality(t *testing.T) {
+	const period = 24
+	data := synthetic(period*12, period, 5, 0.2, 3)
+	split := period * 9
+	l := NewLSTM(4)
+	l.Epochs = 6
+	l.Window = period
+	pred, err := l.FitPredict(data[:split], data[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := data[split:]
+	rmse := stats.RMSE(pred, test)
+	// LSTM must beat the constant-mean predictor decisively.
+	m := stats.Mean(data[:split])
+	flat := make([]float64, len(test))
+	for i := range flat {
+		flat[i] = m
+	}
+	if rmse >= stats.RMSE(flat, test)*0.8 {
+		t.Fatalf("LSTM RMSE %.3f did not beat mean baseline %.3f", rmse, stats.RMSE(flat, test))
+	}
+}
+
+func TestLSTMDeterministic(t *testing.T) {
+	data := synthetic(24*8, 24, 3, 0.2, 5)
+	run := func() []float64 {
+		l := NewLSTM(7)
+		l.Epochs = 2
+		l.Window = 24
+		pred, err := l.FitPredict(data[:24*6], data[24*6:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("LSTM training not deterministic")
+		}
+	}
+}
+
+func TestLSTMValidation(t *testing.T) {
+	l := NewLSTM(1)
+	if _, err := l.FitPredict(make([]float64, 5), nil); err == nil {
+		t.Fatal("expected error for short training data")
+	}
+	l2 := NewLSTM(1)
+	l2.Hidden = 0
+	if _, err := l2.FitPredict(make([]float64, 500), nil); err == nil {
+		t.Fatal("expected error for zero hidden units")
+	}
+}
+
+func TestLSTMConstantSeries(t *testing.T) {
+	// Zero-variance input exercises the scale==0 guard.
+	data := make([]float64, 200)
+	for i := range data {
+		data[i] = 42
+	}
+	l := NewLSTM(2)
+	l.Epochs = 1
+	l.Window = 24
+	pred, err := l.FitPredict(data[:150], data[150:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pred {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatal("non-finite prediction on constant series")
+		}
+	}
+}
+
+func TestEvaluateFigure14Shape(t *testing.T) {
+	// Small edge and cloud traces; HW only (LSTM is exercised separately —
+	// per-VM training is too slow for a full sweep in unit tests).
+	nep, err := workload.GenerateNEP(rng.New(20), workload.Options{Apps: 10, Days: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := workload.GenerateCloud(rng.New(21), workload.Options{Apps: 40, Days: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MaxVMs: 60, Models: []string{"holt-winters"}}
+	rn, err := Evaluate(nep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Evaluate(cloud, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rn) == 0 || len(rc) == 0 {
+		t.Fatal("no results")
+	}
+	// Paper Fig 14: edge workloads predict better (max-CPU HW error 2.4% vs
+	// 8.5% on cloud).
+	en := MedianRMSE(rn, "holt-winters", MaxCPU)
+	ec := MedianRMSE(rc, "holt-winters", MaxCPU)
+	if en >= ec {
+		t.Fatalf("edge max-CPU RMSE %.2f should be below cloud %.2f", en, ec)
+	}
+	// Mean-CPU prediction is easier than max for both platforms.
+	if mn := MedianRMSE(rn, "holt-winters", MeanCPU); mn > en {
+		t.Fatalf("mean-CPU RMSE %.2f should not exceed max-CPU %.2f", mn, en)
+	}
+}
+
+func TestEvaluateLSTMOnFewVMs(t *testing.T) {
+	nep, err := workload.GenerateNEP(rng.New(22), workload.Options{Apps: 3, Days: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(nep, Options{MaxVMs: 2, Models: []string{"lstm"}, LSTMEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 { // 2 VMs × 2 targets
+		t.Fatalf("results = %d, want 4", len(res))
+	}
+	for _, r := range res {
+		if math.IsNaN(r.RMSE) || r.RMSE < 0 {
+			t.Fatalf("bad RMSE %v", r.RMSE)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadWindow(t *testing.T) {
+	nep, err := workload.GenerateNEP(rng.New(23), workload.Options{Apps: 2, Days: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(nep, Options{Window: 7 * time.Minute, MaxVMs: 1}); err == nil {
+		t.Fatal("expected window-multiple error")
+	}
+}
+
+func TestBuildModelUnknown(t *testing.T) {
+	if _, err := buildModel("prophet", 48, 1, Options{}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if MaxCPU.String() != "max-cpu" || MeanCPU.String() != "mean-cpu" {
+		t.Fatal("Target String broken")
+	}
+}
+
+func TestTuneHoltWintersBeatsOrMatchesDefault(t *testing.T) {
+	const period = 24
+	// A sticky-level series with weak trend rewards different smoothing
+	// than the defaults.
+	r := rng.New(9)
+	data := make([]float64, period*16)
+	level := 20.0
+	for i := range data {
+		if i%37 == 0 {
+			level += r.Normal(0, 2)
+		}
+		data[i] = level + 6*math.Sin(2*math.Pi*float64(i)/period) + r.Normal(0, 0.4)
+	}
+	split := period * 12
+	train, test := data[:split], data[split:]
+
+	tuned, err := TuneHoltWinters(train, period, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := tuned.FitPredict(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewHoltWinters(period).FitPredict(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, dr := stats.RMSE(tp, test), stats.RMSE(dp, test)
+	if tr > dr*1.15 {
+		t.Fatalf("tuned RMSE %.3f much worse than default %.3f", tr, dr)
+	}
+}
+
+func TestTuneHoltWintersValidation(t *testing.T) {
+	if _, err := TuneHoltWinters(make([]float64, 20), 24, 0.25); err == nil {
+		t.Fatal("short train accepted")
+	}
+}
+
+func TestTuneHoltWintersDefaultHoldout(t *testing.T) {
+	data := synthetic(24*12, 24, 4, 0.3, 11)
+	hw, err := TuneHoltWinters(data, 24, -1) // bad frac falls back to 0.25
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Alpha <= 0 || hw.Gamma <= 0 {
+		t.Fatal("tuned parameters unset")
+	}
+}

@@ -1,0 +1,46 @@
+package predict
+
+import (
+	"fmt"
+
+	"edgescope/internal/stats"
+)
+
+// TuneHoltWinters grid-searches the smoothing parameters on a holdout split
+// of the training data (last holdoutFrac of train), returning the
+// best-scoring forecaster. Workload-prediction practice tunes these rather
+// than fixing them; the grid is small because Holt-Winters is cheap.
+func TuneHoltWinters(train []float64, period int, holdoutFrac float64) (*HoltWinters, error) {
+	if holdoutFrac <= 0 || holdoutFrac >= 0.5 {
+		holdoutFrac = 0.25
+	}
+	cut := int(float64(len(train)) * (1 - holdoutFrac))
+	if cut < 2*period || len(train)-cut < 2 {
+		return nil, fmt.Errorf("predict: train too short to tune (need ≥%d, have %d)", 2*period+2, len(train))
+	}
+	fit, hold := train[:cut], train[cut:]
+
+	alphas := []float64{0.15, 0.35, 0.6}
+	gammas := []float64{0.15, 0.35, 0.6}
+	betas := []float64{0.0, 0.02, 0.1}
+
+	var best *HoltWinters
+	bestRMSE := 0.0
+	for _, a := range alphas {
+		for _, g := range gammas {
+			for _, b := range betas {
+				hw := &HoltWinters{Period: period, Alpha: a, Beta: b, Gamma: g}
+				pred, err := hw.FitPredict(fit, hold)
+				if err != nil {
+					return nil, err
+				}
+				rmse := stats.RMSE(pred, hold)
+				if best == nil || rmse < bestRMSE {
+					best = hw // FitPredict keeps no state on the receiver
+					bestRMSE = rmse
+				}
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,82 @@
+package probe
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"edgescope/internal/emunet"
+)
+
+// IperfResult is the outcome of one TCP bulk-transfer measurement.
+type IperfResult struct {
+	Bytes    int
+	Duration time.Duration
+	Mbps     float64
+}
+
+// IperfDownload measures downlink throughput from an emunet
+// ThroughputServer for the given duration. The server shapes the stream.
+func IperfDownload(addr string, dur time.Duration) (IperfResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return IperfResult{}, fmt.Errorf("probe: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{emunet.ModeDownload}); err != nil {
+		return IperfResult{}, err
+	}
+	deadline := time.Now().Add(dur)
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return IperfResult{}, err
+	}
+	start := time.Now()
+	buf := make([]byte, 32*1024)
+	var total int
+	for time.Now().Before(deadline) {
+		n, err := conn.Read(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	return result(total, elapsed), nil
+}
+
+// IperfUpload measures uplink throughput to an emunet ThroughputServer,
+// shaping the stream at rateMbps on the client side (the last-mile uplink is
+// the client's constraint). rateMbps <= 0 sends unshaped.
+func IperfUpload(addr string, dur time.Duration, rateMbps float64) (IperfResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return IperfResult{}, fmt.Errorf("probe: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{emunet.ModeUpload}); err != nil {
+		return IperfResult{}, err
+	}
+	var w interface{ Write([]byte) (int, error) } = conn
+	if rateMbps > 0 {
+		w = emunet.NewShapedWriter(conn, rateMbps)
+	}
+	chunk := make([]byte, 8*1024)
+	start := time.Now()
+	var total int
+	for time.Since(start) < dur {
+		n, err := w.Write(chunk)
+		total += n
+		if err != nil {
+			return result(total, time.Since(start)), err
+		}
+	}
+	return result(total, time.Since(start)), nil
+}
+
+func result(total int, elapsed time.Duration) IperfResult {
+	mbps := 0.0
+	if elapsed > 0 {
+		mbps = float64(total) * 8 / 1e6 / elapsed.Seconds()
+	}
+	return IperfResult{Bytes: total, Duration: elapsed, Mbps: mbps}
+}

@@ -1,0 +1,181 @@
+package probe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edgescope/internal/emunet"
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+)
+
+func TestPingAgainstEmulatedLink(t *testing.T) {
+	e, err := emunet.NewUDPEcho(emunet.Link{OneWayDelay: 10 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	st, err := Ping(e.Addr(), 10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 10 || st.Received != 10 {
+		t.Fatalf("sent/received = %d/%d", st.Sent, st.Received)
+	}
+	if m := st.MedianMs(); m < 19 || m > 60 {
+		t.Fatalf("median RTT = %.1f ms, want ~20", m)
+	}
+	if st.LossRate() != 0 {
+		t.Fatalf("loss = %v", st.LossRate())
+	}
+}
+
+func TestPingMeasuresLoss(t *testing.T) {
+	e, err := emunet.NewUDPEcho(emunet.Link{Loss: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	st, err := Ping(e.Addr(), 3, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LossRate() != 1 {
+		t.Fatalf("loss = %v, want 1", st.LossRate())
+	}
+	if st.MedianMs() != 0 || st.CV() != 0 {
+		t.Fatal("stats of empty RTT set should be zero")
+	}
+}
+
+func TestPingRejectsBadCount(t *testing.T) {
+	if _, err := Ping("127.0.0.1:9", 0, time.Second); err == nil {
+		t.Fatal("expected error for zero count")
+	}
+}
+
+func TestPingDialError(t *testing.T) {
+	if _, err := Ping("bad-address:::", 1, time.Second); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestIperfDownloadShaped(t *testing.T) {
+	s, err := emunet.NewThroughputServer(emunet.Link{RateMbps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := IperfDownload(s.Addr(), 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mbps < 9 || res.Mbps > 24 {
+		t.Fatalf("download = %.1f Mbps, want ~16", res.Mbps)
+	}
+	if res.Bytes == 0 {
+		t.Fatal("no bytes transferred")
+	}
+}
+
+func TestIperfUploadShaped(t *testing.T) {
+	s, err := emunet.NewThroughputServer(emunet.Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := IperfUpload(s.Addr(), 300*time.Millisecond, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mbps < 9 || res.Mbps > 24 {
+		t.Fatalf("upload = %.1f Mbps, want ~16", res.Mbps)
+	}
+}
+
+func TestIperfDialErrors(t *testing.T) {
+	if _, err := IperfDownload("bad:::addr", time.Millisecond); err == nil {
+		t.Fatal("expected download dial error")
+	}
+	if _, err := IperfUpload("bad:::addr", time.Millisecond, 1); err == nil {
+		t.Fatal("expected upload dial error")
+	}
+}
+
+func TestVirtualPingMatchesModel(t *testing.T) {
+	r := rng.New(3)
+	path := netmodel.BuildPath(r, netmodel.WiFi, netmodel.EdgeSite, 60)
+	st := VirtualPing(r, path, 30)
+	if st.Sent != 30 {
+		t.Fatalf("sent = %d", st.Sent)
+	}
+	if st.Received < 28 { // loss is ~1e-6
+		t.Fatalf("received = %d", st.Received)
+	}
+	base := path.BaseRTTMs()
+	if m := st.MedianMs(); math.Abs(m-base) > 0.25*base {
+		t.Fatalf("virtual median %.1f far from base %.1f", m, base)
+	}
+}
+
+// TestVirtualAgainstSocketAgreement is the bridge check: a real socket ping
+// over an emunet link parameterised from a model path must agree with the
+// virtual ping on the same path, within scheduling tolerance.
+func TestVirtualAgainstSocketAgreement(t *testing.T) {
+	r := rng.New(4)
+	path := netmodel.BuildPath(r, netmodel.WiFi, netmodel.CloudSite, 400)
+	link := emunet.FromPathSample(path.BaseRTTMs(), 0.5, 0, 0)
+	e, err := emunet.NewUDPEcho(link, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sock, err := Ping(e.Addr(), 10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt := VirtualPing(r, path, 30)
+	diff := math.Abs(sock.MedianMs() - virt.MedianMs())
+	if diff > 0.35*virt.MedianMs()+5 {
+		t.Fatalf("socket median %.1f vs virtual %.1f disagree", sock.MedianMs(), virt.MedianMs())
+	}
+}
+
+func TestVirtualTracerouteVisibility(t *testing.T) {
+	r := rng.New(6)
+	wifi := netmodel.BuildPath(r, netmodel.WiFi, netmodel.EdgeSite, 100)
+	hops := VirtualTraceroute(r, wifi)
+	if len(hops) != wifi.HopCount() {
+		t.Fatalf("WiFi traceroute saw %d of %d hops", len(hops), wifi.HopCount())
+	}
+	if hops[0].TTL != 1 || hops[0].Kind != netmodel.HopAccess {
+		t.Fatalf("first hop = %+v", hops[0])
+	}
+
+	fiveg := netmodel.BuildPath(r, netmodel.FiveG, netmodel.EdgeSite, 100)
+	fhops := VirtualTraceroute(r, fiveg)
+	if len(fhops) != fiveg.HopCount()-2 {
+		t.Fatalf("5G traceroute saw %d hops, want %d (first two hidden)",
+			len(fhops), fiveg.HopCount()-2)
+	}
+	if fhops[0].TTL != 3 {
+		t.Fatalf("first visible 5G TTL = %d, want 3", fhops[0].TTL)
+	}
+}
+
+func TestVirtualIperf(t *testing.T) {
+	r := rng.New(7)
+	path := netmodel.BuildPath(r, netmodel.FiveG, netmodel.EdgeSite, 50)
+	res := VirtualIperf(r, path, netmodel.Downlink, 1000)
+	if res.Mbps <= 0 || res.Bytes <= 0 {
+		t.Fatalf("virtual iperf = %+v", res)
+	}
+	// 15 s at the measured rate must match the byte count.
+	wantBytes := res.Mbps * 1e6 / 8 * 15
+	if math.Abs(wantBytes-float64(res.Bytes)) > 1e6 {
+		t.Fatalf("bytes %.0f inconsistent with rate", float64(res.Bytes))
+	}
+}

@@ -1,0 +1,52 @@
+package probe
+
+import (
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+)
+
+// VirtualPing samples count RTTs from a modelled path, mirroring what a
+// socket Ping against an emunet endpoint parameterised from the same path
+// would measure. It returns PingStats with loss applied per the path's
+// loss rate.
+func VirtualPing(r *rng.Source, path *netmodel.Path, count int) PingStats {
+	out := PingStats{Addr: "virtual", Sent: count}
+	for i := 0; i < count; i++ {
+		if r.Bernoulli(path.LossRate) {
+			continue
+		}
+		out.Received++
+		out.RTTs = append(out.RTTs, path.SampleRTT(r))
+	}
+	return out
+}
+
+// TracerouteHop is one visible hop of a virtual traceroute.
+type TracerouteHop struct {
+	TTL   int
+	RTTMs float64
+	Kind  netmodel.HopKind
+}
+
+// VirtualTraceroute walks the path by TTL, returning only hops that answer
+// TTL-expired probes (e.g. the first 5G hops do not, as the paper observed).
+func VirtualTraceroute(r *rng.Source, path *netmodel.Path) []TracerouteHop {
+	rtts := path.HopRTTs(r)
+	var out []TracerouteHop
+	for i, v := range rtts {
+		if v < 0 {
+			continue
+		}
+		out = append(out, TracerouteHop{TTL: i + 1, RTTMs: v, Kind: path.Hops[i].Kind})
+	}
+	return out
+}
+
+// VirtualIperf models one 15-second bulk TCP transfer over the path, in the
+// given direction, against a server with serverMbps of allocated bandwidth.
+func VirtualIperf(r *rng.Source, path *netmodel.Path, dir netmodel.Direction, serverMbps float64) IperfResult {
+	s := path.SampleThroughput(r, dir, serverMbps)
+	const dur = 15 // seconds, matching the paper's per-connection runtime
+	bytes := int(s.Mbps * 1e6 / 8 * dur)
+	return IperfResult{Bytes: bytes, Duration: 15e9, Mbps: s.Mbps}
+}

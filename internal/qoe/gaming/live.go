@@ -1,0 +1,214 @@
+package gaming
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+)
+
+// This file is the real-socket counterpart of the pipeline model: a
+// GamingAnywhere-lite server that accepts input events over TCP, emulates
+// the uplink propagation, game logic, rendering and encoding stages with
+// wall-clock sleeps, and streams the encoded frame back; and a client that
+// measures the end-to-end response delay the way the paper did (input event
+// timestamp → frame fully displayed). Integration tests verify the socket
+// measurement agrees with the statistical pipeline.
+
+// LiveConfig configures a live gaming server.
+type LiveConfig struct {
+	Game   Game
+	Access netmodel.Access
+	// Path supplies the emulated network (uplink propagation is slept
+	// server-side; downlink propagation is slept before the frame write).
+	Path *netmodel.Path
+	// FrameBytes is the encoded response-frame size (default 25 KB).
+	FrameBytes int
+	// TimeScale scales all emulated stage durations (1.0 = real time;
+	// tests use ~0.1 to stay fast). Must be positive.
+	TimeScale float64
+	// Seed drives the server's stage-duration sampling.
+	Seed uint64
+}
+
+func (c *LiveConfig) fill() error {
+	if c.Game.Name == "" {
+		c.Game, _ = GameByName("Flare")
+	}
+	if c.Path == nil {
+		return errors.New("gaming: LiveConfig needs a Path")
+	}
+	if c.FrameBytes == 0 {
+		c.FrameBytes = 25 * 1024
+	}
+	if c.TimeScale <= 0 {
+		return fmt.Errorf("gaming: TimeScale %v must be positive", c.TimeScale)
+	}
+	return nil
+}
+
+// LiveServer is a running gaming backend.
+type LiveServer struct {
+	ln  net.Listener
+	cfg LiveConfig
+
+	mu     sync.Mutex
+	r      *rng.Source
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewLiveServer starts the backend on a loopback ephemeral port.
+func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &LiveServer{ln: ln, cfg: cfg, r: rng.New(cfg.Seed)}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the dialable address.
+func (s *LiveServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *LiveServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("gaming: server already closed")
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *LiveServer) serve() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func(c net.Conn) {
+			defer s.wg.Done()
+			defer c.Close()
+			s.session(c)
+		}(conn)
+	}
+}
+
+// sample draws the per-interaction stage durations under the mutex (one
+// rng serves all sessions).
+func (s *LiveServer) sample() (rtt, server, encode float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rtt = s.cfg.Path.SampleRTT(s.r)
+	server = s.r.NormalPos(s.cfg.Game.LogicRenderMs, s.cfg.Game.JitterMs)
+	encode = s.r.NormalPos(encodeMs, encodeJitterMs)
+	return
+}
+
+func (s *LiveServer) session(c net.Conn) {
+	frame := make([]byte, s.cfg.FrameBytes)
+	event := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(c, event); err != nil {
+			return // client hung up
+		}
+		rtt, server, encode := s.sample()
+		scale := s.cfg.TimeScale
+		// Uplink propagation + game logic + render + encode, then downlink
+		// propagation; serialisation happens on the real socket.
+		sleepMs((rtt/2 + server + encode + rtt/2) * scale)
+		binary.BigEndian.PutUint64(frame[:8], binary.BigEndian.Uint64(event))
+		if _, err := c.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+func sleepMs(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(ms * float64(time.Millisecond)))
+}
+
+// LiveResult is one measured interaction.
+type LiveResult struct {
+	ResponseDelayMs float64
+}
+
+// MeasureLive plays n interactions against a live server from the given
+// device, returning per-interaction response delays in *unscaled*
+// milliseconds (wall measurements are divided by timeScale, and the
+// client-side input/decode/display stages are added at model scale, since
+// they happen on the UE rather than over the socket).
+func MeasureLive(addr string, device Device, n int, timeScale float64, seed uint64) ([]LiveResult, error) {
+	if timeScale <= 0 {
+		return nil, fmt.Errorf("gaming: timeScale %v must be positive", timeScale)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gaming: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	r := rng.New(seed)
+	event := make([]byte, 8)
+	buf := make([]byte, 64*1024)
+	out := make([]LiveResult, 0, n)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(event, uint64(i))
+		start := time.Now()
+		if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return out, err
+		}
+		if _, err := conn.Write(event); err != nil {
+			return out, fmt.Errorf("gaming: send event %d: %w", i, err)
+		}
+		// Read exactly one frame (25 KB by default).
+		remaining := 25 * 1024
+		for remaining > 0 {
+			k := remaining
+			if k > len(buf) {
+				k = len(buf)
+			}
+			m, err := conn.Read(buf[:k])
+			if err != nil {
+				return out, fmt.Errorf("gaming: read frame %d: %w", i, err)
+			}
+			remaining -= m
+		}
+		wallMs := float64(time.Since(start)) / float64(time.Millisecond) / timeScale
+		ueMs := r.NormalPos(device.InputMs, 0.8) +
+			r.NormalPos(device.DecodeMs, 0.6) +
+			r.Uniform(0, refreshMs)
+		out = append(out, LiveResult{ResponseDelayMs: wallMs + ueMs})
+	}
+	return out, nil
+}
+
+// Delays extracts the response delays from results.
+func Delays(rs []LiveResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.ResponseDelayMs
+	}
+	return out
+}

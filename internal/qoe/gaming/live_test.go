@@ -1,0 +1,102 @@
+package gaming
+
+import (
+	"math"
+	"testing"
+
+	"edgescope/internal/netmodel"
+	"edgescope/internal/qoe"
+	"edgescope/internal/rng"
+	"edgescope/internal/stats"
+)
+
+func livePath(t *testing.T, backend qoe.Backend) *netmodel.Path {
+	t.Helper()
+	return netmodel.BuildPath(rng.New(99), netmodel.WiFi, backend.Class, backend.DistanceKm)
+}
+
+func TestLiveServerRejectsBadConfig(t *testing.T) {
+	if _, err := NewLiveServer(LiveConfig{TimeScale: 1}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	p := livePath(t, qoe.Backends()[0])
+	if _, err := NewLiveServer(LiveConfig{Path: p, TimeScale: 0}); err == nil {
+		t.Fatal("zero time scale accepted")
+	}
+}
+
+func TestLiveMeasurementAgreesWithModel(t *testing.T) {
+	backend := qoe.Backends()[0] // nearest edge
+	p := livePath(t, backend)
+	srv, err := NewLiveServer(LiveConfig{Path: p, TimeScale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dev, _ := DeviceByName("SamsungNote10+")
+	res, err := MeasureLive(srv.Addr(), dev, 12, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 12 {
+		t.Fatalf("interactions = %d", len(res))
+	}
+	socketMedian := stats.Median(Delays(res))
+
+	model := Summarize(Simulate(rng.New(3), Config{Access: netmodel.WiFi, Backend: backend}, 50))
+	// At 0.05 time scale every 1 ms of emulated sleep costs 50 µs of wall
+	// time, so scheduler noise inflates the unscaled measurement; accept a
+	// generous band around the model (which itself targets ~91 ms).
+	if math.Abs(socketMedian-model.MedianMs) > 0.8*model.MedianMs {
+		t.Fatalf("socket median %.0f ms vs model %.0f ms disagree", socketMedian, model.MedianMs)
+	}
+	if socketMedian < 40 {
+		t.Fatalf("socket median %.0f ms implausibly low", socketMedian)
+	}
+}
+
+func TestLiveFartherBackendSlower(t *testing.T) {
+	near := qoe.Backends()[0]
+	far := qoe.Backends()[3]
+	measure := func(b qoe.Backend, seed uint64) float64 {
+		srv, err := NewLiveServer(LiveConfig{Path: livePath(t, b), TimeScale: 0.05, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		dev, _ := DeviceByName("SamsungNote10+")
+		res, err := MeasureLive(srv.Addr(), dev, 10, 0.05, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Median(Delays(res))
+	}
+	n := measure(near, 10)
+	f := measure(far, 20)
+	if f <= n {
+		t.Fatalf("far backend (%.0f ms) not slower than near (%.0f ms)", f, n)
+	}
+}
+
+func TestMeasureLiveValidation(t *testing.T) {
+	if _, err := MeasureLive("127.0.0.1:1", Device{}, 1, 0, 1); err == nil {
+		t.Fatal("zero timescale accepted")
+	}
+	if _, err := MeasureLive("bad:::addr", Device{}, 1, 1, 1); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestLiveServerCloseTwice(t *testing.T) {
+	srv, err := NewLiveServer(LiveConfig{Path: livePath(t, qoe.Backends()[0]), TimeScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err == nil {
+		t.Fatal("second close should error")
+	}
+}

@@ -1,0 +1,239 @@
+package streaming
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+)
+
+// This file is the real-socket counterpart of the streaming pipeline: an
+// RTMP-lite relay server that accepts chunk pushes from a sender connection
+// and forwards them to a puller connection, emulating propagation and
+// (optional) transcoding with wall-clock sleeps. The integration tests
+// measure the chunk's push-to-pull latency the way the paper measured its
+// wall-clock streaming delay.
+
+// RelayConfig configures a live relay.
+type RelayConfig struct {
+	// Path supplies the emulated network between UEs and the relay (both
+	// directions traverse it, as sender and receiver are in the same city).
+	Path *netmodel.Path
+	// Transcode adds the server-side re-encoding stage.
+	Transcode bool
+	// TimeScale scales emulated stage durations (tests use ~0.05).
+	TimeScale float64
+	// Seed drives stage sampling.
+	Seed uint64
+}
+
+func (c *RelayConfig) fill() error {
+	if c.Path == nil {
+		return errors.New("streaming: RelayConfig needs a Path")
+	}
+	if c.TimeScale <= 0 {
+		return fmt.Errorf("streaming: TimeScale %v must be positive", c.TimeScale)
+	}
+	return nil
+}
+
+// Relay is a running RTMP-lite relay: the first connection that sends mode
+// 'P' (push) feeds chunks; connections sending 'L' (pull) receive them.
+type Relay struct {
+	ln  net.Listener
+	cfg RelayConfig
+
+	mu      sync.Mutex
+	r       *rng.Source
+	closed  bool
+	pullers []net.Conn
+	wg      sync.WaitGroup
+}
+
+// Push/pull protocol modes.
+const (
+	ModePush byte = 'P'
+	ModePull byte = 'L'
+)
+
+// NewRelay starts a relay on a loopback ephemeral port.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rl := &Relay{ln: ln, cfg: cfg, r: rng.New(cfg.Seed)}
+	rl.wg.Add(1)
+	go rl.serve()
+	return rl, nil
+}
+
+// Addr returns the dialable address.
+func (rl *Relay) Addr() string { return rl.ln.Addr().String() }
+
+// Close stops the relay.
+func (rl *Relay) Close() error {
+	rl.mu.Lock()
+	if rl.closed {
+		rl.mu.Unlock()
+		return errors.New("streaming: relay already closed")
+	}
+	rl.closed = true
+	pullers := rl.pullers
+	rl.pullers = nil
+	rl.mu.Unlock()
+	for _, p := range pullers {
+		p.Close()
+	}
+	err := rl.ln.Close()
+	rl.wg.Wait()
+	return err
+}
+
+func (rl *Relay) serve() {
+	defer rl.wg.Done()
+	for {
+		conn, err := rl.ln.Accept()
+		if err != nil {
+			return
+		}
+		rl.wg.Add(1)
+		go func(c net.Conn) {
+			defer rl.wg.Done()
+			rl.handle(c)
+		}(conn)
+	}
+}
+
+func (rl *Relay) handle(c net.Conn) {
+	mode := make([]byte, 1)
+	if _, err := io.ReadFull(c, mode); err != nil {
+		c.Close()
+		return
+	}
+	switch mode[0] {
+	case ModePull:
+		rl.mu.Lock()
+		rl.pullers = append(rl.pullers, c)
+		rl.mu.Unlock()
+		// The pull connection stays open; chunks arrive from the pusher.
+	case ModePush:
+		defer c.Close()
+		rl.pump(c)
+	default:
+		c.Close()
+	}
+}
+
+// pump reads length-prefixed chunks from the pusher and forwards them to
+// every puller after the emulated relay stages.
+func (rl *Relay) pump(c net.Conn) {
+	header := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(c, header); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(header)
+		if n > 16*1024*1024 {
+			return // refuse absurd chunks
+		}
+		chunk := make([]byte, n)
+		if _, err := io.ReadFull(c, chunk); err != nil {
+			return
+		}
+		rl.mu.Lock()
+		upHalf := rl.cfg.Path.SampleRTT(rl.r) / 2
+		downHalf := rl.cfg.Path.SampleRTT(rl.r) / 2
+		server := rl.r.NormalPos(relayMs, relayJitterMs)
+		if rl.cfg.Transcode {
+			server += rl.r.NormalPos(transcodeMs, transcodeJitter)
+		}
+		pullers := append([]net.Conn(nil), rl.pullers...)
+		rl.mu.Unlock()
+
+		sleepMs((upHalf + server + downHalf) * rl.cfg.TimeScale)
+		for _, p := range pullers {
+			_, _ = p.Write(header)
+			_, _ = p.Write(chunk)
+		}
+	}
+}
+
+func sleepMs(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(ms * float64(time.Millisecond)))
+}
+
+// PushChunks connects as a sender and pushes n chunks of chunkBytes,
+// spaced by the chunk duration scaled by timeScale, embedding a sequence
+// number in each chunk. It returns the send timestamps indexed by sequence.
+func PushChunks(addr string, n, chunkBytes int, timeScale float64) ([]time.Time, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("streaming: dial: %w", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{ModePush}); err != nil {
+		return nil, err
+	}
+	header := make([]byte, 4)
+	chunk := make([]byte, chunkBytes)
+	sent := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(header, uint32(chunkBytes))
+		binary.BigEndian.PutUint64(chunk[:8], uint64(i))
+		sent[i] = time.Now()
+		if _, err := conn.Write(header); err != nil {
+			return sent[:i], err
+		}
+		if _, err := conn.Write(chunk); err != nil {
+			return sent[:i], err
+		}
+		time.Sleep(time.Duration(chunkDurationSec * float64(time.Second) * timeScale))
+	}
+	// Give the relay a moment to flush the last chunk before closing.
+	time.Sleep(50 * time.Millisecond)
+	return sent, nil
+}
+
+// PullChunks connects as a receiver and reads n chunks, returning the
+// arrival time per sequence number.
+func PullChunks(addr string, n int, timeout time.Duration) (map[uint64]time.Time, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("streaming: dial: %w", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{ModePull}); err != nil {
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	header := make([]byte, 4)
+	out := make(map[uint64]time.Time, n)
+	for len(out) < n {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return out, fmt.Errorf("streaming: read header: %w", err)
+		}
+		size := binary.BigEndian.Uint32(header)
+		chunk := make([]byte, size)
+		if _, err := io.ReadFull(conn, chunk); err != nil {
+			return out, fmt.Errorf("streaming: read chunk: %w", err)
+		}
+		seq := binary.BigEndian.Uint64(chunk[:8])
+		out[seq] = time.Now()
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+// Package report renders edgescope's experiment outputs: ASCII tables that
+// mirror the paper's tables, simple textual figures (CDFs and scatter
+// summaries) for its plots, and CSV export for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"edgescope/internal/stats"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be useful.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == float64(int64(v)) && av < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("== " + t.Title + " ==\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes the table as CSV (naive quoting: cells with commas are
+// quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named data series of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a titled collection of series (a paper plot).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddCDF appends a series holding the empirical CDF of values.
+func (f *Figure) AddCDF(name string, values []float64) {
+	pts := stats.CDF(values)
+	s := Series{Name: name, X: make([]float64, len(pts)), Y: make([]float64, len(pts))}
+	for i, p := range pts {
+		s.X[i] = p.X
+		s.Y[i] = p.P
+	}
+	f.Series = append(f.Series, s)
+}
+
+// AddSeries appends a raw series.
+func (f *Figure) AddSeries(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Render writes a textual summary of the figure: per series, the quartiles
+// of Y and the X range — enough to eyeball the reproduced shape in a
+// terminal.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("== " + f.Title + " ==\n")
+	if f.XLabel != "" || f.YLabel != "" {
+		fmt.Fprintf(&b, "   (x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	}
+	for _, s := range f.Series {
+		if len(s.X) == 0 {
+			fmt.Fprintf(&b, "  %-28s (empty)\n", s.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-28s n=%-5d x: p25=%s p50=%s p75=%s [%s, %s]  y: p50=%s\n",
+			s.Name, len(s.X),
+			FormatFloat(stats.Percentile(s.X, 25)),
+			FormatFloat(stats.Percentile(s.X, 50)),
+			FormatFloat(stats.Percentile(s.X, 75)),
+			FormatFloat(stats.Min(s.X)), FormatFloat(stats.Max(s.X)),
+			FormatFloat(stats.Percentile(s.Y, 50)))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the figure in long form: series,x,y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Artifact is anything renderable to a terminal and exportable as CSV.
+type Artifact interface {
+	Render(io.Writer) error
+	WriteCSV(io.Writer) error
+}
+
+// Interface checks.
+var (
+	_ Artifact = (*Table)(nil)
+	_ Artifact = (*Figure)(nil)
+)

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tbl.AddRow("x", 1.5)
+	tbl.AddRow("longer", 42)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "longer") || !strings.Contains(out, "1.50") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("has,comma", `has"quote`)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"has""quote"`) {
+		t.Fatalf("quote not escaped: %s", buf.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1234:    "1234",
+		123.46:  "123",
+		3.14159: "3.14",
+		0.1234:  "0.1234",
+		-2.5:    "-2.50",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureCDFAndRender(t *testing.T) {
+	f := &Figure{Title: "F", XLabel: "x", YLabel: "p"}
+	f.AddCDF("s1", []float64{3, 1, 2})
+	f.AddSeries("s2", []float64{1, 2}, []float64{10, 20})
+	f.AddCDF("empty", nil)
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== F ==", "s1", "s2", "(empty)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// CDF is sorted with final probability 1.
+	s1 := f.Series[0]
+	if s1.X[0] != 1 || s1.X[2] != 3 || s1.Y[2] != 1 {
+		t.Fatalf("CDF series wrong: %+v", s1)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{Title: "F"}
+	f.AddSeries("a", []float64{1}, []float64{2})
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\na,1,2\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}

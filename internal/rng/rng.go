@@ -1,0 +1,190 @@
+// Package rng provides deterministic pseudo-random number generation and the
+// statistical distributions used throughout edgescope's simulators.
+//
+// Every simulation component in edgescope draws randomness through an
+// *rng.Source seeded explicitly by the caller, so that every experiment,
+// table, and figure regenerates byte-identically for a given seed. Sources
+// can be forked into independent sub-streams (see Fork) so that adding draws
+// in one component does not perturb another.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a deterministic random source with distribution helpers.
+// It is not safe for concurrent use; fork one Source per goroutine.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with the given seed. Two Sources built from the
+// same seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Fork derives an independent sub-stream identified by name. The derived
+// stream depends only on the parent seed stream position at the time of the
+// call and the name, hashed with FNV-1a, so renaming or reordering unrelated
+// forks does not change this stream.
+func (s *Source) Fork(name string) *Source {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64()^h, h))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+
+// IntN returns a uniform value in [0,n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+
+// Uniform returns a uniform value in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.r.Float64() < p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// NormalPos returns a normal sample truncated below at zero. It is the
+// workhorse for latency-like quantities that must be non-negative.
+func (s *Source) NormalPos(mean, stddev float64) float64 {
+	v := s.Normal(mean, stddev)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// LogNormal returns a log-normally distributed value where mu and sigma are
+// the mean and standard deviation of the underlying normal distribution.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LogNormalMeanMedian returns a log-normal sample parameterised by its median
+// and the sigma of the underlying normal. This parameterisation is convenient
+// when calibrating to reported medians (as the paper reports medians).
+func (s *Source) LogNormalMeanMedian(median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(s.Normal(0, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given mean.
+func (s *Source) Exponential(mean float64) float64 {
+	return s.r.ExpFloat64() * mean
+}
+
+// Pareto returns a Pareto(xm, alpha) sample: heavy-tailed, minimum xm.
+// It panics if xm <= 0 or alpha <= 0.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("rng: invalid Pareto parameters xm=%v alpha=%v", xm, alpha))
+	}
+	u := 1 - s.r.Float64() // (0,1]
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto returns a Pareto(xm, alpha) sample truncated above at hi.
+func (s *Source) BoundedPareto(xm, alpha, hi float64) float64 {
+	v := s.Pareto(xm, alpha)
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Triangular returns a triangularly distributed value on [lo,hi] with mode.
+func (s *Source) Triangular(lo, mode, hi float64) float64 {
+	if !(lo <= mode && mode <= hi) {
+		panic(fmt.Sprintf("rng: invalid Triangular parameters lo=%v mode=%v hi=%v", lo, mode, hi))
+	}
+	if lo == hi {
+		return lo
+	}
+	u := s.r.Float64()
+	fc := (mode - lo) / (hi - lo)
+	if u < fc {
+		return lo + math.Sqrt(u*(hi-lo)*(mode-lo))
+	}
+	return hi - math.Sqrt((1-u)*(hi-lo)*(hi-mode))
+}
+
+// Zipf draws integers in [0,n) following a Zipf distribution with exponent
+// sExp >= 1. Lower indices are more probable, which edgescope uses for
+// app-popularity and site-demand skew.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a Zipf sampler over [0,n) with exponent sExp (>1 strictly
+// for rand.Zipf; pass 1.0001 for near-harmonic skew).
+func NewZipf(s *Source, sExp float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf n must be positive")
+	}
+	return &Zipf{z: rand.NewZipf(s.r, sExp, 1, uint64(n-1))}
+}
+
+// Next returns the next Zipf-distributed index.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// Perm returns a pseudo-random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomises the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Choice returns a uniformly chosen index weighted by weights; weights must
+// be non-negative and not all zero.
+func (s *Source) Choice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: all weights zero")
+	}
+	target := s.r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

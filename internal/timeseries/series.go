@@ -1,0 +1,292 @@
+// Package timeseries provides the fixed-interval time-series container and
+// operations used by edgescope's workload analysis: resampling, rolling
+// aggregation, daily peaks (the billing granularity of the NEP platform),
+// autocorrelation, and the seasonality-strength metric the paper uses to
+// explain why edge workloads are easier to forecast than cloud workloads.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"edgescope/internal/stats"
+)
+
+// Series is a sequence of samples at a fixed interval starting at Start.
+// Values are owned by the Series; callers must not mutate them after
+// construction unless they created the slice.
+type Series struct {
+	Start    time.Time
+	Interval time.Duration
+	Values   []float64
+}
+
+// New builds a Series. It panics if interval <= 0.
+func New(start time.Time, interval time.Duration, values []float64) *Series {
+	if interval <= 0 {
+		panic("timeseries: non-positive interval")
+	}
+	return &Series{Start: start, Interval: interval, Values: values}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// End returns the time just after the last sample.
+func (s *Series) End() time.Time {
+	return s.Start.Add(time.Duration(len(s.Values)) * s.Interval)
+}
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Interval)
+}
+
+// Clone returns a deep copy.
+func (s *Series) Clone() *Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
+}
+
+// Slice returns the sub-series of samples [i,j). It shares no storage with s.
+func (s *Series) Slice(i, j int) *Series {
+	if i < 0 || j > len(s.Values) || i > j {
+		panic(fmt.Sprintf("timeseries: slice bounds [%d,%d) of %d", i, j, len(s.Values)))
+	}
+	v := make([]float64, j-i)
+	copy(v, s.Values[i:j])
+	return &Series{Start: s.TimeAt(i), Interval: s.Interval, Values: v}
+}
+
+// Agg selects how a window of samples collapses to one value.
+type Agg int
+
+// Aggregation modes for Resample and Rolling.
+const (
+	AggMean Agg = iota
+	AggMax
+	AggMin
+	AggSum
+	AggP95
+)
+
+func aggregate(a Agg, window []float64) float64 {
+	switch a {
+	case AggMean:
+		return stats.Mean(window)
+	case AggMax:
+		return stats.Max(window)
+	case AggMin:
+		return stats.Min(window)
+	case AggSum:
+		return stats.Sum(window)
+	case AggP95:
+		return stats.Percentile(window, 95)
+	default:
+		panic("timeseries: unknown aggregation")
+	}
+}
+
+// Resample aggregates the series into windows of the given duration. The
+// duration must be a positive multiple of the series interval. A trailing
+// partial window is aggregated as-is.
+func (s *Series) Resample(window time.Duration, a Agg) *Series {
+	if window <= 0 || window%s.Interval != 0 {
+		panic("timeseries: window must be a positive multiple of interval")
+	}
+	k := int(window / s.Interval)
+	n := (len(s.Values) + k - 1) / k
+	out := make([]float64, 0, n)
+	for i := 0; i < len(s.Values); i += k {
+		j := i + k
+		if j > len(s.Values) {
+			j = len(s.Values)
+		}
+		out = append(out, aggregate(a, s.Values[i:j]))
+	}
+	return &Series{Start: s.Start, Interval: window, Values: out}
+}
+
+// Rolling applies agg over a sliding window of k samples; output i covers
+// input samples [i, i+k). The result has Len()-k+1 samples. It panics if
+// k <= 0 or k > Len().
+func (s *Series) Rolling(k int, a Agg) *Series {
+	if k <= 0 || k > len(s.Values) {
+		panic("timeseries: invalid rolling window")
+	}
+	out := make([]float64, len(s.Values)-k+1)
+	for i := range out {
+		out[i] = aggregate(a, s.Values[i:i+k])
+	}
+	return &Series{Start: s.Start, Interval: s.Interval, Values: out}
+}
+
+// DailyPeaks returns the maximum of each UTC day in the series. NEP bills
+// network by the 95th percentile of daily peak bandwidth, so this feeds the
+// billing engine directly.
+func (s *Series) DailyPeaks() []float64 {
+	if len(s.Values) == 0 {
+		return nil
+	}
+	perDay := int(24 * time.Hour / s.Interval)
+	if perDay <= 0 {
+		perDay = 1
+	}
+	var peaks []float64
+	for i := 0; i < len(s.Values); i += perDay {
+		j := i + perDay
+		if j > len(s.Values) {
+			j = len(s.Values)
+		}
+		peaks = append(peaks, stats.Max(s.Values[i:j]))
+	}
+	return peaks
+}
+
+// Mean returns the mean of the series values.
+func (s *Series) Mean() float64 { return stats.Mean(s.Values) }
+
+// MaxValue returns the maximum of the series values.
+func (s *Series) MaxValue() float64 { return stats.Max(s.Values) }
+
+// CV returns the coefficient of variation of the series values.
+func (s *Series) CV() float64 { return stats.CV(s.Values) }
+
+// ACF returns the autocorrelation of the series at the given lag (in
+// samples). It returns 0 when the lag is out of range or variance is zero.
+func (s *Series) ACF(lag int) float64 {
+	n := len(s.Values)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	m := stats.Mean(s.Values)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := s.Values[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (s.Values[i] - m) * (s.Values[i+lag] - m)
+	}
+	return num / den
+}
+
+// SeasonalMeans returns the mean value at each phase of a cycle of the given
+// period (in samples): out[p] is the mean of samples whose index ≡ p mod
+// period. It panics if period <= 0.
+func (s *Series) SeasonalMeans(period int) []float64 {
+	if period <= 0 {
+		panic("timeseries: non-positive period")
+	}
+	sums := make([]float64, period)
+	counts := make([]int, period)
+	for i, v := range s.Values {
+		p := i % period
+		sums[p] += v
+		counts[p]++
+	}
+	out := make([]float64, period)
+	for p := range out {
+		if counts[p] > 0 {
+			out[p] = sums[p] / float64(counts[p])
+		}
+	}
+	return out
+}
+
+// SeasonalityStrength measures how much of the series variance is explained
+// by a cycle of the given period, following the characteristic-based
+// clustering formulation (Wang, Smith & Hyndman): 1 - Var(remainder) /
+// Var(detrended), clamped to [0,1]. The trend is a centred moving average of
+// one period; the seasonal component is the per-phase mean of the detrended
+// series. Series shorter than two periods return 0.
+func (s *Series) SeasonalityStrength(period int) float64 {
+	n := len(s.Values)
+	if period <= 1 || n < 2*period {
+		return 0
+	}
+	// Trend: centred moving average with window = period.
+	trend := make([]float64, n)
+	half := period / 2
+	for i := range trend {
+		lo, hi := i-half, i+half+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		trend[i] = stats.Mean(s.Values[lo:hi])
+	}
+	detr := make([]float64, n)
+	for i := range detr {
+		detr[i] = s.Values[i] - trend[i]
+	}
+	// Seasonal component: per-phase mean of detrended values.
+	seasonal := (&Series{Start: s.Start, Interval: s.Interval, Values: detr}).SeasonalMeans(period)
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = detr[i] - seasonal[i%period]
+	}
+	vd := stats.Variance(detr)
+	if vd == 0 {
+		return 0
+	}
+	strength := 1 - stats.Variance(resid)/vd
+	if strength < 0 {
+		return 0
+	}
+	if strength > 1 {
+		return 1
+	}
+	return strength
+}
+
+// Add returns a new series whose values are s + other, which must have the
+// same length and interval.
+func (s *Series) Add(other *Series) *Series {
+	if len(s.Values) != len(other.Values) || s.Interval != other.Interval {
+		panic("timeseries: Add shape mismatch")
+	}
+	v := make([]float64, len(s.Values))
+	for i := range v {
+		v[i] = s.Values[i] + other.Values[i]
+	}
+	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
+}
+
+// Scale returns a new series with every value multiplied by f.
+func (s *Series) Scale(f float64) *Series {
+	v := make([]float64, len(s.Values))
+	for i := range v {
+		v[i] = s.Values[i] * f
+	}
+	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
+}
+
+// ClampNonNegative returns a copy with negative values set to zero.
+func (s *Series) ClampNonNegative() *Series {
+	v := make([]float64, len(s.Values))
+	for i, x := range s.Values {
+		if x < 0 {
+			x = 0
+		}
+		v[i] = x
+	}
+	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
+}
+
+// IsFinite reports whether every value is finite (no NaN/Inf).
+func (s *Series) IsFinite() bool {
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,265 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func seq(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return v
+}
+
+func TestNewPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(t0, 0, nil)
+}
+
+func TestTimeAtAndEnd(t *testing.T) {
+	s := New(t0, time.Minute, seq(10))
+	if got := s.TimeAt(3); !got.Equal(t0.Add(3 * time.Minute)) {
+		t.Fatalf("TimeAt(3) = %v", got)
+	}
+	if !s.End().Equal(t0.Add(10 * time.Minute)) {
+		t.Fatalf("End = %v", s.End())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(t0, time.Minute, seq(5))
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New(t0, time.Minute, seq(10))
+	sub := s.Slice(2, 5)
+	if sub.Len() != 3 || sub.Values[0] != 2 {
+		t.Fatalf("Slice = %+v", sub.Values)
+	}
+	if !sub.Start.Equal(t0.Add(2 * time.Minute)) {
+		t.Fatalf("Slice start = %v", sub.Start)
+	}
+	sub.Values[0] = -1
+	if s.Values[2] == -1 {
+		t.Fatal("Slice shares storage")
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(t0, time.Minute, seq(3)).Slice(2, 1)
+}
+
+func TestResampleMean(t *testing.T) {
+	s := New(t0, time.Minute, []float64{1, 3, 5, 7, 9})
+	r := s.Resample(2*time.Minute, AggMean)
+	want := []float64{2, 6, 9} // trailing partial window
+	if r.Len() != 3 {
+		t.Fatalf("Resample len = %d", r.Len())
+	}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Fatalf("Resample = %v, want %v", r.Values, want)
+		}
+	}
+	if r.Interval != 2*time.Minute {
+		t.Fatalf("Resample interval = %v", r.Interval)
+	}
+}
+
+func TestResampleModes(t *testing.T) {
+	s := New(t0, time.Minute, []float64{1, 4, 2, 8})
+	if got := s.Resample(2*time.Minute, AggMax).Values; got[0] != 4 || got[1] != 8 {
+		t.Fatalf("AggMax = %v", got)
+	}
+	if got := s.Resample(2*time.Minute, AggMin).Values; got[0] != 1 || got[1] != 2 {
+		t.Fatalf("AggMin = %v", got)
+	}
+	if got := s.Resample(2*time.Minute, AggSum).Values; got[0] != 5 || got[1] != 10 {
+		t.Fatalf("AggSum = %v", got)
+	}
+	if got := s.Resample(4*time.Minute, AggP95).Values; len(got) != 1 || got[0] < 7 {
+		t.Fatalf("AggP95 = %v", got)
+	}
+}
+
+func TestResamplePanicsOnNonMultiple(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(t0, time.Minute, seq(4)).Resample(90*time.Second, AggMean)
+}
+
+func TestRolling(t *testing.T) {
+	s := New(t0, time.Minute, []float64{1, 2, 3, 4})
+	r := s.Rolling(2, AggMean)
+	want := []float64{1.5, 2.5, 3.5}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Fatalf("Rolling = %v", r.Values)
+		}
+	}
+}
+
+func TestDailyPeaks(t *testing.T) {
+	// 2 days at 1-hour resolution with peaks 23 and 47.
+	s := New(t0, time.Hour, seq(48))
+	peaks := s.DailyPeaks()
+	if len(peaks) != 2 || peaks[0] != 23 || peaks[1] != 47 {
+		t.Fatalf("DailyPeaks = %v", peaks)
+	}
+	if New(t0, time.Hour, nil).DailyPeaks() != nil {
+		t.Fatal("empty DailyPeaks")
+	}
+}
+
+func TestACFPeriodicSignal(t *testing.T) {
+	// Perfect 24-sample cycle: ACF at lag 24 must dominate lag 7.
+	n := 24 * 14
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(2 * math.Pi * float64(i) / 24)
+	}
+	s := New(t0, time.Hour, v)
+	if a24, a7 := s.ACF(24), s.ACF(7); a24 < 0.9 || a24 <= a7 {
+		t.Fatalf("ACF(24)=%v ACF(7)=%v", a24, a7)
+	}
+	if s.ACF(0) != 0 || s.ACF(n) != 0 {
+		t.Fatal("out-of-range lags should be 0")
+	}
+}
+
+func TestSeasonalMeans(t *testing.T) {
+	s := New(t0, time.Hour, []float64{1, 2, 3, 1, 2, 3})
+	m := s.SeasonalMeans(3)
+	if m[0] != 1 || m[1] != 2 || m[2] != 3 {
+		t.Fatalf("SeasonalMeans = %v", m)
+	}
+}
+
+func TestSeasonalityStrengthOrdering(t *testing.T) {
+	// A strongly diurnal signal should score much higher than white noise.
+	const period = 24
+	n := period * 20
+	seasonal := make([]float64, n)
+	noisy := make([]float64, n)
+	rnd := uint64(12345)
+	next := func() float64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return float64(rnd%1000)/1000 - 0.5
+	}
+	for i := range seasonal {
+		seasonal[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/period) + 0.2*next()
+		noisy[i] = 10 + 3*next()
+	}
+	ss := New(t0, time.Hour, seasonal).SeasonalityStrength(period)
+	sn := New(t0, time.Hour, noisy).SeasonalityStrength(period)
+	if ss < 0.8 {
+		t.Fatalf("seasonal strength = %v, want > 0.8", ss)
+	}
+	if sn > 0.4 {
+		t.Fatalf("noise strength = %v, want < 0.4", sn)
+	}
+	if ss <= sn {
+		t.Fatalf("ordering violated: %v <= %v", ss, sn)
+	}
+}
+
+func TestSeasonalityStrengthBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			if x > 1e100 {
+				x = 1e100
+			}
+			if x < -1e100 {
+				x = -1e100
+			}
+			v = append(v, x)
+		}
+		s := New(t0, time.Hour, v)
+		st := s.SeasonalityStrength(4)
+		return st >= 0 && st <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeasonalityStrengthShortSeries(t *testing.T) {
+	if got := New(t0, time.Hour, seq(5)).SeasonalityStrength(24); got != 0 {
+		t.Fatalf("short series strength = %v", got)
+	}
+}
+
+func TestAddScaleClamp(t *testing.T) {
+	a := New(t0, time.Minute, []float64{1, -2, 3})
+	b := New(t0, time.Minute, []float64{1, 1, 1})
+	sum := a.Add(b)
+	if sum.Values[1] != -1 {
+		t.Fatalf("Add = %v", sum.Values)
+	}
+	if got := a.Scale(2).Values[2]; got != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.ClampNonNegative().Values[1]; got != 0 {
+		t.Fatalf("Clamp = %v", got)
+	}
+	// original untouched
+	if a.Values[1] != -2 {
+		t.Fatal("ops mutated receiver")
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(t0, time.Minute, seq(2)).Add(New(t0, time.Minute, seq(3)))
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(t0, time.Minute, []float64{1, 2}).IsFinite() {
+		t.Fatal("finite series reported non-finite")
+	}
+	if New(t0, time.Minute, []float64{1, math.NaN()}).IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func TestMeanMaxCVHelpers(t *testing.T) {
+	s := New(t0, time.Minute, []float64{2, 4, 6})
+	if s.Mean() != 4 || s.MaxValue() != 6 {
+		t.Fatal("Mean/MaxValue wrong")
+	}
+	if s.CV() <= 0 {
+		t.Fatal("CV should be positive for varying series")
+	}
+}

@@ -1,0 +1,333 @@
+// Package topology instantiates the deployment geometry of the platforms the
+// paper compares: NEP, the densely deployed public edge platform (>500 sites
+// across China, most built atop CDN PoPs in county-level IDCs), and a sparse
+// AliCloud-like cloud platform with a handful of large regions. It also
+// models inter-site RTTs (Figure 4) and the deployment-density comparison of
+// Table 1.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgescope/internal/geo"
+	"edgescope/internal/netmodel"
+	"edgescope/internal/rng"
+)
+
+// Site is one datacenter of a platform. Edge sites are micro-DCs with tens
+// of servers; cloud regions host effectively unbounded capacity.
+type Site struct {
+	ID       string
+	Platform string
+	Class    netmodel.SiteClass
+	// City is the metro the site belongs to; Loc is the actual location,
+	// which for edge sites is scattered into the surrounding county-level
+	// area (NEP sites live in third-party IDCs, not city centres).
+	City geo.City
+	Loc  geo.Point
+	// Servers is the number of physical servers; ServerCPU/ServerMemGB the
+	// per-server capacity.
+	Servers     int
+	ServerCPU   int
+	ServerMemGB int
+	// GatewayGbps is the site's Internet egress capacity.
+	GatewayGbps float64
+}
+
+// Position implements geo.Located.
+func (s *Site) Position() geo.Point { return s.Loc }
+
+// Platform is a set of sites operated by one provider.
+type Platform struct {
+	Name  string
+	Class netmodel.SiteClass
+	Sites []*Site
+}
+
+// Locations returns the positions of all sites, aligned with Sites.
+func (p *Platform) Locations() []geo.Point {
+	out := make([]geo.Point, len(p.Sites))
+	for i, s := range p.Sites {
+		out[i] = s.Loc
+	}
+	return out
+}
+
+// TotalServers sums servers across sites.
+func (p *Platform) TotalServers() int {
+	var t int
+	for _, s := range p.Sites {
+		t += s.Servers
+	}
+	return t
+}
+
+// NEPOptions configures BuildNEP.
+type NEPOptions struct {
+	// TargetSites is the approximate total number of edge sites; the paper
+	// reports >500. Defaults to 520.
+	TargetSites int
+	// ScatterKm is the mean distance from the metro centre at which sites
+	// are placed (exponentially distributed, capped at 4× the mean).
+	// Defaults to 60 km.
+	ScatterKm float64
+}
+
+func (o *NEPOptions) fill() {
+	if o.TargetSites == 0 {
+		o.TargetSites = 520
+	}
+	if o.ScatterKm == 0 {
+		o.ScatterKm = 100
+	}
+}
+
+// BuildNEP creates the edge platform: sites distributed over the city
+// database, with the per-metro count growing sub-linearly with population
+// (flattened with an exponent of 0.6, because NEP expands breadth-first into
+// county-level IDCs rather than concentrating in tier-1 metros). Each site
+// hosts tens to a couple of hundred servers, the physical-infrastructure
+// constraint the paper describes.
+func BuildNEP(r *rng.Source, opts NEPOptions) *Platform {
+	opts.fill()
+	cities := geo.Cities()
+	weights := make([]float64, len(cities))
+	var totalW float64
+	for i, c := range cities {
+		weights[i] = math.Pow(c.PopulationM, 0.6)
+		totalW += weights[i]
+	}
+	p := &Platform{Name: "NEP", Class: netmodel.EdgeSite}
+	for i, c := range cities {
+		n := int(math.Round(weights[i] / totalW * float64(opts.TargetSites)))
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			loc := scatter(r, c.Loc, opts.ScatterKm)
+			servers := int(r.BoundedPareto(24, 1.6, 300))
+			p.Sites = append(p.Sites, &Site{
+				ID:          fmt.Sprintf("nep-%s-%02d", c.Name, k+1),
+				Platform:    "NEP",
+				Class:       netmodel.EdgeSite,
+				City:        c,
+				Loc:         loc,
+				Servers:     servers,
+				ServerCPU:   64,
+				ServerMemGB: 256,
+				GatewayGbps: 10 + r.Float64()*30,
+			})
+		}
+	}
+	return p
+}
+
+// scatter displaces a point by an exponentially distributed distance (mean
+// meanKm, capped at 4× mean) in a uniform random bearing.
+func scatter(r *rng.Source, c geo.Point, meanKm float64) geo.Point {
+	d := r.Exponential(meanKm)
+	if d > 4*meanKm {
+		d = 4 * meanKm
+	}
+	theta := r.Uniform(0, 2*math.Pi)
+	dlat := d * math.Cos(theta) / 111.0
+	dlon := d * math.Sin(theta) / (111.0 * math.Cos(c.Lat*math.Pi/180))
+	return geo.Point{Lat: c.Lat + dlat, Lon: c.Lon + dlon}
+}
+
+// aliCloudRegionCities mirrors AliCloud's Chinese region footprint.
+var aliCloudRegionCities = []string{
+	"Beijing", "Shanghai", "Hangzhou", "Shenzhen",
+	"Qingdao", "Chengdu", "Hohhot", "Guangzhou",
+}
+
+// BuildAliCloud creates the cloud baseline: 8 large regions at major metros.
+func BuildAliCloud() *Platform {
+	p := &Platform{Name: "AliCloud", Class: netmodel.CloudSite}
+	for i, name := range aliCloudRegionCities {
+		c := geo.MustCity(name)
+		p.Sites = append(p.Sites, &Site{
+			ID:          fmt.Sprintf("alicloud-%s-%d", c.Name, i+1),
+			Platform:    "AliCloud",
+			Class:       netmodel.CloudSite,
+			City:        c,
+			Loc:         c.Loc,
+			Servers:     50000,
+			ServerCPU:   96,
+			ServerMemGB: 384,
+			GatewayGbps: 4000,
+		})
+	}
+	return p
+}
+
+// HuaweiCloud creates the second virtual cloud baseline used by the billing
+// comparison (vCloud-2): 5 Chinese regions.
+func HuaweiCloud() *Platform {
+	p := &Platform{Name: "HuaweiCloud", Class: netmodel.CloudSite}
+	for i, name := range []string{"Beijing", "Shanghai", "Guangzhou", "Guiyang", "Hohhot"} {
+		c := geo.MustCity(name)
+		p.Sites = append(p.Sites, &Site{
+			ID:          fmt.Sprintf("huawei-%s-%d", c.Name, i+1),
+			Platform:    "HuaweiCloud",
+			Class:       netmodel.CloudSite,
+			City:        c,
+			Loc:         c.Loc,
+			Servers:     40000,
+			ServerCPU:   96,
+			ServerMemGB: 384,
+			GatewayGbps: 4000,
+		})
+	}
+	return p
+}
+
+// InterSiteRTTMs models the RTT between two sites over the provider/carrier
+// backbone: a small switching base plus ~0.031 ms/km (Figure 4 reaches
+// ~100 ms at 3000 km), with log-normal path noise.
+func InterSiteRTTMs(r *rng.Source, a, b *Site) float64 {
+	d := geo.Haversine(a.Loc, b.Loc)
+	base := 1.5 + 0.031*d
+	return base * math.Exp(r.Normal(0, 0.12))
+}
+
+// SitePairRTT is one measured site pair for Figure 4.
+type SitePairRTT struct {
+	A, B       int // indices into the platform's Sites
+	DistanceKm float64
+	RTTMs      float64
+}
+
+// SampleInterSiteRTTs measures every site pair once (or a random subset of
+// maxPairs pairs when the full cross-product is larger).
+func SampleInterSiteRTTs(r *rng.Source, p *Platform, maxPairs int) []SitePairRTT {
+	n := len(p.Sites)
+	total := n * (n - 1) / 2
+	var out []SitePairRTT
+	if maxPairs <= 0 || total <= maxPairs {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out = append(out, pairRTT(r, p, i, j))
+			}
+		}
+		return out
+	}
+	for k := 0; k < maxPairs; k++ {
+		i := r.IntN(n)
+		j := r.IntN(n)
+		if i == j {
+			k--
+			continue
+		}
+		out = append(out, pairRTT(r, p, i, j))
+	}
+	return out
+}
+
+func pairRTT(r *rng.Source, p *Platform, i, j int) SitePairRTT {
+	return SitePairRTT{
+		A: i, B: j,
+		DistanceKm: geo.Haversine(p.Sites[i].Loc, p.Sites[j].Loc),
+		RTTMs:      InterSiteRTTMs(r, p.Sites[i], p.Sites[j]),
+	}
+}
+
+// NearbySiteCounts returns, for each RTT threshold, the mean number of other
+// sites reachable within that RTT, averaged across all sites (the paper
+// reports 1/3/11 sites within 5/10/20 ms). To keep this O(n²) computation
+// deterministic it uses the noise-free RTT model.
+func NearbySiteCounts(p *Platform, thresholdsMs []float64) []float64 {
+	n := len(p.Sites)
+	counts := make([]float64, len(thresholdsMs))
+	if n < 2 {
+		return counts
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			rtt := 1.5 + 0.031*geo.Haversine(p.Sites[i].Loc, p.Sites[j].Loc)
+			for t, th := range thresholdsMs {
+				if rtt <= th {
+					counts[t]++
+				}
+			}
+		}
+	}
+	for t := range counts {
+		counts[t] /= float64(n)
+	}
+	return counts
+}
+
+// Deployment is one row of the Table 1 comparison.
+type Deployment struct {
+	Platform string
+	Regions  int
+	Coverage string // "Global", "U.S.", "China"
+	// AreaMi2 is the covered area in millions of square miles.
+	AreaMi2 float64
+}
+
+// Density returns regions per million square miles.
+func (d Deployment) Density() float64 {
+	if d.AreaMi2 == 0 {
+		return 0
+	}
+	return float64(d.Regions) / d.AreaMi2
+}
+
+// Areas in millions of square miles.
+const (
+	areaGlobal = 196.9 // Earth surface
+	areaUS     = 3.80
+	areaChina  = 3.71
+)
+
+// Table1Deployments returns the deployment comparison of Table 1 with NEP's
+// row filled from the built platform.
+func Table1Deployments(nep *Platform) []Deployment {
+	return []Deployment{
+		{"AWS EC2", 24, "Global", areaGlobal},
+		{"AWS EC2", 6, "U.S.", areaUS},
+		{"MS Azure", 33, "Global", areaGlobal},
+		{"MS Azure", 8, "U.S.", areaUS},
+		{"Google Cloud", 24, "Global", areaGlobal},
+		{"Google Cloud", 8, "U.S.", areaUS},
+		{"Alibaba Cloud", 23, "Global", areaGlobal},
+		{"Alibaba Cloud", 12, "China", areaChina},
+		{"Azure Edge Zones", 5, "U.S.", areaUS},
+		{"Huawei Cloud", 5, "China", areaChina},
+		{"AWS Wavelength + Local Zones", 14, "U.S.", areaUS},
+		{"NEP", len(nep.Sites), "China", areaChina},
+	}
+}
+
+// NearestSites returns the indices of the platform's sites ordered by
+// ascending great-circle distance from p.
+func (pl *Platform) NearestSites(p geo.Point) []int {
+	return geo.RankByDistance(p, pl.Locations())
+}
+
+// SitesByCity groups site indices by metro name.
+func (pl *Platform) SitesByCity() map[string][]int {
+	out := make(map[string][]int)
+	for i, s := range pl.Sites {
+		out[s.City.Name] = append(out[s.City.Name], i)
+	}
+	return out
+}
+
+// CityNames returns the sorted distinct metro names with at least one site.
+func (pl *Platform) CityNames() []string {
+	m := pl.SitesByCity()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"compress/gzip"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Save writes the dataset as gzip-compressed gob, the format cmd/tracegen
+// produces and the analysis tools consume.
+func Save(d *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vm: create %s: %w", path, err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(d); err != nil {
+		return fmt.Errorf("vm: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("vm: open %s: %w", path, err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("vm: gzip %s: %w", path, err)
+	}
+	defer zr.Close()
+	var d Dataset
+	if err := gob.NewDecoder(zr).Decode(&d); err != nil {
+		return nil, fmt.Errorf("vm: decode %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// WriteVMTableCSV exports the VM table (placement, ownership, sizes and
+// usage summaries) in the spirit of the released EdgeWorkloadsTraces CSVs.
+func WriteVMTableCSV(d *Dataset, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"vm_id", "app_id", "customer_id", "site", "server",
+		"vcpus", "mem_gb", "disk_gb", "mean_cpu_pct", "p95max_cpu_pct", "mean_bw_mbps"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, v := range d.VMs {
+		rec := []string{
+			strconv.Itoa(v.ID), strconv.Itoa(v.App), strconv.Itoa(v.Customer),
+			strconv.Itoa(v.Site), strconv.Itoa(v.Server),
+			strconv.Itoa(v.VCPUs), strconv.Itoa(v.MemGB), strconv.Itoa(v.DiskGB),
+			fmt.Sprintf("%.3f", v.MeanCPU()),
+			fmt.Sprintf("%.3f", v.P95MaxCPU()),
+			fmt.Sprintf("%.3f", v.MeanBWMbps()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

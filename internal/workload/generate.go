@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"edgescope/internal/geo"
+	"edgescope/internal/placement"
+	"edgescope/internal/rng"
+	"edgescope/internal/timeseries"
+	"edgescope/internal/vm"
+)
+
+// Options configures trace generation. Zero values take platform defaults.
+type Options struct {
+	// Apps is the number of applications (customers × images).
+	Apps int
+	// Days is the trace length; the paper collected 3 months, the default
+	// is 14 days to bound memory while spanning both daily and weekly
+	// cycles. Use 28+ for prediction experiments.
+	Days int
+	// CPUInterval is the CPU sampling period (paper: 1 min; default 5 min).
+	CPUInterval time.Duration
+	// BWInterval is the bandwidth sampling period (paper and default: 5
+	// min, but 15 min by default to bound memory).
+	BWInterval time.Duration
+	// Start is the trace start; defaults to 2020-06-01 like the dataset.
+	Start time.Time
+	// Categories overrides the platform's app mix.
+	Categories []Category
+	// Strategy overrides the placement strategy (default: NEPDefault for
+	// edge, Random for cloud).
+	Strategy placement.Strategy
+}
+
+func (o *Options) fill(defaultApps int) {
+	if o.Apps == 0 {
+		o.Apps = defaultApps
+	}
+	if o.Days == 0 {
+		o.Days = 14
+	}
+	if o.CPUInterval == 0 {
+		o.CPUInterval = 5 * time.Minute
+	}
+	if o.BWInterval == 0 {
+		o.BWInterval = 15 * time.Minute
+	}
+	if o.Start.IsZero() {
+		o.Start = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// provincePops returns provinces with their city-population totals, sorted
+// by population descending (the demand-popularity ranking).
+func provincePops() ([]string, []float64) {
+	totals := map[string]float64{}
+	for _, c := range geo.Cities() {
+		totals[c.Province] += c.PopulationM
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	pops := make([]float64, len(names))
+	for i, n := range names {
+		pops[i] = totals[n]
+	}
+	return names, pops
+}
+
+// buildNEPSites creates the edge inventory: per-province site counts grow
+// sub-linearly with population (Guangdong ends up with ~11 sites, matching
+// the Figure 11 sample).
+func buildNEPSites(r *rng.Source) []*vm.Site {
+	names, pops := provincePops()
+	var sites []*vm.Site
+	for i, prov := range names {
+		n := int(math.Round(math.Pow(pops[i], 0.8) / 2.5))
+		if n < 2 {
+			n = 2
+		}
+		for k := 0; k < n; k++ {
+			// Memory-rich servers (8 GB/core) against 4 GB/vCPU subscriptions
+			// reproduce the paper's finding that CPU sells at ~2× the rate
+			// of memory.
+			servers := make([]vm.Server, 6+r.IntN(18))
+			for s := range servers {
+				servers[s] = vm.Server{CPUCores: 64, MemGB: 512}
+			}
+			sites = append(sites, &vm.Site{
+				Name:     fmt.Sprintf("%s-%02d", prov, k+1),
+				Province: prov,
+				Servers:  servers,
+			})
+		}
+	}
+	return sites
+}
+
+// buildCloudSites creates the cloud inventory: 8 large regions.
+func buildCloudSites(r *rng.Source) []*vm.Site {
+	regions := []string{"Beijing", "Shanghai", "Zhejiang", "Guangdong",
+		"Shandong", "Sichuan", "InnerMongolia", "Guangdong"}
+	var sites []*vm.Site
+	for i, prov := range regions {
+		servers := make([]vm.Server, 150)
+		for s := range servers {
+			servers[s] = vm.Server{CPUCores: 96, MemGB: 384}
+		}
+		sites = append(sites, &vm.Site{
+			Name:     fmt.Sprintf("region-%d", i+1),
+			Province: prov,
+			Servers:  servers,
+		})
+	}
+	return sites
+}
+
+// GenerateNEP synthesises the edge-platform trace.
+func GenerateNEP(r *rng.Source, opts Options) (*vm.Dataset, error) {
+	opts.fill(100)
+	if opts.Categories == nil {
+		opts.Categories = NEPCategories()
+	}
+	if opts.Strategy == nil {
+		opts.Strategy = placement.NEPDefault{}
+	}
+	sites := buildNEPSites(r.Fork("sites"))
+	return generate(r, opts, "NEP", sites, true)
+}
+
+// GenerateCloud synthesises the Azure-like cloud trace.
+func GenerateCloud(r *rng.Source, opts Options) (*vm.Dataset, error) {
+	opts.fill(500)
+	if opts.Categories == nil {
+		opts.Categories = CloudCategories()
+	}
+	if opts.Strategy == nil {
+		opts.Strategy = placement.Random{}
+	}
+	sites := buildCloudSites(r.Fork("sites"))
+	return generate(r, opts, "Cloud", sites, false)
+}
+
+func generate(r *rng.Source, opts Options, platform string, sites []*vm.Site, geoSkew bool) (*vm.Dataset, error) {
+	st := placement.NewClusterState(sites)
+	provNames, provPops := provincePops()
+	_ = provPops
+	d := &vm.Dataset{
+		Platform: platform,
+		Start:    opts.Start,
+		Duration: time.Duration(opts.Days) * 24 * time.Hour,
+		Sites:    sites,
+	}
+
+	catWeights := make([]float64, len(opts.Categories))
+	for i, c := range opts.Categories {
+		catWeights[i] = c.Share
+	}
+	provZipf := rng.NewZipf(r.Fork("prov"), 1.3, len(provNames))
+
+	vmID := 0
+	for app := 0; app < opts.Apps; app++ {
+		cat := opts.Categories[r.Choice(catWeights)]
+		nVMs := int(r.BoundedPareto(cat.MinVMs, cat.VMAlpha, cat.MaxVMs))
+		if nVMs < 1 {
+			nVMs = 1
+		}
+		vcpu := cat.VCPUOptions[r.Choice(cat.VCPUWeights)]
+		mem := vcpu * cat.GBPerVCPU
+
+		// Demand geography: edge apps subscribe in a few popular provinces;
+		// cloud apps ignore geography.
+		var provs []string
+		if geoSkew && cat.Provinces > 0 {
+			seen := map[string]bool{}
+			for len(provs) < cat.Provinces {
+				p := provNames[provZipf.Next()]
+				if !seen[p] {
+					seen[p] = true
+					provs = append(provs, p)
+				}
+			}
+		} else {
+			provs = []string{""}
+		}
+
+		// Split the fleet across provinces (first province dominates).
+		perProv := splitCounts(r, nVMs, len(provs))
+
+		// App-level usage parameters shared by its VMs.
+		appBase := r.LogNormalMeanMedian(cat.CPUMedianPct, cat.CPUSigma*0.6)
+		appAmp := r.Uniform(cat.AmpLo, cat.AmpHi)
+		appPeak := cat.PeakHour + r.Normal(0, 1.5)
+		crossSigma := r.Uniform(cat.CrossVMSigmaLo, cat.CrossVMSigmaHi)
+		appBWBase := float64(vcpu) * r.LogNormalMeanMedian(cat.BWPerVCPUMedian, cat.BWSigma)
+
+		for pi, prov := range provs {
+			if perProv[pi] == 0 {
+				continue
+			}
+			req := placement.Request{VCPUs: vcpu, MemGB: mem, Province: prov, Count: perProv[pi]}
+			assigns, err := opts.Strategy.Place(r, st, req)
+			if err != nil {
+				// Province full: fall back to anywhere (NEP would negotiate
+				// an adjacent province with the customer).
+				req.Province = ""
+				var err2 error
+				assigns, err2 = opts.Strategy.Place(r, st, req)
+				if err2 != nil {
+					return nil, fmt.Errorf("workload: placing app %d: %w", app, err2)
+				}
+			}
+			for _, a := range assigns {
+				mult := math.Exp(r.Normal(0, crossSigma))
+				level := appBase * mult
+				cpu := usageSeries(r, seriesParams{
+					level: level, amp: appAmp, peakHour: appPeak,
+					windowHours: cat.WindowHours, noiseCV: cat.NoiseCV,
+					days: opts.Days, interval: opts.CPUInterval,
+					start: opts.Start, clampHi: 95, weekendFactor: weekendFactorFor(cat.Name),
+				})
+				volatile := r.Bernoulli(cat.VolatileBWProb)
+				bw := usageSeries(r, seriesParams{
+					level: appBWBase * mult, amp: appAmp, peakHour: appPeak,
+					windowHours: cat.WindowHours, noiseCV: cat.NoiseCV * 1.3,
+					days: opts.Days, interval: opts.BWInterval,
+					start: opts.Start, clampHi: 0, weekendFactor: weekendFactorFor(cat.Name),
+					volatileWeeks: volatile, volatileSigma: 0.9,
+				})
+				var priv *timeseries.Series
+				if cat.Name == "content-delivery" || cat.Name == "live-streaming" {
+					priv = bw.Scale(0.1)
+				}
+				mean := cpu.Mean()
+				st.ObserveUsage(a.Site, a.Server, mean)
+				d.VMs = append(d.VMs, &vm.VM{
+					ID: vmID, App: app, Customer: app, // 1 app per customer
+					Site: a.Site, Server: a.Server,
+					VCPUs: vcpu, MemGB: mem,
+					DiskGB:    int(r.BoundedPareto(cat.DiskXmGB, cat.DiskAlpha, cat.DiskCapGB)),
+					CPU:       cpu,
+					PublicBW:  bw,
+					PrivateBW: priv,
+				})
+				vmID++
+			}
+		}
+	}
+	return d, nil
+}
+
+// splitCounts divides n VMs over k buckets with geometric decay (the first
+// province gets roughly half).
+func splitCounts(r *rng.Source, n, k int) []int {
+	if k <= 1 {
+		return []int{n}
+	}
+	out := make([]int, k)
+	remaining := n
+	for i := 0; i < k-1; i++ {
+		share := int(float64(remaining) * r.Uniform(0.4, 0.7))
+		if share < 1 && remaining > 0 {
+			share = 1
+		}
+		out[i] = share
+		remaining -= share
+		if remaining <= 0 {
+			remaining = 0
+			break
+		}
+	}
+	out[k-1] += remaining
+	return out
+}
+
+func weekendFactorFor(category string) float64 {
+	switch category {
+	case "online-education":
+		return 0.55 // classes pause on weekends
+	case "live-streaming", "cloud-gaming":
+		return 1.2 // leisure peaks on weekends
+	default:
+		return 1.0
+	}
+}
+
+type seriesParams struct {
+	level         float64 // base level (CPU % or Mbps)
+	amp           float64 // diurnal amplitude in [0,1]
+	peakHour      float64
+	windowHours   float64 // >0: usage confined around the peak
+	noiseCV       float64
+	days          int
+	interval      time.Duration
+	start         time.Time
+	clampHi       float64 // >0: clamp (CPU is a percentage)
+	weekendFactor float64
+	volatileWeeks bool
+	volatileSigma float64
+}
+
+// usageSeries synthesises one usage trace: diurnal cycle × weekly factor ×
+// optional weekly regime shifts × multiplicative noise.
+func usageSeries(r *rng.Source, p seriesParams) *timeseries.Series {
+	n := int(time.Duration(p.days) * 24 * time.Hour / p.interval)
+	vals := make([]float64, n)
+	weekMult := 1.0
+	curWeek := -1
+	for i := 0; i < n; i++ {
+		ts := p.start.Add(time.Duration(i) * p.interval)
+		h := float64(ts.Hour()) + float64(ts.Minute())/60
+
+		var shape float64
+		if p.windowHours > 0 {
+			// Gaussian bump around the peak: near-zero usage off-window.
+			dh := hourDiff(h, p.peakHour)
+			sigma := p.windowHours / 2.355 // FWHM → sigma
+			shape = 0.05 + math.Exp(-dh*dh/(2*sigma*sigma))*3.5
+		} else {
+			shape = 1 + p.amp*math.Cos((h-p.peakHour)/24*2*math.Pi)
+			if shape < 0.05 {
+				shape = 0.05
+			}
+		}
+		wd := ts.Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			shape *= p.weekendFactor
+		}
+		if p.volatileWeeks {
+			week := int(ts.Sub(p.start).Hours() / (24 * 7))
+			if week != curWeek {
+				curWeek = week
+				weekMult = math.Exp(r.Normal(0, p.volatileSigma))
+			}
+			shape *= weekMult
+		}
+		v := p.level * shape * math.Exp(r.Normal(0, p.noiseCV))
+		if v < 0.01 {
+			v = 0.01
+		}
+		if p.clampHi > 0 && v > p.clampHi {
+			v = p.clampHi
+		}
+		vals[i] = v
+	}
+	return timeseries.New(p.start, p.interval, vals)
+}
+
+// hourDiff returns the circular distance between two hours of day.
+func hourDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}

@@ -1,0 +1,178 @@
+// Package workload synthesises platform traces with the statistical
+// signatures the paper reports for NEP (§4) and for the Azure 2019 cloud
+// dataset it compares against: VM sizes, per-app VM counts, CPU utilisation
+// levels and variance, diurnal seasonality, bandwidth intensity, cross-VM
+// imbalance, and geographic demand skew. The generator stands in for the
+// proprietary 3-month complete trace (and for Azure's 2.7M-VM dataset),
+// producing vm.Dataset values the analysis, prediction and billing layers
+// consume; those layers would run unchanged on the real traces.
+package workload
+
+// Category profiles one application class hosted on the platform.
+type Category struct {
+	Name string
+	// Share is the fraction of apps in this category.
+	Share float64
+
+	// Per-app VM count: bounded Pareto (heavy-tailed; NEP's largest app is
+	// a ~1000-VM CDN).
+	MinVMs, MaxVMs float64
+	VMAlpha        float64
+
+	// VM sizing: weighted choice over vCPU options; memory is GBPerVCPU ×
+	// vCPUs; disk is Pareto(DiskXmGB, DiskAlpha) capped at DiskCapGB.
+	VCPUOptions []int
+	VCPUWeights []float64
+	GBPerVCPU   int
+	DiskXmGB    float64
+	DiskAlpha   float64
+	DiskCapGB   float64
+
+	// CPU usage: per-VM mean level is log-normal (median CPUMedianPct,
+	// sigma CPUSigma, capped at 90); the series follows a diurnal cycle
+	// with amplitude in [AmpLo,AmpHi] plus multiplicative noise NoiseCV.
+	CPUMedianPct float64
+	CPUSigma     float64
+	AmpLo, AmpHi float64
+	NoiseCV      float64
+	// PeakHour is the local-time centre of the daily peak.
+	PeakHour float64
+	// WindowHours, when non-zero, confines usage to ±WindowHours/2 around
+	// PeakHour (the paper's online-education apps run 9:00–12:00 only).
+	WindowHours float64
+
+	// Bandwidth: Mbps per vCPU, log-normal around BWPerVCPUMedian. The
+	// bandwidth series reuses the CPU shape (video apps move bits when
+	// they burn cycles) plus independent noise.
+	BWPerVCPUMedian float64
+	BWSigma         float64
+	// VolatileBWProb is the probability a VM's bandwidth level shifts
+	// regime week over week (Figure 13's unpredictable VMs).
+	VolatileBWProb float64
+
+	// CrossVMSigmaLo/Hi bound the per-app log-normal sigma of the per-VM
+	// level multiplier: large values make VMs of the same app severely
+	// unbalanced (Figure 12: 16.3% of NEP apps exceed a 50× gap).
+	CrossVMSigmaLo, CrossVMSigmaHi float64
+
+	// Provinces is how many provinces an app's demand concentrates in
+	// (edge apps subscribe per province; cloud apps ignore geography).
+	Provinces int
+}
+
+// NEPCategories returns the edge platform's app mix (§4.1: live streaming,
+// content delivery, online education, video/audio communication, video
+// surveillance, cloud gaming).
+func NEPCategories() []Category {
+	big := []int{2, 4, 8, 16, 32}
+	return []Category{
+		{
+			Name: "live-streaming", Share: 0.28,
+			MinVMs: 4, MaxVMs: 400, VMAlpha: 0.8,
+			VCPUOptions: big, VCPUWeights: []float64{0.05, 0.15, 0.40, 0.30, 0.10}, GBPerVCPU: 4,
+			DiskXmGB: 55, DiskAlpha: 1.15, DiskCapGB: 8000,
+			CPUMedianPct: 5, CPUSigma: 1.0, AmpLo: 0.55, AmpHi: 0.9, NoiseCV: 0.18, PeakHour: 21,
+			BWPerVCPUMedian: 22, BWSigma: 0.8, VolatileBWProb: 0.3,
+			CrossVMSigmaLo: 0.5, CrossVMSigmaHi: 1.5, Provinces: 3,
+		},
+		{
+			Name: "content-delivery", Share: 0.20,
+			MinVMs: 8, MaxVMs: 1000, VMAlpha: 0.7,
+			VCPUOptions: big, VCPUWeights: []float64{0.05, 0.15, 0.35, 0.30, 0.15}, GBPerVCPU: 4,
+			DiskXmGB: 120, DiskAlpha: 1.05, DiskCapGB: 16000,
+			CPUMedianPct: 3.5, CPUSigma: 1.0, AmpLo: 0.5, AmpHi: 0.8, NoiseCV: 0.15, PeakHour: 20,
+			BWPerVCPUMedian: 30, BWSigma: 0.9, VolatileBWProb: 0.35,
+			CrossVMSigmaLo: 0.6, CrossVMSigmaHi: 1.5, Provinces: 5,
+		},
+		{
+			Name: "online-education", Share: 0.12,
+			MinVMs: 2, MaxVMs: 120, VMAlpha: 0.9,
+			VCPUOptions: big, VCPUWeights: []float64{0.10, 0.25, 0.35, 0.20, 0.10}, GBPerVCPU: 4,
+			DiskXmGB: 45, DiskAlpha: 1.2, DiskCapGB: 4000,
+			CPUMedianPct: 4, CPUSigma: 0.9, AmpLo: 0.7, AmpHi: 0.95, NoiseCV: 0.15, PeakHour: 10.5,
+			WindowHours:     4, // 9:00–12:00-ish usage window (peak/mean > 10×)
+			BWPerVCPUMedian: 16, BWSigma: 0.8, VolatileBWProb: 0.15,
+			CrossVMSigmaLo: 0.4, CrossVMSigmaHi: 1.2, Provinces: 2,
+		},
+		{
+			Name: "video-comm", Share: 0.13,
+			MinVMs: 2, MaxVMs: 200, VMAlpha: 0.85,
+			VCPUOptions: big, VCPUWeights: []float64{0.10, 0.20, 0.40, 0.20, 0.10}, GBPerVCPU: 4,
+			DiskXmGB: 40, DiskAlpha: 1.3, DiskCapGB: 2000,
+			CPUMedianPct: 5.5, CPUSigma: 0.95, AmpLo: 0.5, AmpHi: 0.85, NoiseCV: 0.2, PeakHour: 14,
+			BWPerVCPUMedian: 14, BWSigma: 0.7, VolatileBWProb: 0.2,
+			CrossVMSigmaLo: 0.5, CrossVMSigmaHi: 1.4, Provinces: 3,
+		},
+		{
+			Name: "surveillance", Share: 0.13,
+			MinVMs: 2, MaxVMs: 150, VMAlpha: 0.9,
+			VCPUOptions: big, VCPUWeights: []float64{0.05, 0.20, 0.40, 0.25, 0.10}, GBPerVCPU: 4,
+			DiskXmGB: 150, DiskAlpha: 1.0, DiskCapGB: 16000,
+			CPUMedianPct: 6, CPUSigma: 0.8, AmpLo: 0.2, AmpHi: 0.5, NoiseCV: 0.12, PeakHour: 12,
+			BWPerVCPUMedian: 10, BWSigma: 0.6, VolatileBWProb: 0.1,
+			CrossVMSigmaLo: 0.3, CrossVMSigmaHi: 1.0, Provinces: 2,
+		},
+		{
+			Name: "cloud-gaming", Share: 0.10,
+			MinVMs: 2, MaxVMs: 250, VMAlpha: 0.85,
+			VCPUOptions: big, VCPUWeights: []float64{0.05, 0.15, 0.35, 0.30, 0.15}, GBPerVCPU: 4,
+			DiskXmGB: 60, DiskAlpha: 1.2, DiskCapGB: 4000,
+			CPUMedianPct: 7, CPUSigma: 0.9, AmpLo: 0.6, AmpHi: 0.95, NoiseCV: 0.22, PeakHour: 22,
+			BWPerVCPUMedian: 12, BWSigma: 0.7, VolatileBWProb: 0.2,
+			CrossVMSigmaLo: 0.5, CrossVMSigmaHi: 1.4, Provinces: 3,
+		},
+		{
+			Name: "other", Share: 0.04,
+			MinVMs: 1, MaxVMs: 60, VMAlpha: 1.0,
+			VCPUOptions: big, VCPUWeights: []float64{0.20, 0.25, 0.30, 0.15, 0.10}, GBPerVCPU: 4,
+			DiskXmGB: 40, DiskAlpha: 1.3, DiskCapGB: 2000,
+			CPUMedianPct: 4, CPUSigma: 1.0, AmpLo: 0.3, AmpHi: 0.7, NoiseCV: 0.2, PeakHour: 15,
+			BWPerVCPUMedian: 5, BWSigma: 0.8, VolatileBWProb: 0.15,
+			CrossVMSigmaLo: 0.4, CrossVMSigmaHi: 1.2, Provinces: 2,
+		},
+	}
+}
+
+// CloudCategories returns the Azure-like mix: many small VMs (90% ≤4 vCPU,
+// 70% ≤4 GB), higher utilisation, weaker diurnality, small per-app fleets.
+func CloudCategories() []Category {
+	small := []int{1, 2, 4, 8, 16, 32}
+	return []Category{
+		{
+			Name: "web-service", Share: 0.35,
+			MinVMs: 1, MaxVMs: 300, VMAlpha: 0.75,
+			VCPUOptions: small, VCPUWeights: []float64{0.50, 0.27, 0.13, 0.06, 0.03, 0.01}, GBPerVCPU: 3,
+			DiskXmGB: 30, DiskAlpha: 1.3, DiskCapGB: 2000,
+			CPUMedianPct: 11, CPUSigma: 2.6, AmpLo: 0.15, AmpHi: 0.45, NoiseCV: 0.28, PeakHour: 14,
+			BWPerVCPUMedian: 2, BWSigma: 0.7, VolatileBWProb: 0.05,
+			CrossVMSigmaLo: 0.1, CrossVMSigmaHi: 0.5, Provinces: 0,
+		},
+		{
+			Name: "batch", Share: 0.25,
+			MinVMs: 1, MaxVMs: 200, VMAlpha: 0.8,
+			VCPUOptions: small, VCPUWeights: []float64{0.45, 0.28, 0.15, 0.07, 0.04, 0.01}, GBPerVCPU: 4,
+			DiskXmGB: 40, DiskAlpha: 1.2, DiskCapGB: 4000,
+			CPUMedianPct: 16, CPUSigma: 2.4, AmpLo: 0.05, AmpHi: 0.3, NoiseCV: 0.3, PeakHour: 3,
+			BWPerVCPUMedian: 1, BWSigma: 0.6, VolatileBWProb: 0.08,
+			CrossVMSigmaLo: 0.1, CrossVMSigmaHi: 0.45, Provinces: 0,
+		},
+		{
+			Name: "dev-test", Share: 0.30,
+			MinVMs: 1, MaxVMs: 30, VMAlpha: 1.1,
+			VCPUOptions: small, VCPUWeights: []float64{0.60, 0.24, 0.10, 0.04, 0.015, 0.005}, GBPerVCPU: 3,
+			DiskXmGB: 25, DiskAlpha: 1.4, DiskCapGB: 1000,
+			CPUMedianPct: 8, CPUSigma: 2.6, AmpLo: 0.2, AmpHi: 0.5, NoiseCV: 0.35, PeakHour: 11,
+			BWPerVCPUMedian: 0.5, BWSigma: 0.6, VolatileBWProb: 0.05,
+			CrossVMSigmaLo: 0.1, CrossVMSigmaHi: 0.5, Provinces: 0,
+		},
+		{
+			Name: "database", Share: 0.10,
+			MinVMs: 1, MaxVMs: 40, VMAlpha: 1.0,
+			VCPUOptions: small, VCPUWeights: []float64{0.30, 0.30, 0.22, 0.10, 0.06, 0.02}, GBPerVCPU: 6,
+			DiskXmGB: 100, DiskAlpha: 1.1, DiskCapGB: 8000,
+			CPUMedianPct: 14, CPUSigma: 2.0, AmpLo: 0.15, AmpHi: 0.4, NoiseCV: 0.25, PeakHour: 15,
+			BWPerVCPUMedian: 1.5, BWSigma: 0.6, VolatileBWProb: 0.05,
+			CrossVMSigmaLo: 0.1, CrossVMSigmaHi: 0.4, Provinces: 0,
+		},
+	}
+}
