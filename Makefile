@@ -1,0 +1,33 @@
+# edgescope build/test/bench targets. `make ci` is the tier-1 gate.
+
+GO ?= go
+
+.PHONY: build vet test race bench bench-json ci repro
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that schedule work across goroutines.
+race:
+	$(GO) test -race ./internal/core/ ./internal/crowd/ ./internal/par/
+
+# Full benchmark sweep (slow; one iteration per benchmark for a quick pass).
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x -run xxx .
+
+# Record the perf trajectory for future PRs.
+bench-json:
+	$(GO) test -bench . -benchmem -benchtime 1x -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.json
+
+ci:
+	./scripts/ci.sh
+
+# Reproduce every paper artifact in parallel.
+repro:
+	$(GO) run ./cmd/reproall -parallel 0

@@ -7,6 +7,7 @@
 package edgescope
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -39,6 +40,35 @@ func suite() *core.Suite {
 	})
 	return benchS
 }
+
+// --- end-to-end experiment engine ---
+
+// benchmarkRunAll measures a full cold reproduction: a fresh suite per
+// iteration, so substrate construction (the dominant cost) is included.
+// Serial vs parallel is the PR's headline comparison; the outputs are
+// byte-identical either way.
+func benchmarkRunAll(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.NewSuite(1, core.Small)
+		results, err := s.RunAll(context.Background(), parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arts := 0
+		for _, r := range results {
+			if r.Artifact != nil {
+				arts++
+			}
+		}
+		if arts != 21 {
+			b.Fatalf("artifacts = %d, want 21", arts)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchmarkRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchmarkRunAll(b, 0) }
 
 // --- one benchmark per paper table/figure ---
 

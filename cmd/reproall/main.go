@@ -1,18 +1,24 @@
 // Command reproall regenerates every table and figure of the paper in one
-// run and prints them in paper order. With -csvdir it also exports each
-// artifact as CSV for external plotting.
+// run and prints them in paper order. Artifacts are built concurrently over
+// a dependency-aware worker pool (substrates first, then independent
+// artifacts); stdout is byte-identical for a given seed regardless of
+// -parallel (the wall-time report goes to stderr). With -csvdir it also
+// exports each artifact as CSV for external plotting.
 //
 // Usage:
 //
-//	reproall [-seed N] [-scale small|paper] [-csvdir DIR] [-only id,id,...]
+//	reproall [-seed N] [-scale small|paper] [-parallel N] [-csvdir DIR]
+//	         [-only id,id,...] [-ext] [-quiet-times]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"edgescope/internal/core"
 )
@@ -20,9 +26,11 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed (same seed → identical outputs)")
 	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = one worker per CPU)")
 	csvdir := flag.String("csvdir", "", "directory to export per-artifact CSVs")
 	only := flag.String("only", "", "comma-separated artifact IDs to run (default all)")
 	ext := flag.Bool("ext", false, "also run the extension experiments (density/migration/scheduling)")
+	quietTimes := flag.Bool("quiet-times", false, "suppress the per-artifact wall-time report (stderr)")
 	flag.Parse()
 
 	sc := core.Small
@@ -35,20 +43,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	filter := map[string]bool{}
+	var ids []string
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
-			filter[id] = true
+			ids = append(ids, id)
 		}
 	}
 
 	suite := core.NewSuite(*seed, sc)
-	artifacts := suite.All()
-	if *ext {
-		artifacts = append(artifacts, suite.Extensions()...)
+	start := time.Now()
+	results, err := suite.RunArtifacts(context.Background(), *parallel, ids, *ext)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproall: %v\n", err)
+		os.Exit(1)
 	}
-	for _, a := range artifacts {
-		if len(filter) > 0 && !filter[a.ID] {
+	wall := time.Since(start)
+
+	for _, a := range results {
+		if a.Artifact == nil {
 			continue
 		}
 		fmt.Printf("\n# %s — %s\n", a.ID, a.Desc)
@@ -63,9 +75,26 @@ func main() {
 			}
 		}
 	}
+
+	// Timings go to stderr: stdout stays byte-identical for a given seed
+	// regardless of -parallel, so `reproall > out.txt` is diffable.
+	if !*quietTimes {
+		fmt.Fprintf(os.Stderr, "\n# wall time per artifact (parallel=%d, total %v)\n", *parallel, wall.Round(time.Millisecond))
+		var sum time.Duration
+		for _, a := range results {
+			kind := "artifact "
+			if a.Artifact == nil {
+				kind = "substrate"
+			}
+			fmt.Fprintf(os.Stderr, "  %s %-26s %10v\n", kind, a.ID, a.Elapsed.Round(time.Microsecond))
+			sum += a.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "  cpu-time sum %v (speedup ×%.2f over serial replay)\n",
+			sum.Round(time.Millisecond), float64(sum)/float64(wall))
+	}
 }
 
-func exportCSV(dir string, a core.NamedArtifact) error {
+func exportCSV(dir string, a core.ArtifactResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

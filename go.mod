@@ -1,0 +1,3 @@
+module edgescope
+
+go 1.24

@@ -60,8 +60,8 @@ func VMSizes(d *vm.Dataset) SizeDistribution {
 	out.MemSmall /= n
 	out.MemMedium /= n
 	out.MemLarge /= n
-	out.MedianVCPUs = stats.Median(cpus)
-	out.MedianMemGB = stats.Median(mems)
+	out.MedianVCPUs = stats.SummarizeInPlace(cpus).Median()
+	out.MedianMemGB = stats.SummarizeInPlace(mems).Median()
 	return out
 }
 
@@ -259,7 +259,7 @@ func AppGaps(d *vm.Dataset, minVMs int) []float64 {
 		for i, vi := range vms {
 			means[i] = d.VMs[vi].MeanCPU()
 		}
-		out = append(out, stats.GapRatio(means, 0.01))
+		out = append(out, stats.SummarizeInPlace(means).Gap(0.01))
 	}
 	return out
 }

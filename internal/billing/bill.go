@@ -238,15 +238,16 @@ func Table6(d *vm.Dataset, topN int) []Table6Row {
 					cheaper++
 				}
 			}
+			sum := stats.SummarizeInPlace(ratios)
 			rows = append(rows, Table6Row{
 				Cloud:          cs.net.Name,
 				Model:          model,
-				Min:            stats.Min(ratios),
-				Max:            stats.Max(ratios),
-				Mean:           stats.Mean(ratios),
-				Median:         stats.Median(ratios),
+				Min:            sum.Min(),
+				Max:            sum.Max(),
+				Mean:           sum.Mean(),
+				Median:         sum.Median(),
 				CheaperOnCloud: cheaper,
-				N:              len(ratios),
+				N:              sum.Len(),
 			})
 		}
 	}

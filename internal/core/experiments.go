@@ -375,13 +375,13 @@ func (s *Suite) Figure14() *report.Table {
 			panic("core: " + err.Error())
 		}
 		for _, target := range []predict.Target{predict.MaxCPU, predict.MeanCPU} {
-			hwR := predict.RMSEs(hw, "holt-winters", target)
+			hwR := stats.SummarizeInPlace(predict.RMSEs(hw, "holt-winters", target))
 			t.AddRow(spec.name, "holt-winters", target.String(),
-				stats.Median(hwR), stats.Percentile(hwR, 90), len(hwR))
-			lR := predict.RMSEs(lstm, "lstm", target)
-			if len(lR) > 0 {
+				hwR.Median(), hwR.Percentile(90), hwR.Len())
+			lR := stats.SummarizeInPlace(predict.RMSEs(lstm, "lstm", target))
+			if lR.Len() > 0 {
 				t.AddRow(spec.name, "lstm", target.String(),
-					stats.Median(lR), stats.Percentile(lR, 90), len(lR))
+					lR.Median(), lR.Percentile(90), lR.Len())
 			}
 		}
 	}
@@ -434,31 +434,4 @@ type NamedArtifact struct {
 	ID       string
 	Desc     string
 	Artifact report.Artifact
-}
-
-// All runs every experiment in paper order.
-func (s *Suite) All() []NamedArtifact {
-	return []NamedArtifact{
-		{"table1", "deployment density", s.Table1()},
-		{"table2", "workload-trace survey", s.Table2()},
-		{"fig2a", "median RTT by access and target", s.Figure2a()},
-		{"fig2b", "RTT jitter (CV)", s.Figure2b()},
-		{"table3", "hop-level latency breakdown", s.Table3()},
-		{"table4", "co-location RTT/distance", s.Table4()},
-		{"fig3", "hop counts", s.Figure3()},
-		{"fig4", "inter-site RTT", s.Figure4()},
-		{"fig5", "throughput vs distance", s.Figure5()},
-		{"table5", "QoE backend RTTs", s.Table5()},
-		{"fig6", "cloud gaming response delay", s.Figure6()},
-		{"fig7", "live streaming delay", s.Figure7()},
-		{"fig8", "VM sizes", s.Figure8()},
-		{"fig9", "VMs per app", s.Figure9()},
-		{"fig10", "CPU utilisation", s.Figure10()},
-		{"fig11", "cross-site/server imbalance", s.Figure11()},
-		{"fig12", "per-app cross-VM gap", s.Figure12()},
-		{"fig13", "weekly bandwidth volatility", s.Figure13()},
-		{"fig14", "usage prediction RMSE", s.Figure14()},
-		{"table6", "monetary cost ratios", s.Table6()},
-		{"table7", "pricing worked examples", s.Table7()},
-	}
 }

@@ -48,7 +48,9 @@ func (s *Suite) ExtDensity() *report.Table {
 			dists = append(dists, dist)
 		}
 		t.AddRow(spec.name, len(plat.Sites),
-			stats.Median(rtts), stats.Median(hops), stats.Median(dists))
+			stats.SummarizeInPlace(rtts).Median(),
+			stats.SummarizeInPlace(hops).Median(),
+			stats.SummarizeInPlace(dists).Median())
 	}
 
 	// MEC: compute at the access aggregation point — the 1-2 hop vision.
@@ -58,7 +60,8 @@ func (s *Suite) ExtDensity() *report.Table {
 		rtts = append(rtts, path.SampleRTT(r))
 		hops = append(hops, float64(path.HopCount()))
 	}
-	t.AddRow("MEC-sunk", "-", stats.Median(rtts), stats.Median(hops), 0.0)
+	t.AddRow("MEC-sunk", "-",
+		stats.SummarizeInPlace(rtts).Median(), stats.SummarizeInPlace(hops).Median(), 0.0)
 	return t
 }
 
@@ -139,14 +142,4 @@ func (s *Suite) ExtElastic() *report.Table {
 		t.AddRow(spec.name, "serverless", so.MonthlyCost, so.MeanLatencyMs, so.P99LatencyMs, so.OverloadFrac)
 	}
 	return t
-}
-
-// Extensions lists the non-paper artifacts.
-func (s *Suite) Extensions() []NamedArtifact {
-	return []NamedArtifact{
-		{"ext-density", "denser deployment and MEC sinking", s.ExtDensity()},
-		{"ext-migration", "migration-based rebalancing", s.ExtMigration()},
-		{"ext-scheduling", "nearest-site vs load-aware GSLB", s.ExtScheduling()},
-		{"ext-elastic", "reserved VMs vs serverless", s.ExtElastic()},
-	}
 }

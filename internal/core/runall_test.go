@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// render returns the rendered bytes of every artifact in a result set,
+// keyed by artifact ID, skipping substrate rows.
+func renderAll(t *testing.T, results []ArtifactResult) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, r := range results {
+		if r.Artifact == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := r.Artifact.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", r.ID, err)
+		}
+		out[r.ID] = buf.Bytes()
+	}
+	return out
+}
+
+// TestRunAllParallelismInvariance is the PR's headline contract: for a
+// fixed seed, every artifact is byte-identical whether built by one worker
+// or many.
+func TestRunAllParallelismInvariance(t *testing.T) {
+	ctx := context.Background()
+	serial, err := NewSuite(3, Small).RunAll(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewSuite(3, Small).RunAll(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, pr := renderAll(t, serial), renderAll(t, parallel)
+	if len(sr) != len(pr) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(sr), len(pr))
+	}
+	for id, sb := range sr {
+		pb, ok := pr[id]
+		if !ok {
+			t.Fatalf("artifact %s missing from parallel run", id)
+		}
+		if !bytes.Equal(sb, pb) {
+			t.Fatalf("artifact %s differs between parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", id, sb, pb)
+		}
+	}
+}
+
+// TestRunAllMatchesSerialAll pins RunAll to the legacy serial path: the
+// same registry drives both, so outputs must agree byte for byte.
+func TestRunAllMatchesSerialAll(t *testing.T) {
+	results, err := NewSuite(5, Small).RunAll(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderAll(t, results)
+	want := NewSuite(5, Small).All()
+	if len(got) != len(want) {
+		t.Fatalf("RunAll built %d artifacts, All has %d", len(got), len(want))
+	}
+	for i, a := range want {
+		var buf bytes.Buffer
+		if err := a.Artifact.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), got[a.ID]) {
+			t.Fatalf("artifact %d (%s) differs between All() and RunAll", i, a.ID)
+		}
+	}
+	// Paper order must be preserved in the result list.
+	idx := 0
+	for _, r := range results {
+		if r.Artifact == nil {
+			continue
+		}
+		if r.ID != want[idx].ID {
+			t.Fatalf("result %d = %s, want %s (paper order)", idx, r.ID, want[idx].ID)
+		}
+		idx++
+	}
+}
+
+func TestRunArtifactsSubset(t *testing.T) {
+	results, err := NewSuite(1, Small).RunArtifacts(context.Background(), 2, []string{"fig8", "table7"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs, arts []string
+	for _, r := range results {
+		if r.Artifact == nil {
+			subs = append(subs, r.ID)
+		} else {
+			arts = append(arts, r.ID)
+		}
+	}
+	if len(arts) != 2 || arts[0] != "fig8" || arts[1] != "table7" {
+		t.Fatalf("artifacts = %v", arts)
+	}
+	// fig8 needs both traces; table7 needs nothing; the campaign and the
+	// observation sets must not have been scheduled.
+	for _, s := range subs {
+		if s == subCampaign || s == subLatency || s == subThroughput {
+			t.Fatalf("unneeded substrate %s scheduled", s)
+		}
+	}
+	if len(subs) != 2 {
+		t.Fatalf("substrates = %v, want the two traces", subs)
+	}
+}
+
+func TestRunArtifactsUnknownID(t *testing.T) {
+	if _, err := NewSuite(1, Small).RunArtifacts(context.Background(), 1, []string{"nope"}, false); err == nil {
+		t.Fatal("expected error for unknown artifact ID")
+	}
+}
+
+func TestRunAllWithExtensions(t *testing.T) {
+	results, err := NewSuite(1, Small).RunArtifacts(context.Background(), 8, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range results {
+		if r.Artifact != nil {
+			n++
+		}
+	}
+	if n != 25 { // 21 paper artifacts + 4 extensions
+		t.Fatalf("artifacts = %d, want 25", n)
+	}
+}
+
+func TestRunAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSuite(1, Small).RunAll(ctx, 4); err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+}
+
+// TestConcurrentSubstrateAccess hammers every lazy accessor from many
+// goroutines; run with -race to verify the sync.Once guards. All callers
+// must observe the same built substrate.
+func TestConcurrentSubstrateAccess(t *testing.T) {
+	s := NewSuite(2, Small)
+	const n = 16
+	var wg sync.WaitGroup
+	campaigns := make([]any, n)
+	neps := make([]any, n)
+	clouds := make([]any, n)
+	lats := make([]int, n)
+	thrs := make([]int, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			campaigns[i] = s.Campaign()
+			neps[i] = s.NEPTrace()
+			clouds[i] = s.CloudTrace()
+			lats[i] = len(s.LatencyObs())
+			thrs[i] = len(s.ThroughputObs())
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if campaigns[i] != campaigns[0] || neps[i] != neps[0] || clouds[i] != clouds[0] {
+			t.Fatal("substrate pointers differ across goroutines")
+		}
+		if lats[i] != lats[0] || thrs[i] != thrs[0] {
+			t.Fatal("observation counts differ across goroutines")
+		}
+	}
+	if lats[0] == 0 || thrs[0] == 0 {
+		t.Fatal("no observations built")
+	}
+}

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"sync"
+
 	"edgescope/internal/crowd"
 	"edgescope/internal/rng"
 	"edgescope/internal/topology"
@@ -74,62 +76,47 @@ func paramsFor(s Scale) params {
 }
 
 // Suite shares substrates across experiments. All artifacts produced from
-// the same (seed, scale) are byte-identical across runs.
+// the same (seed, scale) are byte-identical across runs and across
+// parallelism levels: every substrate and artifact derives its randomness
+// from an independent named fork of the root seed, never from shared stream
+// position.
+//
+// A Suite is safe for concurrent use: each lazily built substrate is a
+// sync.OnceValue, so any number of goroutines may request artifacts while
+// the first requester builds, and a builder panic re-raises its descriptive
+// error on every access instead of later callers observing a zero value.
+// Substrates are immutable once built.
 type Suite struct {
 	Seed  uint64
 	Scale Scale
 	p     params
 
-	campaign   *crowd.Campaign
-	latencyObs []crowd.Observation
-	thrObs     []crowd.ThroughputObs
-	nepTrace   *vm.Dataset
-	cloudTrace *vm.Dataset
+	campaign   func() *crowd.Campaign
+	latencyObs func() []crowd.Observation
+	thrObs     func() []crowd.ThroughputObs
+	nepTrace   func() *vm.Dataset
+	cloudTrace func() *vm.Dataset
 }
 
 // NewSuite builds an experiment suite.
 func NewSuite(seed uint64, scale Scale) *Suite {
-	return &Suite{Seed: seed, Scale: scale, p: paramsFor(scale)}
-}
-
-func (s *Suite) root() *rng.Source { return rng.New(s.Seed) }
-
-// Campaign returns (building on first use) the crowd campaign.
-func (s *Suite) Campaign() *crowd.Campaign {
-	if s.campaign == nil {
-		s.campaign = crowd.NewCampaign(s.root().Fork("campaign"), crowd.Options{
+	s := &Suite{Seed: seed, Scale: scale, p: paramsFor(scale)}
+	s.campaign = sync.OnceValue(func() *crowd.Campaign {
+		return crowd.NewCampaign(s.root().Fork("campaign"), crowd.Options{
 			NumUsers: s.p.users,
 			Repeats:  s.p.repeats,
 		})
-	}
-	return s.campaign
-}
-
-// LatencyObs returns the cached latency-campaign observations.
-func (s *Suite) LatencyObs() []crowd.Observation {
-	if s.latencyObs == nil {
-		s.latencyObs = s.Campaign().RunLatency(s.root().Fork("latency"))
-	}
-	return s.latencyObs
-}
-
-// ThroughputObs returns the cached throughput-campaign observations.
-func (s *Suite) ThroughputObs() []crowd.ThroughputObs {
-	if s.thrObs == nil {
-		s.thrObs = s.Campaign().RunThroughput(s.root().Fork("throughput"), crowd.ThroughputOptions{
+	})
+	s.latencyObs = sync.OnceValue(func() []crowd.Observation {
+		return s.Campaign().RunLatency(s.root().Fork("latency"))
+	})
+	s.thrObs = sync.OnceValue(func() []crowd.ThroughputObs {
+		return s.Campaign().RunThroughput(s.root().Fork("throughput"), crowd.ThroughputOptions{
 			NumUsers: s.p.throughUsers,
 			NumSites: s.p.throughSites,
 		})
-	}
-	return s.thrObs
-}
-
-// NEP returns the edge platform topology of the campaign.
-func (s *Suite) NEP() *topology.Platform { return s.Campaign().NEP }
-
-// NEPTrace returns (generating on first use) the edge workload trace.
-func (s *Suite) NEPTrace() *vm.Dataset {
-	if s.nepTrace == nil {
+	})
+	s.nepTrace = sync.OnceValue(func() *vm.Dataset {
 		d, err := workload.GenerateNEP(s.root().Fork("nep-trace"), workload.Options{
 			Apps: s.p.nepApps,
 			Days: s.p.nepDays,
@@ -137,14 +124,9 @@ func (s *Suite) NEPTrace() *vm.Dataset {
 		if err != nil {
 			panic("core: NEP trace generation failed: " + err.Error())
 		}
-		s.nepTrace = d
-	}
-	return s.nepTrace
-}
-
-// CloudTrace returns (generating on first use) the Azure-like cloud trace.
-func (s *Suite) CloudTrace() *vm.Dataset {
-	if s.cloudTrace == nil {
+		return d
+	})
+	s.cloudTrace = sync.OnceValue(func() *vm.Dataset {
 		d, err := workload.GenerateCloud(s.root().Fork("cloud-trace"), workload.Options{
 			Apps: s.p.cloudApps,
 			Days: s.p.cloudDays,
@@ -152,7 +134,27 @@ func (s *Suite) CloudTrace() *vm.Dataset {
 		if err != nil {
 			panic("core: cloud trace generation failed: " + err.Error())
 		}
-		s.cloudTrace = d
-	}
-	return s.cloudTrace
+		return d
+	})
+	return s
 }
+
+func (s *Suite) root() *rng.Source { return rng.New(s.Seed) }
+
+// Campaign returns (building on first use) the crowd campaign.
+func (s *Suite) Campaign() *crowd.Campaign { return s.campaign() }
+
+// LatencyObs returns the cached latency-campaign observations.
+func (s *Suite) LatencyObs() []crowd.Observation { return s.latencyObs() }
+
+// ThroughputObs returns the cached throughput-campaign observations.
+func (s *Suite) ThroughputObs() []crowd.ThroughputObs { return s.thrObs() }
+
+// NEP returns the edge platform topology of the campaign.
+func (s *Suite) NEP() *topology.Platform { return s.Campaign().NEP }
+
+// NEPTrace returns (generating on first use) the edge workload trace.
+func (s *Suite) NEPTrace() *vm.Dataset { return s.nepTrace() }
+
+// CloudTrace returns (generating on first use) the Azure-like cloud trace.
+func (s *Suite) CloudTrace() *vm.Dataset { return s.cloudTrace() }

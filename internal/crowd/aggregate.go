@@ -34,13 +34,13 @@ func perUser(obs []Observation, access netmodel.Access, target TargetKind, metri
 // MedianRTTAcrossUsers returns the median, across users, of each user's
 // median RTT to the given target — the bars of Figure 2a.
 func MedianRTTAcrossUsers(obs []Observation, access netmodel.Access, target TargetKind) float64 {
-	return stats.Median(perUser(obs, access, target, func(o Observation) float64 { return o.MedianRTTMs }))
+	return stats.SummarizeInPlace(perUser(obs, access, target, func(o Observation) float64 { return o.MedianRTTMs })).Median()
 }
 
 // MedianCVAcrossUsers returns the median, across users, of the per-user RTT
 // coefficient of variation — the bars of Figure 2b.
 func MedianCVAcrossUsers(obs []Observation, access netmodel.Access, target TargetKind) float64 {
-	return stats.Median(perUser(obs, access, target, func(o Observation) float64 { return o.CV }))
+	return stats.SummarizeInPlace(perUser(obs, access, target, func(o Observation) float64 { return o.CV })).Median()
 }
 
 // HopBreakdownRow is one cell group of Table 3: the mean share of

@@ -7,10 +7,12 @@
 package crowd
 
 import (
+	"fmt"
 	"math"
 
 	"edgescope/internal/geo"
 	"edgescope/internal/netmodel"
+	"edgescope/internal/par"
 	"edgescope/internal/probe"
 	"edgescope/internal/rng"
 	"edgescope/internal/topology"
@@ -178,20 +180,43 @@ func NewCampaign(r *rng.Source, opts Options) *Campaign {
 // RunLatency executes the ping campaign: for every user it measures the
 // nearest edge site, the 3rd-nearest edge site, the nearest cloud region and
 // every cloud region (for the all-clouds average).
+//
+// Users probe in parallel (one worker per CPU). Each user draws from an
+// independent sub-stream forked deterministically from r before the fan-out,
+// and results are collected in user order, so the output is byte-identical
+// for a given seed regardless of GOMAXPROCS.
+//
+// Within one user, every target is measured with an *identical* sub-stream
+// (common random numbers): the user's access link and local conditions are
+// shared across their probes, so coupling the draws both mirrors the
+// measurement reality and keeps per-user orderings (nearest edge vs cloud,
+// nearest vs 3rd-nearest) stable at small sample counts.
 func (c *Campaign) RunLatency(r *rng.Source) []Observation {
-	var out []Observation
-	for _, u := range c.Users {
+	seeds := make([]uint64, len(c.Users))
+	for i, u := range c.Users {
+		seeds[i] = r.Fork(fmt.Sprintf("user-%d", u.ID)).Uint64()
+	}
+	perUser := make([][]Observation, len(c.Users))
+	par.ForEach(len(c.Users), 0, func(i int) {
+		u := c.Users[i]
+		crn := func() *rng.Source { return rng.New(seeds[i]) }
 		edgeRank := c.NEP.NearestSites(u.Loc)
 		cloudRank := c.Cloud.NearestSites(u.Loc)
 
-		out = append(out, c.observe(r, u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
+		obs := make([]Observation, 0, 3+len(cloudRank))
+		obs = append(obs, c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
 		if len(edgeRank) >= 3 {
-			out = append(out, c.observe(r, u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
+			obs = append(obs, c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
 		}
-		out = append(out, c.observe(r, u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
+		obs = append(obs, c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
 		for _, ci := range cloudRank {
-			out = append(out, c.observe(r, u, CloudMember, c.Cloud.Sites[ci]))
+			obs = append(obs, c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci]))
 		}
+		perUser[i] = obs
+	})
+	out := make([]Observation, 0, len(c.Users)*4)
+	for _, obs := range perUser {
+		out = append(out, obs...)
 	}
 	return out
 }
@@ -298,23 +323,30 @@ func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []Throug
 		sites = append(sites, s)
 	}
 
-	// Testers: reuse latency users, flipping some to wired access.
+	// Testers: reuse latency users, flipping some to wired access. As in
+	// RunLatency, each tester gets a pre-forked sub-stream and an output
+	// slot, so the parallel fan-out stays deterministic.
 	n := opts.NumUsers
 	if n > len(c.Users) {
 		n = len(c.Users)
 	}
-	var out []ThroughputObs
+	srcs := make([]*rng.Source, n)
 	for i := 0; i < n; i++ {
-		u := c.Users[i]
-		if r.Bernoulli(opts.WiredShare) {
+		srcs[i] = r.Fork(fmt.Sprintf("tester-%d", c.Users[i].ID))
+	}
+	perUser := make([][]ThroughputObs, n)
+	par.ForEach(n, 0, func(i int) {
+		u, ru := c.Users[i], srcs[i]
+		if ru.Bernoulli(opts.WiredShare) {
 			u.Access = netmodel.Wired
 		}
+		obs := make([]ThroughputObs, 0, 2*len(sites))
 		for _, s := range sites {
 			dist := geo.Haversine(u.Loc, s.Loc)
-			path := netmodel.BuildPath(r, u.Access, netmodel.EdgeSite, dist)
+			path := netmodel.BuildPath(ru, u.Access, netmodel.EdgeSite, dist)
 			for _, dir := range []netmodel.Direction{netmodel.Downlink, netmodel.Uplink} {
-				res := probe.VirtualIperf(r, path, dir, opts.ServerMbps)
-				out = append(out, ThroughputObs{
+				res := probe.VirtualIperf(ru, path, dir, opts.ServerMbps)
+				obs = append(obs, ThroughputObs{
 					UserID:     u.ID,
 					Access:     u.Access,
 					Dir:        dir,
@@ -323,6 +355,11 @@ func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []Throug
 				})
 			}
 		}
+		perUser[i] = obs
+	})
+	var out []ThroughputObs
+	for _, obs := range perUser {
+		out = append(out, obs...)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package crowd
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"edgescope/internal/netmodel"
@@ -269,6 +270,36 @@ func TestTargetKindString(t *testing.T) {
 	}
 	if BothCoLocated.String() == "" || EdgeCoLocated.String() == "" || NoneCoLocated.String() == "" {
 		t.Fatal("CoLocClass names empty")
+	}
+}
+
+// TestCampaignParallelismInvariance pins the determinism contract: the
+// campaign fan-out must produce identical observations whether the worker
+// pool has one goroutine or many.
+func TestCampaignParallelismInvariance(t *testing.T) {
+	run := func() ([]Observation, []ThroughputObs) {
+		r := rng.New(21)
+		c := NewCampaign(r, Options{NumUsers: 40})
+		return c.RunLatency(r.Fork("latency")),
+			c.RunThroughput(r.Fork("tp"), ThroughputOptions{NumUsers: 8, NumSites: 6})
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	obs1, tobs1 := run()
+	runtime.GOMAXPROCS(8)
+	obs8, tobs8 := run()
+	if len(obs1) != len(obs8) || len(tobs1) != len(tobs8) {
+		t.Fatal("observation counts differ across GOMAXPROCS")
+	}
+	for i := range obs1 {
+		if obs1[i] != obs8[i] {
+			t.Fatalf("latency observation %d differs across GOMAXPROCS", i)
+		}
+	}
+	for i := range tobs1 {
+		if tobs1[i] != tobs8[i] {
+			t.Fatalf("throughput observation %d differs across GOMAXPROCS", i)
+		}
 	}
 }
 

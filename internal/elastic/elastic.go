@@ -74,10 +74,11 @@ func (p VMPlan) Evaluate(w Workload) Outcome {
 		}
 		lats = append(lats, p.ExecMs*inflate)
 	}
+	sum := stats.SummarizeInPlace(lats)
 	return Outcome{
 		MonthlyCost:   cost,
-		MeanLatencyMs: stats.Mean(lats),
-		P99LatencyMs:  stats.Percentile(lats, 99),
+		MeanLatencyMs: sum.Mean(),
+		P99LatencyMs:  sum.Percentile(99),
 		OverloadFrac:  float64(overload) / float64(len(w.RPS.Values)),
 	}
 }
@@ -134,10 +135,11 @@ func (p ServerlessPlan) Evaluate(w Workload) Outcome {
 	// P99: the cold-start tail. With per-slot cold probabilities, the p99
 	// latency over the window is the 99th percentile of per-request
 	// latencies; approximate with the worst slots weighted by rate.
+	sum := stats.SummarizeInPlace(lats)
 	return Outcome{
 		MonthlyCost:   cost,
-		MeanLatencyMs: stats.Mean(lats),
-		P99LatencyMs:  stats.Percentile(lats, 99),
+		MeanLatencyMs: sum.Mean(),
+		P99LatencyMs:  sum.Percentile(99),
 		OverloadFrac:  0, // FaaS scales out
 	}
 }

@@ -1,0 +1,54 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(<=0) should default to GOMAXPROCS")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("explicit worker count not honoured")
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagatesToCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			ForEach(100, workers, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(-1, 4, func(int) { t.Fatal("fn called for n<0") })
+}

@@ -202,10 +202,11 @@ func Summarize(samples []Sample) Summary {
 		b.Decode /= n
 		b.Display /= n
 	}
+	sum := stats.SummarizeInPlace(totals)
 	return Summary{
-		MedianMs:  stats.Median(totals),
-		MeanMs:    stats.Mean(totals),
-		P95Ms:     stats.Percentile(totals, 95),
+		MedianMs:  sum.Median(),
+		MeanMs:    sum.Mean(),
+		P95Ms:     sum.Percentile(95),
 		Breakdown: b,
 	}
 }

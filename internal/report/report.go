@@ -173,12 +173,12 @@ func (f *Figure) Render(w io.Writer) error {
 			fmt.Fprintf(&b, "  %-28s (empty)\n", s.Name)
 			continue
 		}
+		sx := stats.Summarize(s.X)
+		qs := sx.Percentiles(25, 50, 75)
 		fmt.Fprintf(&b, "  %-28s n=%-5d x: p25=%s p50=%s p75=%s [%s, %s]  y: p50=%s\n",
 			s.Name, len(s.X),
-			FormatFloat(stats.Percentile(s.X, 25)),
-			FormatFloat(stats.Percentile(s.X, 50)),
-			FormatFloat(stats.Percentile(s.X, 75)),
-			FormatFloat(stats.Min(s.X)), FormatFloat(stats.Max(s.X)),
+			FormatFloat(qs[0]), FormatFloat(qs[1]), FormatFloat(qs[2]),
+			FormatFloat(sx.Min()), FormatFloat(sx.Max()),
 			FormatFloat(stats.Percentile(s.Y, 50)))
 	}
 	_, err := io.WriteString(w, b.String())

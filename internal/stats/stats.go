@@ -130,20 +130,10 @@ func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // GapRatio returns the P95/P5 ratio of xs, the paper's imbalance measure
 // (e.g. "the cross-VM usage gap is 50×"). Values at or below zero in the 5th
-// percentile are clamped to floor to keep the ratio finite.
+// percentile are clamped to floor to keep the ratio finite. The input is
+// copied and sorted once; both quantiles come from the same sorted copy.
 func GapRatio(xs []float64, floor float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	p5 := Percentile(xs, 5)
-	p95 := Percentile(xs, 95)
-	if p5 < floor {
-		p5 = floor
-	}
-	if p5 == 0 {
-		return 0
-	}
-	return p95 / p5
+	return Summarize(xs).Gap(floor)
 }
 
 // Pearson returns the Pearson correlation coefficient between xs and ys.

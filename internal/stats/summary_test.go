@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= 1e-9*math.Max(m, 1)
+}
+
+// TestSummaryMatchesSliceFunctions checks every Summary accessor against the
+// slice-at-a-time reference implementations on random data.
+func TestSummaryMatchesSliceFunctions(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	for _, n := range []int{1, 2, 3, 10, 101, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()*50 + 20
+		}
+		s := Summarize(xs)
+		if s.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, s.Len())
+		}
+		if !almostEq(s.Mean(), Mean(xs)) {
+			t.Fatalf("n=%d: Mean %v != %v", n, s.Mean(), Mean(xs))
+		}
+		if !almostEq(s.Variance(), Variance(xs)) {
+			t.Fatalf("n=%d: Variance %v != %v", n, s.Variance(), Variance(xs))
+		}
+		if !almostEq(s.StdDev(), StdDev(xs)) {
+			t.Fatalf("n=%d: StdDev %v != %v", n, s.StdDev(), StdDev(xs))
+		}
+		if !almostEq(s.CV(), CV(xs)) {
+			t.Fatalf("n=%d: CV %v != %v", n, s.CV(), CV(xs))
+		}
+		if s.Min() != Min(xs) || s.Max() != Max(xs) {
+			t.Fatalf("n=%d: Min/Max mismatch", n)
+		}
+		if !almostEq(s.Sum(), Sum(xs)) {
+			t.Fatalf("n=%d: Sum %v != %v", n, s.Sum(), Sum(xs))
+		}
+		for _, p := range []float64{0, 5, 25, 50, 75, 90, 95, 99, 100} {
+			if got, want := s.Percentile(p), Percentile(xs, p); !almostEq(got, want) {
+				t.Fatalf("n=%d: P%v = %v, want %v", n, p, got, want)
+			}
+		}
+		if !almostEq(s.Median(), Median(xs)) {
+			t.Fatalf("n=%d: Median mismatch", n)
+		}
+		if got, want := s.Gap(0.01), GapRatio(xs, 0.01); !almostEq(got, want) {
+			t.Fatalf("n=%d: Gap %v != %v", n, got, want)
+		}
+		for _, v := range []float64{xs[0], -1e9, 1e9, s.Median()} {
+			if got, want := s.CDFAt(v), CDFAt(xs, v); !almostEq(got, want) {
+				t.Fatalf("n=%d: CDFAt(%v) = %v, want %v", n, v, got, want)
+			}
+		}
+		ref := CDF(xs)
+		got := s.CDF()
+		if len(ref) != len(got) {
+			t.Fatalf("n=%d: CDF length mismatch", n)
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("n=%d: CDF[%d] = %+v, want %+v", n, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Len() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CV() != 0 {
+		t.Fatal("empty summary moments not zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty Min/Max should be ±Inf like the slice functions")
+	}
+	if s.Percentile(50) != 0 || s.Median() != 0 || s.Gap(0.01) != 0 {
+		t.Fatal("empty order statistics should be 0")
+	}
+	if s.CDFAt(1) != 0 || len(s.CDF()) != 0 {
+		t.Fatal("empty CDF should be empty")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeInPlaceSortsOwnedSlice(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := SummarizeInPlace(xs)
+	if got := s.Sorted(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatal("SummarizeInPlace did not sort")
+	}
+}
+
+func TestSummaryPercentilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize([]float64{1}).Percentile(101)
+}
+
+func TestSummaryPercentilesBatch(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	got := s.Percentiles(0, 50, 100)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Percentiles = %v", got)
+	}
+}
+
+func TestGapRatioSingleSortMatchesQuantiles(t *testing.T) {
+	xs := []float64{10, 0.001, 5, 50, 2, 8, 90, 4, 6, 7}
+	want := Percentile(xs, 95) / math.Max(Percentile(xs, 5), 0.01)
+	if got := GapRatio(xs, 0.01); !almostEq(got, want) {
+		t.Fatalf("GapRatio = %v, want %v", got, want)
+	}
+}

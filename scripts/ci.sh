@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's tier-1 gate plus the perf-trajectory snapshot.
+#
+#   build  → vet  → full tests  → race tests (concurrency-bearing packages)
+#   → short paper-artifact benchmarks recorded to BENCH.json via benchdump
+#
+# Usage: scripts/ci.sh [--no-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race (parallel engine packages) =="
+go test -race ./internal/core/ ./internal/crowd/ ./internal/par/
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+  echo "== bench → BENCH.json =="
+  go test -bench . -benchmem -benchtime 1x -run xxx . \
+    | tee /dev/stderr \
+    | go run ./cmd/benchdump -out BENCH.json
+fi
+
+echo "== ci OK =="
