@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json ci repro
+.PHONY: build vet test race fuzz bench bench-json ci repro
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,11 @@ test:
 
 # Race-check the packages that schedule work across goroutines.
 race:
-	$(GO) test -race ./internal/core/ ./internal/crowd/ ./internal/par/
+	$(GO) test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/
+
+# Brief fuzz pass over the telemetry JSONL decoder.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
 
 # Full benchmark sweep (slow; one iteration per benchmark for a quick pass).
 bench:

@@ -8,6 +8,7 @@ package edgescope
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -18,6 +19,8 @@ import (
 	"edgescope/internal/predict"
 	"edgescope/internal/probe"
 	"edgescope/internal/rng"
+	"edgescope/internal/stats"
+	"edgescope/internal/telemetry"
 	"edgescope/internal/workload"
 
 	"time"
@@ -411,6 +414,113 @@ func BenchmarkExtScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if tbl := s.ExtScheduling(); len(tbl.Rows) != 4 {
 			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- streaming telemetry pipeline ---
+
+// BenchmarkTelemetryIngest measures end-to-end ingest throughput: offer →
+// shard hash → bounded queue → single-writer sketch fold, reported as
+// events/sec. The event stream cycles dimensions so every shard stays busy.
+func BenchmarkTelemetryIngest(b *testing.B) {
+	regions := []string{"Beijing", "Shanghai", "Wuhan", "Chengdu"}
+	nets := []string{"WiFi", "LTE", "5G"}
+	events := make([]telemetry.Envelope, 4096)
+	r := rng.New(17)
+	for i := range events {
+		events[i] = telemetry.Envelope{
+			V: telemetry.SchemaVersion, TS: int64(i+1) * 100, Kind: telemetry.KindPing,
+			Metric: telemetry.MetricRTT, User: i,
+			Region: regions[i%len(regions)], Net: nets[i%len(nets)],
+			Value: r.LogNormal(3, 0.6),
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			ing := telemetry.NewIngestor(telemetry.Config{Shards: shards, Block: true})
+			defer ing.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ing.Offer(events[i%len(events)])
+			}
+			ing.Flush()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkTelemetryEncodeDecode measures the JSONL wire hot path.
+func BenchmarkTelemetryEncodeDecode(b *testing.B) {
+	e := telemetry.Envelope{
+		V: telemetry.SchemaVersion, TS: 1633046400000, Kind: "ping",
+		Metric: "rtt_ms", User: 7, Region: "Beijing", Net: "WiFi",
+		Target: "nearest-edge", Value: 12.25,
+	}
+	line, err := telemetry.AppendJSONL(nil, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	line = line[:len(line)-1] // strip newline for DecodeLine
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf, _ = telemetry.AppendJSONL(buf[:0], e)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := telemetry.DecodeLine(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSketchMerge measures the query layer's hot path: merging
+// window/shard sketches into one answer.
+func BenchmarkSketchMerge(b *testing.B) {
+	r := rng.New(19)
+	const parts = 32
+	sketches := make([]*stats.Sketch, parts)
+	for i := range sketches {
+		sk := stats.NewSketch(stats.DefaultCompression)
+		for j := 0; j < 2000; j++ {
+			if err := sk.Add(r.LogNormal(3, 0.6)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sketches[i] = sk
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := stats.NewSketch(stats.DefaultCompression)
+		for _, sk := range sketches {
+			merged.Merge(sk)
+		}
+		if merged.Quantile(0.95) <= 0 {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+// BenchmarkSketchAdd isolates the per-observation sketch fold.
+func BenchmarkSketchAdd(b *testing.B) {
+	r := rng.New(23)
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = r.LogNormal(3, 0.6)
+	}
+	sk := stats.NewSketch(stats.DefaultCompression)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.Add(xs[i%len(xs)]); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

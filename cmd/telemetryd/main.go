@@ -1,0 +1,203 @@
+// Command telemetryd serves edgescope's streaming telemetry pipeline over
+// HTTP: JSONL events in, windowed quantile-sketch rollups inside, live
+// percentile queries out.
+//
+// Endpoints:
+//
+//	POST /ingest   JSONL body, one Envelope per line; responds with
+//	               {"decoded":N,"malformed":N,"accepted":N,"dropped":N}
+//	GET  /query    ?metric=rtt_ms[&region=..][&net=..][&from=RFC3339]
+//	               [&to=RFC3339][&q=0.5,0.95,0.99][&cdf=10,50,100]
+//	GET  /keys     every queryable dimension tuple with its event count
+//	GET  /healthz  liveness plus per-shard ingest accounting
+//
+// With -replay the daemon first streams the paper's deterministic crowd
+// campaign (latency + throughput, internal/crowd) through the pipeline, so
+// a fresh process has data to query immediately:
+//
+//	telemetryd -replay -scale small &
+//	curl 'localhost:8355/query?metric=rtt_ms&q=0.5,0.95,0.99'
+//
+// Usage:
+//
+//	telemetryd [-addr :8355] [-shards 4] [-window 1m] [-queue 1024]
+//	           [-compression 100] [-retain 10000] [-drop]
+//	           [-replay] [-seed 1] [-scale small|paper]
+//
+// Ingest applies backpressure by default (a full shard queue slows the
+// producer); -drop sheds load instead, with every drop counted in
+// /healthz. -retain bounds memory on an endless stream by evicting each
+// shard's oldest rollup windows past the cap.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"edgescope/internal/core"
+	"edgescope/internal/rng"
+	"edgescope/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8355", "HTTP listen address")
+	shards := flag.Int("shards", 4, "ingest shard count")
+	queue := flag.Int("queue", 1024, "per-shard bounded queue length")
+	window := flag.Duration("window", time.Minute, "rollup window length")
+	compression := flag.Float64("compression", 0, "quantile sketch compression (0 = default)")
+	retain := flag.Int("retain", 10000, "max rollup windows retained per shard, oldest evicted first (0 = unbounded)")
+	drop := flag.Bool("drop", false, "shed load by dropping events when a shard queue is full instead of applying backpressure")
+	replay := flag.Bool("replay", false, "stream the deterministic crowd campaign through the pipeline at startup")
+	seed := flag.Uint64("seed", 1, "replay campaign seed")
+	scale := flag.String("scale", "small", "replay scale: small or paper")
+	flag.Parse()
+
+	ing := telemetry.NewIngestor(telemetry.Config{
+		Shards:      *shards,
+		QueueLen:    *queue,
+		Window:      *window,
+		Compression: *compression,
+		MaxWindows:  *retain,
+		// Default to backpressure (a full queue slows the HTTP client) so
+		// the dropped counters in /healthz only ever mean real, chosen
+		// loss; -drop opts into load shedding instead.
+		Block: !*drop,
+	})
+	start := time.Now()
+
+	if *replay {
+		sc := core.Small
+		switch *scale {
+		case "small":
+		case "paper":
+			sc = core.PaperScale
+		default:
+			fmt.Fprintf(os.Stderr, "telemetryd: unknown scale %q\n", *scale)
+			os.Exit(2)
+		}
+		log.Printf("replaying crowd campaign (seed=%d scale=%s)...", *seed, sc)
+		suite := core.NewSuite(*seed, sc)
+		// Latency streams event-at-a-time through the crowd.StreamLatency
+		// emission hook; the rng fork mirrors Suite.LatencyObs, so the
+		// streamed observations are the batch substrate's, element for
+		// element. Throughput has no streaming hook yet and goes batch.
+		st := telemetry.ReplayCampaignLatency(ing, suite.Campaign(),
+			rng.New(*seed).Fork("latency"), telemetry.ReplayOptions{})
+		thr := telemetry.Replay(ing, telemetry.ThroughputEvents(suite.ThroughputObs(), telemetry.ReplayOptions{}))
+		st.Events += thr.Events
+		st.Accepted += thr.Accepted
+		st.Dropped += thr.Dropped
+		if st.Dropped > 0 {
+			log.Printf("replay dropped %d events (use a larger -queue or omit -drop for lossless replay)", st.Dropped)
+		}
+		log.Printf("replay done: %+v", st)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		accepted := 0
+		st, err := telemetry.ReadJSONL(r.Body, func(e telemetry.Envelope) {
+			if ing.Offer(e) {
+				accepted++
+			}
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]int{
+			"decoded":   st.Decoded,
+			"malformed": st.Malformed,
+			"accepted":  accepted,
+			"dropped":   st.Decoded - accepted,
+		})
+	})
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := specFromURL(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := ing.Query(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ing.Keys())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": int(time.Since(start).Seconds()),
+			"shards":         ing.Stats(),
+			"total":          ing.TotalStats(),
+		})
+	})
+
+	log.Printf("telemetryd listening on %s (%d shards, %v windows)", *addr, *shards, *window)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("telemetryd: write response: %v", err)
+	}
+}
+
+// specFromURL parses /query parameters into a QuerySpec.
+func specFromURL(r *http.Request) (telemetry.QuerySpec, error) {
+	q := r.URL.Query()
+	spec := telemetry.QuerySpec{
+		Metric: q.Get("metric"),
+		Region: q.Get("region"),
+		Net:    q.Get("net"),
+	}
+	var err error
+	if spec.Quantiles, err = parseFloats(q.Get("q")); err != nil {
+		return spec, fmt.Errorf("bad q: %w", err)
+	}
+	if spec.CDFAt, err = parseFloats(q.Get("cdf")); err != nil {
+		return spec, fmt.Errorf("bad cdf: %w", err)
+	}
+	if v := q.Get("from"); v != "" {
+		if spec.From, err = time.Parse(time.RFC3339, v); err != nil {
+			return spec, fmt.Errorf("bad from: %w", err)
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if spec.To, err = time.Parse(time.RFC3339, v); err != nil {
+			return spec, fmt.Errorf("bad to: %w", err)
+		}
+	}
+	return spec, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

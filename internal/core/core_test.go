@@ -115,8 +115,8 @@ func TestDeterministicAcrossSuites(t *testing.T) {
 func TestExtensionsProduceArtifacts(t *testing.T) {
 	s, _ := smallSuite(t)
 	exts := s.Extensions()
-	if len(exts) != 4 {
-		t.Fatalf("extensions = %d, want 4", len(exts))
+	if len(exts) != 5 {
+		t.Fatalf("extensions = %d, want 5", len(exts))
 	}
 	for _, a := range exts {
 		var buf bytes.Buffer

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -117,7 +118,21 @@ func specs() []artifactSpec {
 			build: func(s *Suite) report.Artifact { return s.ExtScheduling() }},
 		{id: "ext-elastic", desc: "reserved VMs vs serverless", ext: true,
 			build: func(s *Suite) report.Artifact { return s.ExtElastic() }},
+		{id: "ext-telemetry", desc: "streaming telemetry vs batch summary", ext: true,
+			deps:  []string{subLatency},
+			build: func(s *Suite) report.Artifact { return s.ExtTelemetry() }},
 	}
+}
+
+// ArtifactIDs lists every valid artifact ID in registry (paper) order,
+// extension IDs last. Callers use it for -only validation messages and CLI
+// help.
+func ArtifactIDs() []string {
+	var out []string
+	for _, sp := range specs() {
+		out = append(out, sp.id)
+	}
+	return out
 }
 
 // ArtifactResult is one scheduled unit's outcome: a paper artifact with its
@@ -160,7 +175,8 @@ func (s *Suite) RunArtifacts(ctx context.Context, parallelism int, only []string
 		for _, id := range only {
 			sp, ok := known[id]
 			if !ok {
-				return nil, fmt.Errorf("core: unknown artifact %q", id)
+				return nil, fmt.Errorf("core: unknown artifact %q (valid: %s)",
+					id, strings.Join(ArtifactIDs(), ", "))
 			}
 			if !seen[id] {
 				seen[id] = true

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -115,9 +116,41 @@ func TestRunArtifactsSubset(t *testing.T) {
 	}
 }
 
+// TestRunArtifactsUnknownID pins the typo UX: an unknown -only ID fails
+// fast and the error names every valid ID so the caller can self-correct.
 func TestRunArtifactsUnknownID(t *testing.T) {
-	if _, err := NewSuite(1, Small).RunArtifacts(context.Background(), 1, []string{"nope"}, false); err == nil {
+	_, err := NewSuite(1, Small).RunArtifacts(context.Background(), 1, []string{"nope"}, false)
+	if err == nil {
 		t.Fatal("expected error for unknown artifact ID")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"nope"`) {
+		t.Errorf("error does not name the bad ID: %v", err)
+	}
+	for _, id := range ArtifactIDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list valid ID %q: %v", id, err)
+		}
+	}
+}
+
+// TestArtifactIDsCoverRegistry keeps the helper honest against the specs.
+func TestArtifactIDsCoverRegistry(t *testing.T) {
+	ids := ArtifactIDs()
+	if len(ids) != len(specs()) {
+		t.Fatalf("ArtifactIDs has %d entries, registry %d", len(ids), len(specs()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate artifact ID %q", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"table1", "fig14", "ext-telemetry"} {
+		if !seen[want] {
+			t.Fatalf("ArtifactIDs missing %q", want)
+		}
 	}
 }
 
@@ -132,8 +165,8 @@ func TestRunAllWithExtensions(t *testing.T) {
 			n++
 		}
 	}
-	if n != 25 { // 21 paper artifacts + 4 extensions
-		t.Fatalf("artifacts = %d, want 25", n)
+	if n != 26 { // 21 paper artifacts + 5 extensions
+		t.Fatalf("artifacts = %d, want 26", n)
 	}
 }
 

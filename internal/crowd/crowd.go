@@ -221,6 +221,31 @@ func (c *Campaign) RunLatency(r *rng.Source) []Observation {
 	return out
 }
 
+// StreamLatency is RunLatency's streaming counterpart: it emits each
+// observation to the callback as soon as it is measured, in deterministic
+// user-then-target order, without materialising the campaign in memory.
+// The randomness contract matches RunLatency exactly — the same per-user
+// pre-forked sub-streams and common random numbers — so for a given seed
+// the emitted observations are identical to RunLatency's slice, element for
+// element. It is the emission hook the telemetry pipeline replays through.
+func (c *Campaign) StreamLatency(r *rng.Source, emit func(Observation)) {
+	for _, u := range c.Users {
+		seed := r.Fork(fmt.Sprintf("user-%d", u.ID)).Uint64()
+		crn := func() *rng.Source { return rng.New(seed) }
+		edgeRank := c.NEP.NearestSites(u.Loc)
+		cloudRank := c.Cloud.NearestSites(u.Loc)
+
+		emit(c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
+		if len(edgeRank) >= 3 {
+			emit(c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
+		}
+		emit(c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
+		for _, ci := range cloudRank {
+			emit(c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci]))
+		}
+	}
+}
+
 func (c *Campaign) observe(r *rng.Source, u User, kind TargetKind, site *topology.Site) Observation {
 	dist := geo.Haversine(u.Loc, site.Loc)
 	path := netmodel.BuildPath(r, u.Access, site.Class, dist)

@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is a streaming quantile sketch in the t-digest family (Dunning's
+// merging digest): it absorbs an unbounded stream of observations in bounded
+// memory and answers quantile, CDF and count queries afterwards. Unlike
+// Summary — which is exact but must hold every sample — a Sketch keeps at
+// most O(compression) weighted centroids, so it is the right tool for the
+// telemetry pipeline's per-window rollups where the stream never ends.
+//
+// Sketches are mergeable: Merge folds another sketch in with the same error
+// bound as if the merged stream had been fed to a single sketch, which is
+// what lets the ingest layer shard by dimension hash and the query layer
+// recombine shards and time windows.
+//
+// # Error bound
+//
+// Centroid sizes follow the t-digest k₁ scale function k(q) =
+// δ/(2π)·asin(2q−1): adjacent centroids are fused only while they span at
+// most one unit of k, so a centroid covering quantile position q holds at
+// most a 2π·√(q(1−q))/δ fraction of the stream and the total centroid count
+// stays O(δ) regardless of stream length. The rank error of Quantile(q) —
+// |CDF(Quantile(q)) − q| on the underlying data — is at most one centroid's
+// half-width,
+//
+//	ε(q) ≤ π·√(q·(1−q))/δ
+//
+// plus the 1/(2n) discretisation floor of an n-sample empirical CDF. At the
+// default compression 100 that is ≤ 1.6% rank error at the median, ≤ 0.7%
+// at p95 and ≤ 0.32% at p99; accuracy is tightest in the tails, which is
+// what the p95/p99 telemetry queries care about. RankErrorBound computes the
+// bound; the replay cross-check test pins streaming campaign percentiles
+// against the exact batch Summary at twice it (the bound is
+// expectation-level; 2× absorbs unlucky centroid boundaries).
+//
+// A Sketch is not safe for concurrent use; the telemetry ingest layer gives
+// each shard a single writer and locks rollups during query merges.
+type Sketch struct {
+	compression float64
+	centroids   []Centroid // sorted by Mean after flush
+	buf         []Centroid // unsorted incoming points
+	count       float64
+	min, max    float64
+}
+
+// Centroid is one weighted point of a sketch.
+type Centroid struct {
+	Mean   float64
+	Weight float64
+}
+
+// DefaultCompression balances memory (≤ ~2·δ centroids ≈ a few KB) against
+// the documented error bound; it is the δ the telemetry pipeline uses unless
+// configured otherwise.
+const DefaultCompression = 100
+
+// NewSketch returns an empty sketch with the given compression δ (minimum
+// 20; pass DefaultCompression when in doubt). Higher δ means more centroids
+// and proportionally tighter quantile error.
+func NewSketch(compression float64) *Sketch {
+	if compression < 20 {
+		compression = 20
+	}
+	return &Sketch{
+		compression: compression,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Compression returns the sketch's δ parameter.
+func (sk *Sketch) Compression() float64 { return sk.compression }
+
+// Add absorbs one observation. NaN and ±Inf are rejected with an error (a
+// telemetry stream must not poison a whole window's rollup).
+func (sk *Sketch) Add(x float64) error {
+	return sk.AddWeighted(x, 1)
+}
+
+// AddWeighted absorbs an observation with weight w > 0.
+func (sk *Sketch) AddWeighted(x, w float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("stats: sketch rejects non-finite value %v", x)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("stats: sketch rejects weight %v", w)
+	}
+	sk.buf = append(sk.buf, Centroid{Mean: x, Weight: w})
+	sk.count += w
+	if x < sk.min {
+		sk.min = x
+	}
+	if x > sk.max {
+		sk.max = x
+	}
+	if len(sk.buf) >= 4*int(sk.compression) {
+		sk.flush()
+	}
+	return nil
+}
+
+// Merge folds other into sk. other is unchanged (its buffered points are
+// copied, not stolen). Merging preserves the error bound: the result is
+// equivalent to a single sketch that saw both streams.
+func (sk *Sketch) Merge(other *Sketch) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	sk.buf = append(sk.buf, other.centroids...)
+	sk.buf = append(sk.buf, other.buf...)
+	sk.count += other.count
+	if other.min < sk.min {
+		sk.min = other.min
+	}
+	if other.max > sk.max {
+		sk.max = other.max
+	}
+	sk.flush()
+}
+
+// Absorb folds other into sk like Merge but defers compaction: other's
+// centroids are only appended to the buffer, and a full merge pass runs
+// when the buffer crosses the usual threshold. Absorbing k sketches costs
+// one sort per ~8δ absorbed centroids instead of one per sketch, which is
+// what the telemetry query layer wants when merging many window rollups
+// into one answer. other is unchanged.
+func (sk *Sketch) Absorb(other *Sketch) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	sk.buf = append(sk.buf, other.centroids...)
+	sk.buf = append(sk.buf, other.buf...)
+	sk.count += other.count
+	if other.min < sk.min {
+		sk.min = other.min
+	}
+	if other.max > sk.max {
+		sk.max = other.max
+	}
+	if len(sk.buf) >= 8*int(sk.compression) {
+		sk.flush()
+	}
+}
+
+// Clone returns an independent copy of the sketch.
+func (sk *Sketch) Clone() *Sketch {
+	c := *sk
+	c.centroids = append([]Centroid(nil), sk.centroids...)
+	c.buf = append([]Centroid(nil), sk.buf...)
+	return &c
+}
+
+// flush merges buffered points into the centroid list, enforcing the
+// q(1-q) size limit. It is the only place centroids are created or fused,
+// so the memory bound and the error bound both live here.
+func (sk *Sketch) flush() {
+	if len(sk.buf) == 0 {
+		return
+	}
+	all := append(sk.centroids, sk.buf...)
+	sk.buf = sk.buf[:0]
+	sort.Slice(all, func(i, j int) bool { return all[i].Mean < all[j].Mean })
+
+	// k₁ scale: fuse neighbours while the combined centroid spans at most
+	// one unit of k(q) = δ/(2π)·asin(2q−1).
+	kOf := func(q float64) float64 {
+		if q < 0 {
+			q = 0
+		} else if q > 1 {
+			q = 1
+		}
+		return sk.compression / (2 * math.Pi) * math.Asin(2*q-1)
+	}
+	merged := all[:1]
+	wSoFar := 0.0
+	kLeft := kOf(0)
+	for _, c := range all[1:] {
+		last := &merged[len(merged)-1]
+		proposed := last.Weight + c.Weight
+		if kOf((wSoFar+proposed)/sk.count)-kLeft <= 1 {
+			// Weighted fuse keeps the mean exact for the combined mass.
+			last.Mean += (c.Mean - last.Mean) * c.Weight / proposed
+			last.Weight = proposed
+			continue
+		}
+		wSoFar += last.Weight
+		kLeft = kOf(wSoFar / sk.count)
+		merged = append(merged, c)
+	}
+	sk.centroids = append(sk.centroids[:0], merged...)
+}
+
+// Count returns the total absorbed weight.
+func (sk *Sketch) Count() float64 { return sk.count }
+
+// Min returns the smallest absorbed value, +Inf when empty (matching Min and
+// Summary.Min).
+func (sk *Sketch) Min() float64 { return sk.min }
+
+// Max returns the largest absorbed value, -Inf when empty.
+func (sk *Sketch) Max() float64 { return sk.max }
+
+// Centroids returns the sketch's current centroid list, flushing buffered
+// points first. The caller must not modify the returned slice.
+func (sk *Sketch) Centroids() []Centroid {
+	sk.flush()
+	return sk.centroids
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0,1]), 0 for an
+// empty sketch (matching Percentile on an empty slice). It panics on q
+// outside [0,1].
+func (sk *Sketch) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: sketch quantile out of range")
+	}
+	sk.flush()
+	if sk.count == 0 {
+		return 0
+	}
+	if len(sk.centroids) == 1 {
+		return sk.centroids[0].Mean
+	}
+	if q == 0 {
+		return sk.min
+	}
+	if q == 1 {
+		return sk.max
+	}
+	target := q * sk.count
+	// Walk centroids treating each as its mass centred on its mean.
+	wSoFar := 0.0
+	for i, c := range sk.centroids {
+		if wSoFar+c.Weight/2 >= target {
+			if i == 0 {
+				// Interpolate from the true minimum into the first centroid.
+				frac := target / (c.Weight / 2)
+				return sk.min + frac*(c.Mean-sk.min)
+			}
+			prev := sk.centroids[i-1]
+			lo := wSoFar - prev.Weight/2
+			span := prev.Weight/2 + c.Weight/2
+			frac := (target - lo) / span
+			return prev.Mean + frac*(c.Mean-prev.Mean)
+		}
+		wSoFar += c.Weight
+	}
+	last := sk.centroids[len(sk.centroids)-1]
+	lo := sk.count - last.Weight/2
+	if target <= lo {
+		return last.Mean
+	}
+	frac := (target - lo) / (last.Weight / 2)
+	if frac > 1 {
+		frac = 1
+	}
+	return last.Mean + frac*(sk.max-last.Mean)
+}
+
+// Percentile mirrors Summary.Percentile's 0–100 convention over the sketch.
+func (sk *Sketch) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of range")
+	}
+	return sk.Quantile(p / 100)
+}
+
+// CDFAt estimates the fraction of absorbed values <= v, 0 for an empty
+// sketch.
+func (sk *Sketch) CDFAt(v float64) float64 {
+	sk.flush()
+	if sk.count == 0 {
+		return 0
+	}
+	if v < sk.min {
+		return 0
+	}
+	if v >= sk.max {
+		return 1
+	}
+	wSoFar := 0.0
+	prevMean, prevHalf := sk.min, 0.0
+	for _, c := range sk.centroids {
+		if v < c.Mean {
+			span := c.Mean - prevMean
+			frac := 0.0
+			if span > 0 {
+				frac = (v - prevMean) / span
+			}
+			return (wSoFar - prevHalf + frac*(prevHalf+c.Weight/2)) / sk.count
+		}
+		wSoFar += c.Weight
+		prevMean, prevHalf = c.Mean, c.Weight/2
+	}
+	frac := 0.0
+	if span := sk.max - prevMean; span > 0 {
+		frac = (v - prevMean) / span
+	}
+	p := (wSoFar - prevHalf + frac*prevHalf) / sk.count
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// RankErrorBound returns the documented worst-case rank error of Quantile(q)
+// for this sketch's compression and current count: π·√(q(1−q))/δ plus the
+// 1/(2n) empirical-CDF discretisation floor. Tests and the telemetry query
+// layer use it to report how much a streaming percentile may deviate from
+// the exact batch answer.
+func (sk *Sketch) RankErrorBound(q float64) float64 {
+	eps := math.Pi * math.Sqrt(q*(1-q)) / sk.compression
+	if sk.count > 0 {
+		eps += 1 / (2 * sk.count)
+	}
+	return eps
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"edgescope/internal/rng"
+)
+
+func sketchFrom(t *testing.T, xs []float64, compression float64) *Sketch {
+	t.Helper()
+	sk := NewSketch(compression)
+	for _, x := range xs {
+		if err := sk.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sk
+}
+
+// rankErr is the rank error of the sketch's q-quantile against the exact
+// empirical distribution in sum.
+func rankErr(sum *Summary, sk *Sketch, q float64) float64 {
+	return math.Abs(sum.CDFAt(sk.Quantile(q)) - q)
+}
+
+func TestSketchEmptyAndSingle(t *testing.T) {
+	sk := NewSketch(DefaultCompression)
+	if got := sk.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := sk.CDFAt(1); got != 0 {
+		t.Errorf("empty CDFAt = %v, want 0", got)
+	}
+	if sk.Count() != 0 {
+		t.Errorf("empty Count = %v", sk.Count())
+	}
+	if !math.IsInf(sk.Min(), 1) || !math.IsInf(sk.Max(), -1) {
+		t.Errorf("empty Min/Max = %v/%v", sk.Min(), sk.Max())
+	}
+
+	if err := sk.Add(42); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := sk.Quantile(q); got != 42 {
+			t.Errorf("single Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	if got := sk.Count(); got != 1 {
+		t.Errorf("single Count = %v", got)
+	}
+}
+
+func TestSketchRejectsNonFinite(t *testing.T) {
+	sk := NewSketch(DefaultCompression)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := sk.Add(x); err == nil {
+			t.Errorf("Add(%v) accepted, want error", x)
+		}
+	}
+	if err := sk.AddWeighted(1, 0); err == nil {
+		t.Error("AddWeighted weight 0 accepted, want error")
+	}
+	if sk.Count() != 0 {
+		t.Errorf("rejected values counted: %v", sk.Count())
+	}
+}
+
+// TestSketchErrorBound pins the documented contract: on streams from several
+// distribution shapes, the rank error at each probed quantile stays within
+// 2× RankErrorBound (the bound is an expectation-level limit; the 2× margin
+// absorbs unlucky centroid boundaries).
+func TestSketchErrorBound(t *testing.T) {
+	r := rng.New(7)
+	const n = 20000
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return r.Uniform(0, 100) },
+		"normal":    func() float64 { return r.Normal(50, 12) },
+		"lognormal": func() float64 { return r.LogNormal(3, 0.8) },
+		"pareto":    func() float64 { return r.Pareto(1, 1.5) },
+	}
+	for name, draw := range dists {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = draw()
+		}
+		sum := Summarize(xs)
+		sk := sketchFrom(t, xs, DefaultCompression)
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+			if got, bound := rankErr(sum, sk, q), 2*sk.RankErrorBound(q); got > bound {
+				t.Errorf("%s: rank error at q=%v is %.5f, bound %.5f", name, q, got, bound)
+			}
+		}
+	}
+}
+
+// TestSketchBoundedMemory checks the memory contract: centroid count stays
+// O(compression) no matter how long the stream runs.
+func TestSketchBoundedMemory(t *testing.T) {
+	r := rng.New(9)
+	sk := NewSketch(DefaultCompression)
+	for i := 0; i < 200000; i++ {
+		if err := sk.Add(r.LogNormal(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(sk.Centroids()); n > 2*DefaultCompression {
+		t.Errorf("centroids = %d, want <= %d", n, 2*DefaultCompression)
+	}
+	if got := sk.Count(); got != 200000 {
+		t.Errorf("Count = %v, want 200000", got)
+	}
+}
+
+// TestSketchMerge checks mergeability: sharding a stream over k sketches and
+// merging them answers within the same bound as one sketch over the whole
+// stream — the property the telemetry ingest/query split depends on.
+func TestSketchMerge(t *testing.T) {
+	r := rng.New(11)
+	const n, shards = 12000, 8
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(30, 10)
+	}
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i] = NewSketch(DefaultCompression)
+	}
+	for i, x := range xs {
+		if err := parts[i%shards].Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := NewSketch(DefaultCompression)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if got := merged.Count(); got != n {
+		t.Fatalf("merged Count = %v, want %d", got, n)
+	}
+	sum := Summarize(xs)
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		if got, bound := rankErr(sum, merged, q), 2*merged.RankErrorBound(q); got > bound {
+			t.Errorf("merged rank error at q=%v is %.5f, bound %.5f", q, got, bound)
+		}
+	}
+	// Merge must not mutate its argument.
+	before := parts[0].Count()
+	merged.Merge(parts[0])
+	if parts[0].Count() != before {
+		t.Error("Merge mutated its argument")
+	}
+}
+
+// TestSketchAbsorb checks the deferred-compaction merge: same totals as
+// Merge, same error bound, argument untouched, and memory still bounded
+// after absorbing many sketches.
+func TestSketchAbsorb(t *testing.T) {
+	r := rng.New(29)
+	const parts, per = 40, 500
+	all := make([]float64, 0, parts*per)
+	sketches := make([]*Sketch, parts)
+	for i := range sketches {
+		sk := NewSketch(DefaultCompression)
+		for j := 0; j < per; j++ {
+			x := r.LogNormal(3, 0.7)
+			all = append(all, x)
+			if err := sk.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sketches[i] = sk
+	}
+	merged := NewSketch(DefaultCompression)
+	for _, sk := range sketches {
+		before := sk.Count()
+		merged.Absorb(sk)
+		if sk.Count() != before {
+			t.Fatal("Absorb mutated its argument")
+		}
+	}
+	sum := Summarize(all)
+	if merged.Count() != float64(len(all)) || merged.Min() != sum.Min() || merged.Max() != sum.Max() {
+		t.Fatalf("Absorb totals: count %v min %v max %v", merged.Count(), merged.Min(), merged.Max())
+	}
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		if got, bound := rankErr(sum, merged, q), 2*merged.RankErrorBound(q); got > bound {
+			t.Errorf("absorbed rank error at q=%v is %.5f, bound %.5f", q, got, bound)
+		}
+	}
+	if n := len(merged.Centroids()); n > 2*DefaultCompression {
+		t.Errorf("absorbed centroids = %d, want <= %d", n, 2*DefaultCompression)
+	}
+}
+
+// TestSketchMergeOrderIndependentCount checks that min/max/count survive any
+// merge order (the query layer merges shards in index order, but nothing
+// should depend on it beyond centroid micro-placement).
+func TestSketchMergeOrderIndependentCount(t *testing.T) {
+	a := sketchFrom(t, []float64{1, 2, 3}, DefaultCompression)
+	b := sketchFrom(t, []float64{10, 20, 30}, DefaultCompression)
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if ab.Count() != ba.Count() || ab.Min() != ba.Min() || ab.Max() != ba.Max() {
+		t.Errorf("merge order changed count/min/max: %v/%v/%v vs %v/%v/%v",
+			ab.Count(), ab.Min(), ab.Max(), ba.Count(), ba.Min(), ba.Max())
+	}
+}
+
+func TestSketchCDFConsistency(t *testing.T) {
+	r := rng.New(13)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Uniform(0, 1000)
+	}
+	sum := Summarize(xs)
+	sk := sketchFrom(t, xs, DefaultCompression)
+	for _, v := range []float64{50, 250, 500, 900} {
+		got, want := sk.CDFAt(v), sum.CDFAt(v)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("CDFAt(%v) = %.4f, exact %.4f", v, got, want)
+		}
+	}
+	if got := sk.CDFAt(-1); got != 0 {
+		t.Errorf("CDFAt below min = %v, want 0", got)
+	}
+	if got := sk.CDFAt(1e9); got != 1 {
+		t.Errorf("CDFAt above max = %v, want 1", got)
+	}
+}
+
+func TestSketchQuantilePanics(t *testing.T) {
+	sk := NewSketch(DefaultCompression)
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			sk.Quantile(q)
+		}()
+	}
+}

@@ -52,9 +52,13 @@ func (s *Summary) Mean() float64 { return s.mean }
 // Sum returns the total of the samples.
 func (s *Summary) Sum() float64 { return s.mean * float64(len(s.sorted)) }
 
-// Variance returns the population variance, 0 when Len() < 2.
+// Variance returns the population variance, 0 when Len() < 2 (a single
+// sample has no spread; an empty summary is all-zero by definition). The
+// Welford accumulator can go fractionally negative from floating-point
+// cancellation on near-constant data, so the result is clamped at 0 — never
+// negative, and StdDev/CV never produce NaN from a negative sqrt.
 func (s *Summary) Variance() float64 {
-	if len(s.sorted) < 2 {
+	if len(s.sorted) < 2 || s.m2 < 0 {
 		return 0
 	}
 	return s.m2 / float64(len(s.sorted))
@@ -64,7 +68,8 @@ func (s *Summary) Variance() float64 {
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
 // CV returns the coefficient of variation (stddev/|mean|), 0 when the mean
-// is 0.
+// is 0 — which covers the empty summary — and 0 for a single sample (whose
+// variance is 0 by definition). No input produces NaN.
 func (s *Summary) CV() float64 {
 	if s.mean == 0 {
 		return 0
@@ -90,8 +95,10 @@ func (s *Summary) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) with linear
-// interpolation between closest ranks, 0 for an empty summary. It panics on
-// p outside [0,100].
+// interpolation between closest ranks. Edge cases are pinned by tests: an
+// empty summary yields 0 for every p (matching the package-level
+// Percentile), and a single-element summary yields that element for every
+// p. It panics on p outside [0,100].
 func (s *Summary) Percentile(p float64) float64 {
 	if p < 0 || p > 100 {
 		panic("stats: percentile out of range")

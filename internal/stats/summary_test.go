@@ -91,6 +91,65 @@ func TestSummaryEmpty(t *testing.T) {
 	}
 }
 
+// TestSummarySingleElement pins the documented single-sample semantics:
+// every percentile is the sample itself, spread statistics are exactly 0,
+// and nothing is NaN.
+func TestSummarySingleElement(t *testing.T) {
+	s := Summarize([]float64{7.5})
+	for _, p := range []float64{0, 5, 50, 95, 100} {
+		if got := s.Percentile(p); got != 7.5 {
+			t.Fatalf("single-element P%v = %v, want 7.5", p, got)
+		}
+	}
+	if s.Variance() != 0 || s.StdDev() != 0 || s.CV() != 0 {
+		t.Fatalf("single-element spread: Variance=%v StdDev=%v CV=%v, want all 0",
+			s.Variance(), s.StdDev(), s.CV())
+	}
+	if s.Mean() != 7.5 || s.Min() != 7.5 || s.Max() != 7.5 || s.Median() != 7.5 {
+		t.Fatal("single-element location statistics should all equal the sample")
+	}
+}
+
+// TestSummaryNoNaN sweeps the awkward inputs — empty, single, constant,
+// zero-mean, huge-magnitude near-constant (where Welford cancellation could
+// go negative) — and asserts no accessor ever returns NaN.
+func TestSummaryNoNaN(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":         nil,
+		"single":        {3},
+		"constant":      {5, 5, 5, 5},
+		"zero-mean":     {-1, 1},
+		"all-zero":      {0, 0, 0},
+		"near-constant": {1e15, 1e15 + 1, 1e15, 1e15 + 1, 1e15},
+	}
+	for name, xs := range cases {
+		s := Summarize(xs)
+		for label, v := range map[string]float64{
+			"Mean": s.Mean(), "Variance": s.Variance(), "StdDev": s.StdDev(),
+			"CV": s.CV(), "Sum": s.Sum(), "Median": s.Median(),
+			"P95": s.Percentile(95), "Gap": s.Gap(0.01), "CDFAt": s.CDFAt(1),
+		} {
+			if math.IsNaN(v) {
+				t.Errorf("%s: %s is NaN", name, label)
+			}
+		}
+		if s.Variance() < 0 {
+			t.Errorf("%s: Variance = %v, want >= 0", name, s.Variance())
+		}
+	}
+	// The package-level functions hold the same contract.
+	for name, xs := range cases {
+		for label, v := range map[string]float64{
+			"Variance": Variance(xs), "StdDev": StdDev(xs), "CV": CV(xs),
+			"Percentile": Percentile(xs, 95), "Median": Median(xs),
+		} {
+			if math.IsNaN(v) {
+				t.Errorf("package %s: %s is NaN", name, label)
+			}
+		}
+	}
+}
+
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Summarize(xs)

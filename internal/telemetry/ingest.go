@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgescope/internal/stats"
+)
+
+// Key is the rollup dimension tuple. Every envelope maps to exactly one Key,
+// every Key maps to exactly one shard (stable FNV-1a hash), and each shard's
+// worker is the only goroutine that ever writes that Key's rollups — the
+// single-writer discipline that keeps the hot path lock-cheap and the
+// pipeline deterministic for an ordered event stream.
+type Key struct {
+	Metric string
+	Region string
+	Net    string
+}
+
+// String renders the key as metric/region/net.
+func (k Key) String() string { return k.Metric + "/" + k.Region + "/" + k.Net }
+
+// ShardOf returns the shard index for a key under the pipeline's stable
+// hash: FNV-1a over the dimension tuple with a 0 byte between fields (so
+// ("ab","c") and ("a","bc") differ). The mapping depends only on the key
+// and the shard count, never on process state, so replays and multi-process
+// deployments agree on placement.
+func (k Key) ShardOf(shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	hash := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0
+		h *= prime64
+	}
+	hash(k.Metric)
+	hash(k.Region)
+	hash(k.Net)
+	return int(h % uint64(shards))
+}
+
+// Config sizes an Ingestor. The zero value is usable: every field has a
+// documented default.
+type Config struct {
+	// Shards is the number of single-writer ingest workers. Default 4.
+	Shards int
+	// QueueLen is each shard's bounded channel capacity. Default 1024.
+	QueueLen int
+	// Window is the rollup window length. Events are bucketed by
+	// ts - ts mod Window. Default 1 minute.
+	Window time.Duration
+	// Compression is the per-window quantile-sketch δ parameter
+	// (stats.NewSketch). Default stats.DefaultCompression.
+	Compression float64
+	// Block selects backpressure over loss: when true, Offer blocks until
+	// the shard queue has room instead of dropping. Replay uses this so a
+	// deterministic stream is ingested losslessly.
+	Block bool
+	// MaxWindows caps the distinct time windows retained per shard
+	// (independent of how many dimension keys each window holds); when a
+	// new window start would exceed it, the shard's oldest window is
+	// evicted whole — all its per-key rollups — and counted once in
+	// ShardStats.EvictedWindows. 0 retains everything — right for replay
+	// and tests, unbounded for a daemon on an endless stream, so
+	// cmd/telemetryd sets a cap.
+	MaxWindows int
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Compression <= 0 {
+		c.Compression = stats.DefaultCompression
+	}
+}
+
+// windowKey identifies one rollup: a window start (Unix ms, aligned to the
+// configured window length) plus the dimension tuple.
+type windowKey struct {
+	Start int64
+	Key
+}
+
+// shard is one single-writer ingest worker: a bounded queue, the rollup map
+// it alone writes, and its accounting. The mutex guards the rollup map only
+// against query-time readers; the hot path contends on it solely while a
+// query merge is in flight.
+type shard struct {
+	ch      chan Envelope
+	mu      sync.Mutex
+	windows map[windowKey]*stats.Sketch
+	// starts indexes windows by start time: start → number of rollup
+	// entries in it. Retention counts and evicts *time windows* (distinct
+	// starts), never individual (window, key) entries, so a cap smaller
+	// than the key cardinality still retains MaxWindows whole windows.
+	starts map[int64]int
+
+	accepted  atomic.Uint64 // enqueued into this shard
+	dropped   atomic.Uint64 // rejected at the queue (only when !Block)
+	processed atomic.Uint64 // folded into a rollup
+	evicted   atomic.Uint64 // time windows evicted under MaxWindows retention
+}
+
+// ShardStats is one shard's accounting snapshot. Windows counts distinct
+// time windows (what MaxWindows caps); Rollups counts (window, key)
+// sketches (memory is proportional to this × sketch compression).
+type ShardStats struct {
+	Accepted       uint64 `json:"accepted"`
+	Dropped        uint64 `json:"dropped"`
+	Processed      uint64 `json:"processed"`
+	EvictedWindows uint64 `json:"evicted_windows"`
+	Queued         int    `json:"queued"`
+	Windows        int    `json:"windows"`
+	Rollups        int    `json:"rollups"`
+}
+
+// Ingestor is the sharded ingest stage. Producers call Offer (or OfferAll);
+// each envelope hashes by its dimension Key to one shard, whose worker
+// goroutine folds it into the (window, key) quantile sketch. Close drains
+// and stops the workers; Query (query.go) answers over the accumulated
+// rollups at any time.
+type Ingestor struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewIngestor starts the shard workers.
+func NewIngestor(cfg Config) *Ingestor {
+	cfg.fill()
+	ing := &Ingestor{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range ing.shards {
+		s := &shard{
+			ch:      make(chan Envelope, cfg.QueueLen),
+			windows: make(map[windowKey]*stats.Sketch),
+			starts:  make(map[int64]int),
+		}
+		ing.shards[i] = s
+		ing.wg.Add(1)
+		go func() {
+			defer ing.wg.Done()
+			ing.run(s)
+		}()
+	}
+	return ing
+}
+
+// Config returns the ingestor's effective (default-filled) configuration.
+func (ing *Ingestor) Config() Config { return ing.cfg }
+
+// windowStart aligns a Unix-ms timestamp down to its window.
+func (ing *Ingestor) windowStart(ts int64) int64 {
+	w := ing.cfg.Window.Milliseconds()
+	return ts - ts%w
+}
+
+// run is one shard worker: the sole writer of s.windows.
+func (ing *Ingestor) run(s *shard) {
+	for e := range s.ch {
+		wk := windowKey{Start: ing.windowStart(e.TS), Key: e.Key()}
+		s.mu.Lock()
+		sk := s.windows[wk]
+		if sk == nil {
+			sk = stats.NewSketch(ing.cfg.Compression)
+			s.windows[wk] = sk
+			if s.starts[wk.Start]++; s.starts[wk.Start] == 1 {
+				ing.enforceRetention(s)
+			}
+		}
+		// Add cannot fail here: Offer validated the envelope, and a finite
+		// value is the only thing the sketch requires.
+		_ = sk.Add(e.Value)
+		s.mu.Unlock()
+		s.processed.Add(1)
+	}
+}
+
+// enforceRetention evicts whole oldest time windows while the shard holds
+// more distinct window starts than MaxWindows. Called with s.mu held, only
+// when a new *start* appears (not per rollup entry or event), so the
+// eviction scans are paid once per window rollover. A late event older
+// than the retention horizon opens a window that is immediately the
+// eviction victim — its data is discarded, the standard retention trade.
+func (ing *Ingestor) enforceRetention(s *shard) {
+	for ing.cfg.MaxWindows > 0 && len(s.starts) > ing.cfg.MaxWindows {
+		oldest := int64(math.MaxInt64)
+		for start := range s.starts {
+			if start < oldest {
+				oldest = start
+			}
+		}
+		for wk := range s.windows {
+			if wk.Start == oldest {
+				delete(s.windows, wk)
+			}
+		}
+		delete(s.starts, oldest)
+		s.evicted.Add(1)
+	}
+}
+
+// Offer submits one envelope. It returns false — and counts the event as
+// dropped on its shard — when the shard queue is full and the ingestor is
+// not configured to Block. Invalid envelopes are rejected (false) without
+// reaching a queue; use Validate/DecodeLine upstream to distinguish.
+func (ing *Ingestor) Offer(e Envelope) bool {
+	if e.Validate() != nil {
+		return false
+	}
+	s := ing.shards[e.Key().ShardOf(len(ing.shards))]
+	if ing.cfg.Block {
+		s.ch <- e
+		s.accepted.Add(1)
+		return true
+	}
+	select {
+	case s.ch <- e:
+		s.accepted.Add(1)
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// OfferAll submits a batch, returning how many were accepted.
+func (ing *Ingestor) OfferAll(events []Envelope) int {
+	n := 0
+	for _, e := range events {
+		if ing.Offer(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush blocks until every accepted envelope has been folded into a rollup.
+// It does not stop the workers; producers may keep offering afterwards.
+// Flush only settles if producers pause — it is a barrier for batch-style
+// use (replay, tests, HTTP ingest handlers), not a fence against concurrent
+// writers.
+func (ing *Ingestor) Flush() {
+	for _, s := range ing.shards {
+		for s.processed.Load() < s.accepted.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close drains the queues, stops the workers and waits for them. Offers
+// after Close panic (send on closed channel), matching the pipeline's
+// lifecycle: producers stop first.
+func (ing *Ingestor) Close() {
+	ing.closeOnce.Do(func() {
+		for _, s := range ing.shards {
+			close(s.ch)
+		}
+		ing.wg.Wait()
+	})
+}
+
+// Stats snapshots per-shard accounting, shard index order.
+func (ing *Ingestor) Stats() []ShardStats {
+	out := make([]ShardStats, len(ing.shards))
+	for i, s := range ing.shards {
+		s.mu.Lock()
+		rollups, wins := len(s.windows), len(s.starts)
+		s.mu.Unlock()
+		out[i] = ShardStats{
+			Accepted:       s.accepted.Load(),
+			Dropped:        s.dropped.Load(),
+			Processed:      s.processed.Load(),
+			EvictedWindows: s.evicted.Load(),
+			Queued:         len(s.ch),
+			Windows:        wins,
+			Rollups:        rollups,
+		}
+	}
+	return out
+}
+
+// TotalStats folds Stats into one aggregate.
+func (ing *Ingestor) TotalStats() ShardStats {
+	var t ShardStats
+	for _, s := range ing.Stats() {
+		t.Accepted += s.Accepted
+		t.Dropped += s.Dropped
+		t.Processed += s.Processed
+		t.EvictedWindows += s.EvictedWindows
+		t.Queued += s.Queued
+		t.Windows += s.Windows
+		t.Rollups += s.Rollups
+	}
+	return t
+}
+
+// String summarises the ingestor for logs.
+func (ing *Ingestor) String() string {
+	t := ing.TotalStats()
+	return fmt.Sprintf("telemetry: %d shards, window %v: accepted=%d dropped=%d processed=%d windows=%d",
+		len(ing.shards), ing.cfg.Window, t.Accepted, t.Dropped, t.Processed, t.Windows)
+}

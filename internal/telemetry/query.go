@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"edgescope/internal/stats"
+)
+
+// QuerySpec selects rollups and the statistics to compute over them.
+// Metric is required; empty Region/Net match every value of that dimension.
+// The range [From, To) is evaluated at window granularity: every rollup
+// window overlapping it is merged whole (From aligns down to its window's
+// start, To up to the next boundary), because events inside a window are
+// already folded into one sketch and cannot be split. Zero bounds are open.
+type QuerySpec struct {
+	Metric string    `json:"metric"`
+	Region string    `json:"region,omitempty"`
+	Net    string    `json:"net,omitempty"`
+	From   time.Time `json:"from,omitempty"`
+	To     time.Time `json:"to,omitempty"`
+
+	// Quantiles to evaluate, each in [0,1]. Defaults to p50/p95/p99.
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// CDFAt lists values at which to evaluate the empirical CDF estimate.
+	CDFAt []float64 `json:"cdf_at,omitempty"`
+}
+
+// QuantileEstimate is one quantile answer with the sketch's documented
+// worst-case rank error at that point (stats.Sketch.RankErrorBound).
+type QuantileEstimate struct {
+	Q         float64 `json:"q"`
+	Value     float64 `json:"value"`
+	RankError float64 `json:"rank_error"`
+}
+
+// CDFEstimate is one CDF evaluation.
+type CDFEstimate struct {
+	X float64 `json:"x"`
+	P float64 `json:"p"`
+}
+
+// QueryResult is the merged answer over every rollup the spec matched.
+type QueryResult struct {
+	Count     float64            `json:"count"`
+	Windows   int                `json:"windows"` // rollups merged
+	Min       float64            `json:"min"`
+	Max       float64            `json:"max"`
+	Quantiles []QuantileEstimate `json:"quantiles"`
+	CDF       []CDFEstimate      `json:"cdf,omitempty"`
+}
+
+// DefaultQuantiles are evaluated when a spec names none.
+var DefaultQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Query merges every matching (window, key) sketch — across all shards and
+// the requested window range — and evaluates the spec's statistics on the
+// merged sketch. Merging is ordered (windows sorted by start time then key,
+// shards visited in index order), so the answer is deterministic for a
+// given rollup state. Ingestion may continue concurrently; each shard is
+// locked only while its matching sketches are copied out.
+func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
+	if spec.Metric == "" {
+		return QueryResult{}, fmt.Errorf("telemetry: query needs a metric")
+	}
+	qs := spec.Quantiles
+	if len(qs) == 0 {
+		qs = DefaultQuantiles
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			return QueryResult{}, fmt.Errorf("telemetry: quantile %v outside [0,1]", q)
+		}
+	}
+	// Align the bounds to whole windows: a window is selected iff it
+	// overlaps [From, To), matching the spec's documented granularity.
+	var fromMs, toMs int64
+	if !spec.From.IsZero() {
+		fromMs = ing.windowStart(spec.From.UnixMilli())
+	}
+	if spec.To.IsZero() {
+		toMs = int64(1) << 62
+	} else {
+		w := ing.cfg.Window.Milliseconds()
+		toMs = ing.windowStart(spec.To.UnixMilli()-1) + w
+	}
+
+	// Collect matching sketches under each shard's lock, then merge outside
+	// the locks in a deterministic order. The lock is held for the rollup
+	// scan plus a centroid memcpy per match (a few KB each) — that stalls
+	// the shard's writer for the scan's duration, the price of a
+	// consistent snapshot without epoch machinery; MaxWindows bounds the
+	// scan length.
+	type match struct {
+		wk windowKey
+		sk *stats.Sketch
+	}
+	var matches []match
+	for _, s := range ing.shards {
+		s.mu.Lock()
+		for wk, sk := range s.windows {
+			if wk.Metric != spec.Metric {
+				continue
+			}
+			if spec.Region != "" && wk.Region != spec.Region {
+				continue
+			}
+			if spec.Net != "" && wk.Net != spec.Net {
+				continue
+			}
+			if wk.Start < fromMs || wk.Start >= toMs {
+				continue
+			}
+			matches = append(matches, match{wk, sk.Clone()})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		a, b := matches[i].wk, matches[j].wk
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Net < b.Net
+	})
+
+	// Absorb defers compaction so merging W windows costs one merge pass
+	// per ~8δ absorbed centroids, not one sort per window.
+	merged := stats.NewSketch(ing.cfg.Compression)
+	for _, m := range matches {
+		merged.Absorb(m.sk)
+	}
+	res := QueryResult{
+		Count:   merged.Count(),
+		Windows: len(matches),
+	}
+	if merged.Count() > 0 {
+		res.Min, res.Max = merged.Min(), merged.Max()
+	}
+	for _, q := range qs {
+		res.Quantiles = append(res.Quantiles, QuantileEstimate{
+			Q:         q,
+			Value:     merged.Quantile(q),
+			RankError: merged.RankErrorBound(q),
+		})
+	}
+	for _, x := range spec.CDFAt {
+		res.CDF = append(res.CDF, CDFEstimate{X: x, P: merged.CDFAt(x)})
+	}
+	return res, nil
+}
+
+// Keys lists every distinct dimension tuple with at least one rollup,
+// sorted, with its total event count — the pipeline's "what can I query"
+// introspection.
+func (ing *Ingestor) Keys() []KeyCount {
+	acc := map[Key]float64{}
+	for _, s := range ing.shards {
+		s.mu.Lock()
+		for wk, sk := range s.windows {
+			acc[wk.Key] += sk.Count()
+		}
+		s.mu.Unlock()
+	}
+	out := make([]KeyCount, 0, len(acc))
+	for k, n := range acc {
+		out = append(out, KeyCount{Key: k, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Net < b.Net
+	})
+	return out
+}
+
+// KeyCount pairs a dimension tuple with its accumulated event count.
+type KeyCount struct {
+	Key   Key     `json:"key"`
+	Count float64 `json:"count"`
+}
+
+// WindowRange reports the earliest window start and the end of the latest
+// window across all rollups (zero times when empty) — useful for building
+// full-range queries.
+func (ing *Ingestor) WindowRange() (from, to time.Time) {
+	var lo, hi int64
+	first := true
+	for _, s := range ing.shards {
+		s.mu.Lock()
+		for wk := range s.windows {
+			if first || wk.Start < lo {
+				lo = wk.Start
+			}
+			if first || wk.Start > hi {
+				hi = wk.Start
+			}
+			first = false
+		}
+		s.mu.Unlock()
+	}
+	if first {
+		return time.Time{}, time.Time{}
+	}
+	return time.UnixMilli(lo), time.UnixMilli(hi + ing.cfg.Window.Milliseconds())
+}

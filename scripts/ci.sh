@@ -2,6 +2,7 @@
 # ci.sh — the repo's tier-1 gate plus the perf-trajectory snapshot.
 #
 #   build  → vet  → full tests  → race tests (concurrency-bearing packages)
+#   → short fuzz pass (decoder hardening)
 #   → short paper-artifact benchmarks recorded to BENCH.json via benchdump
 #
 # Usage: scripts/ci.sh [--no-bench]
@@ -18,7 +19,10 @@ echo "== test =="
 go test ./...
 
 echo "== race (parallel engine packages) =="
-go test -race ./internal/core/ ./internal/crowd/ ./internal/par/
+go test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/
+
+echo "== fuzz (telemetry decoder, 5s) =="
+go test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
 
 if [[ "${1:-}" != "--no-bench" ]]; then
   echo "== bench → BENCH.json =="
