@@ -25,7 +25,8 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run xxx .
 
-# Record the perf trajectory for future PRs.
+# Record the perf trajectory for future PRs (the scenario tag comes from the
+# `scenario:` context line bench_test.go prints).
 bench-json:
 	$(GO) test -bench . -benchmem -benchtime 1x -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.json
 

@@ -9,6 +9,7 @@ package edgescope
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"edgescope/internal/predict"
 	"edgescope/internal/probe"
 	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
 	"edgescope/internal/stats"
 	"edgescope/internal/telemetry"
 	"edgescope/internal/workload"
@@ -26,16 +28,36 @@ import (
 	"time"
 )
 
+// benchScenario names the scenario every artifact benchmark is sized by.
+// TestMain prints it as a `scenario:` context line (alongside go test's own
+// `cpu:` line) so `cmd/benchdump` tags BENCH.json with the same name —
+// successive perf snapshots then compare like against like without any
+// hardcoded tag in the CI pipeline.
+const benchScenario = "small"
+
+func TestMain(m *testing.M) {
+	fmt.Println("scenario: " + benchScenario)
+	os.Exit(m.Run())
+}
+
 var (
 	suiteOnce sync.Once
 	benchS    *core.Suite
 )
 
-// suite returns a shared small-scale suite with all substrates warm, so
-// each benchmark measures its experiment's analysis cost.
+func benchSuite() *core.Suite {
+	s, err := core.NewSuiteFromSpec(scenario.MustGet(benchScenario))
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return s
+}
+
+// suite returns a shared suite (benchScenario-sized) with all substrates
+// warm, so each benchmark measures its experiment's analysis cost.
 func suite() *core.Suite {
 	suiteOnce.Do(func() {
-		benchS = core.NewSuite(1, core.Small)
+		benchS = benchSuite()
 		benchS.LatencyObs()
 		benchS.ThroughputObs()
 		benchS.NEPTrace()
@@ -53,7 +75,7 @@ func suite() *core.Suite {
 func benchmarkRunAll(b *testing.B, parallelism int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s := core.NewSuite(1, core.Small)
+		s := benchSuite()
 		results, err := s.RunAll(context.Background(), parallelism)
 		if err != nil {
 			b.Fatal(err)

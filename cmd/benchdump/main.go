@@ -33,21 +33,27 @@ type Result struct {
 
 // File is the BENCH.json schema.
 type File struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	NumCPU      int      `json:"num_cpu"`
-	CPU         string   `json:"cpu,omitempty"`
-	Benchmarks  []Result `json:"benchmarks"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	CPU         string `json:"cpu,omitempty"`
+	// Scenario names the experiment scenario the benchmarks ran (the
+	// artifact benchmarks share one suite), so successive BENCH.json
+	// snapshots compare like against like.
+	Scenario   string   `json:"scenario,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output path (- for stdout)")
+	scn := flag.String("scenario", "", "scenario name the benchmarks were sized by (default: the `scenario:` context line the bench suite prints)")
 	flag.Parse()
 
 	f := File{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		Scenario:    *scn,
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -55,6 +61,12 @@ func main() {
 		line := sc.Text()
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			f.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		// The bench suite prints its own `scenario:` context line; an
+		// explicit -scenario flag wins over it.
+		if sc, ok := strings.CutPrefix(line, "scenario: "); ok && *scn == "" {
+			f.Scenario = strings.TrimSpace(sc)
 			continue
 		}
 		if r, ok := parseBenchLine(line); ok {

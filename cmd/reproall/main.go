@@ -1,14 +1,21 @@
 // Command reproall regenerates every table and figure of the paper in one
 // run and prints them in paper order. Artifacts are built concurrently over
 // a dependency-aware worker pool (substrates first, then independent
-// artifacts); stdout is byte-identical for a given seed regardless of
+// artifacts); stdout is byte-identical for a given scenario regardless of
 // -parallel (the wall-time report goes to stderr). With -csvdir it also
 // exports each artifact as CSV for external plotting.
 //
+// The experiment sizing comes from the declarative scenario layer:
+// -scenario accepts a built-in name (see -list) or a path to a JSON spec
+// file, and -dump-scenario prints a built-in as JSON to edit into a custom
+// scenario. The legacy -scale small|paper flag resolves onto the matching
+// built-in scenarios.
+//
 // Usage:
 //
-//	reproall [-seed N] [-scale small|paper] [-parallel N] [-csvdir DIR]
-//	         [-only id,id,...] [-ext] [-quiet-times]
+//	reproall [-seed N] [-scenario NAME|file.json] [-scale small|paper]
+//	         [-parallel N] [-csvdir DIR] [-only id,id,...] [-ext]
+//	         [-quiet-times] [-list] [-dump-scenario NAME]
 package main
 
 import (
@@ -21,11 +28,15 @@ import (
 	"time"
 
 	"edgescope/internal/core"
+	"edgescope/internal/scenario"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "experiment seed (same seed → identical outputs)")
-	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Uint64("seed", 1, "experiment seed override (same seed → identical outputs; default: the scenario's)")
+	scale := flag.String("scale", "small", "legacy experiment scale: small or paper (alias for the matching -scenario)")
+	scn := flag.String("scenario", "", "scenario name from the registry, or path to a JSON spec (overrides -scale)")
+	list := flag.Bool("list", false, "print all valid artifact IDs and registered scenario names, then exit")
+	dump := flag.String("dump-scenario", "", "print the named scenario spec as JSON (a template for custom scenarios), then exit")
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = one worker per CPU)")
 	csvdir := flag.String("csvdir", "", "directory to export per-artifact CSVs")
 	only := flag.String("only", "", "comma-separated artifact IDs to run (default all)")
@@ -33,13 +44,33 @@ func main() {
 	quietTimes := flag.Bool("quiet-times", false, "suppress the per-artifact wall-time report (stderr)")
 	flag.Parse()
 
-	sc := core.Small
-	switch *scale {
-	case "small":
-	case "paper":
-		sc = core.PaperScale
-	default:
-		fmt.Fprintf(os.Stderr, "reproall: unknown scale %q\n", *scale)
+	if *list {
+		fmt.Println("artifacts:")
+		for _, id := range core.ArtifactIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("scenarios:")
+		for _, name := range scenario.Names() {
+			fmt.Printf("  %-14s %s\n", name, scenario.Notes(name))
+		}
+		return
+	}
+	if *dump != "" {
+		sp, err := scenario.Resolve(*dump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: %v\n", err)
+			os.Exit(2)
+		}
+		if err := scenario.Encode(os.Stdout, sp); err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	suite, err := core.SuiteFromFlags(flag.CommandLine, *scn, *scale, "seed", *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproall: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -49,8 +80,6 @@ func main() {
 			ids = append(ids, id)
 		}
 	}
-
-	suite := core.NewSuite(*seed, sc)
 	start := time.Now()
 	results, err := suite.RunArtifacts(context.Background(), *parallel, ids, *ext)
 	if err != nil {
@@ -76,10 +105,11 @@ func main() {
 		}
 	}
 
-	// Timings go to stderr: stdout stays byte-identical for a given seed
+	// Timings go to stderr: stdout stays byte-identical for a given scenario
 	// regardless of -parallel, so `reproall > out.txt` is diffable.
 	if !*quietTimes {
-		fmt.Fprintf(os.Stderr, "\n# wall time per artifact (parallel=%d, total %v)\n", *parallel, wall.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "\n# wall time per artifact (scenario=%s seed=%d parallel=%d, total %v)\n",
+			suite.Name(), suite.Seed, *parallel, wall.Round(time.Millisecond))
 		var sum time.Duration
 		for _, a := range results {
 			kind := "artifact "

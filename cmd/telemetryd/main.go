@@ -11,18 +11,22 @@
 //	GET  /keys     every queryable dimension tuple with its event count
 //	GET  /healthz  liveness plus per-shard ingest accounting
 //
-// With -replay the daemon first streams the paper's deterministic crowd
-// campaign (latency + throughput, internal/crowd) through the pipeline, so
-// a fresh process has data to query immediately:
+// With -replay the daemon first streams a deterministic crowd campaign
+// (latency + throughput, internal/crowd) through the pipeline, so a fresh
+// process has data to query immediately. The campaign is sized by the
+// declarative scenario layer: -scenario accepts any registered name or a
+// JSON spec file, and the legacy -scale flag resolves onto the small/paper
+// built-ins:
 //
-//	telemetryd -replay -scale small &
+//	telemetryd -replay -scenario dense-metro &
 //	curl 'localhost:8355/query?metric=rtt_ms&q=0.5,0.95,0.99'
 //
 // Usage:
 //
 //	telemetryd [-addr :8355] [-shards 4] [-window 1m] [-queue 1024]
 //	           [-compression 100] [-retain 10000] [-drop]
-//	           [-replay] [-seed 1] [-scale small|paper]
+//	           [-replay] [-seed 1] [-scenario NAME|file.json]
+//	           [-scale small|paper]
 //
 // Ingest applies backpressure by default (a full shard queue slows the
 // producer); -drop sheds load instead, with every drop counted in
@@ -55,8 +59,9 @@ func main() {
 	retain := flag.Int("retain", 10000, "max rollup windows retained per shard, oldest evicted first (0 = unbounded)")
 	drop := flag.Bool("drop", false, "shed load by dropping events when a shard queue is full instead of applying backpressure")
 	replay := flag.Bool("replay", false, "stream the deterministic crowd campaign through the pipeline at startup")
-	seed := flag.Uint64("seed", 1, "replay campaign seed")
-	scale := flag.String("scale", "small", "replay scale: small or paper")
+	seed := flag.Uint64("seed", 1, "replay seed override (default: the scenario's)")
+	scale := flag.String("scale", "small", "legacy replay scale: small or paper (alias for the matching -scenario)")
+	scn := flag.String("scenario", "", "replay scenario name from the registry, or path to a JSON spec (overrides -scale)")
 	flag.Parse()
 
 	ing := telemetry.NewIngestor(telemetry.Config{
@@ -73,23 +78,19 @@ func main() {
 	start := time.Now()
 
 	if *replay {
-		sc := core.Small
-		switch *scale {
-		case "small":
-		case "paper":
-			sc = core.PaperScale
-		default:
-			fmt.Fprintf(os.Stderr, "telemetryd: unknown scale %q\n", *scale)
+		suite, err := core.SuiteFromFlags(flag.CommandLine, *scn, *scale, "seed", *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetryd: %v\n", err)
 			os.Exit(2)
 		}
-		log.Printf("replaying crowd campaign (seed=%d scale=%s)...", *seed, sc)
-		suite := core.NewSuite(*seed, sc)
+		log.Printf("replaying crowd campaign (scenario=%s seed=%d)...", suite.Name(), suite.Seed)
 		// Latency streams event-at-a-time through the crowd.StreamLatency
-		// emission hook; the rng fork mirrors Suite.LatencyObs, so the
-		// streamed observations are the batch substrate's, element for
-		// element. Throughput has no streaming hook yet and goes batch.
+		// emission hook (a thin sink over the one crowd.Observe walk); the
+		// rng fork mirrors Suite.LatencyObs, so the streamed observations
+		// are the batch substrate's, element for element, for any scenario.
+		// Throughput has no streaming hook yet and goes batch.
 		st := telemetry.ReplayCampaignLatency(ing, suite.Campaign(),
-			rng.New(*seed).Fork("latency"), telemetry.ReplayOptions{})
+			rng.New(suite.Seed).Fork("latency"), telemetry.ReplayOptions{})
 		thr := telemetry.Replay(ing, telemetry.ThroughputEvents(suite.ThroughputObs(), telemetry.ReplayOptions{}))
 		st.Events += thr.Events
 		st.Accepted += thr.Accepted

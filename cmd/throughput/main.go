@@ -12,15 +12,20 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	paper := flag.Bool("paper", false, "run at paper scale (25 users, 20 sites)")
+	seed := flag.Uint64("seed", 1, "experiment seed override (default: the scenario's)")
+	paper := flag.Bool("paper", false, "run at paper scale (25 users, 20 sites; alias for -scenario paper)")
+	scn := flag.String("scenario", "", "scenario name from the registry, or path to a JSON spec (overrides -paper)")
 	flag.Parse()
 
-	scale := core.Small
+	scaleName := "small"
 	if *paper {
-		scale = core.PaperScale
+		scaleName = "paper"
 	}
-	s := core.NewSuite(*seed, scale)
+	s, err := core.SuiteFromFlags(flag.CommandLine, *scn, scaleName, "seed", *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "throughput:", err)
+		os.Exit(2)
+	}
 	if err := s.Figure5().Render(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "throughput:", err)
 		os.Exit(1)

@@ -14,16 +14,21 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	paper := flag.Bool("paper", false, "paper-scale traces (4 weeks)")
+	seed := flag.Uint64("seed", 1, "experiment seed override (default: the scenario's)")
+	paper := flag.Bool("paper", false, "paper-scale traces (4 weeks; alias for -scenario paper)")
+	scn := flag.String("scenario", "", "scenario name from the registry, or path to a JSON spec (overrides -paper)")
 	tracePath := flag.String("trace", "", "optional NEP trace file from tracegen (skips generation)")
 	flag.Parse()
 
-	scale := core.Small
+	scaleName := "small"
 	if *paper {
-		scale = core.PaperScale
+		scaleName = "paper"
 	}
-	s := core.NewSuite(*seed, scale)
+	s, err := core.SuiteFromFlags(flag.CommandLine, *scn, scaleName, "seed", *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workloads:", err)
+		os.Exit(2)
+	}
 
 	if *tracePath != "" {
 		d, err := vm.Load(*tracePath)

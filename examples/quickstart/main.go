@@ -9,6 +9,7 @@ import (
 	"edgescope/internal/crowd"
 	"edgescope/internal/netmodel"
 	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
 )
 
 func main() {
@@ -16,7 +17,7 @@ func main() {
 
 	// A campaign bundles the NEP edge platform (~520 sites), the AliCloud
 	// baseline (8 regions) and a crowd of measurement users.
-	campaign := crowd.NewCampaign(r, crowd.Options{NumUsers: 50, Repeats: 15})
+	campaign := crowd.NewCampaign(r, scenario.CrowdSpec{Users: 50, Repeats: 15})
 	fmt.Printf("platform: %d edge sites, %d cloud regions, %d users\n",
 		len(campaign.NEP.Sites), len(campaign.Cloud.Sites), len(campaign.Users))
 

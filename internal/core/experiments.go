@@ -138,7 +138,7 @@ func (s *Suite) Figure3() *report.Figure {
 // counts quoted in §3.1.
 func (s *Suite) Figure4() *report.Figure {
 	r := s.root().Fork("fig4")
-	pairs := topology.SampleInterSiteRTTs(r, s.NEP(), s.p.interPairs)
+	pairs := topology.SampleInterSiteRTTs(r, s.NEP(), s.Spec.Sizing.InterSitePairs)
 	xs := make([]float64, len(pairs))
 	ys := make([]float64, len(pairs))
 	for i, p := range pairs {
@@ -195,7 +195,7 @@ func (s *Suite) Figure6() *report.Table {
 		Headers: []string{"variant", "median", "p95", "server-stage", "network-stage"},
 	}
 	add := func(name string, cfg gaming.Config) {
-		sum := gaming.Summarize(gaming.Simulate(r, cfg, s.p.qoeSamples))
+		sum := gaming.Summarize(gaming.Simulate(r, cfg, s.Spec.Sizing.QoESamples))
 		t.AddRow(name, sum.MedianMs, sum.P95Ms, sum.Breakdown.Server,
 			sum.Breakdown.Uplink+sum.Breakdown.Downlink)
 	}
@@ -227,7 +227,7 @@ func (s *Suite) Figure7() *report.Table {
 		Headers: []string{"variant", "median", "p95", "network-stage", "capture+render"},
 	}
 	add := func(name string, cfg streaming.Config) {
-		sum := streaming.Summarize(streaming.Simulate(r, cfg, s.p.qoeSamples))
+		sum := streaming.Summarize(streaming.Simulate(r, cfg, s.Spec.Sizing.QoESamples))
 		t.AddRow(name, sum.MedianMs, sum.P95Ms,
 			sum.Breakdown.UplinkNet+sum.Breakdown.DownNet,
 			sum.Breakdown.Capture+sum.Breakdown.Render)
@@ -363,13 +363,13 @@ func (s *Suite) Figure14() *report.Table {
 	} {
 		d := spec.d
 		hw, err := predict.Evaluate(d, predict.Options{
-			MaxVMs: s.p.predictVMs, Models: []string{"holt-winters"},
+			MaxVMs: s.Spec.Sizing.PredictVMs, Models: []string{"holt-winters"},
 		})
 		if err != nil {
 			panic("core: " + err.Error())
 		}
 		lstm, err := predict.Evaluate(d, predict.Options{
-			MaxVMs: s.p.lstmVMs, Models: []string{"lstm"}, LSTMEpochs: s.p.lstmEpochs,
+			MaxVMs: s.Spec.Sizing.LSTMVMs, Models: []string{"lstm"}, LSTMEpochs: s.Spec.Sizing.LSTMEpochs,
 		})
 		if err != nil {
 			panic("core: " + err.Error())
@@ -390,7 +390,7 @@ func (s *Suite) Figure14() *report.Table {
 
 // Table6 reproduces the monetary-cost comparison.
 func (s *Suite) Table6() *report.Table {
-	rows := billing.Table6(s.NEPTrace(), s.p.billingTopN)
+	rows := billing.Table6(s.NEPTrace(), s.Spec.Sizing.BillingTopN)
 	t := &report.Table{
 		Title:   "Table 6: cloud cost normalised to NEP (>1 = NEP cheaper)",
 		Headers: []string{"cloud", "network-model", "min", "max", "mean", "median", "cheaper-on-cloud", "apps"},
@@ -398,7 +398,7 @@ func (s *Suite) Table6() *report.Table {
 	for _, r := range rows {
 		t.AddRow(r.Cloud, r.Model.String(), r.Min, r.Max, r.Mean, r.Median, r.CheaperOnCloud, r.N)
 	}
-	b := billing.Breakdown(s.NEPTrace(), s.p.billingTopN)
+	b := billing.Breakdown(s.NEPTrace(), s.Spec.Sizing.BillingTopN)
 	t.AddRow("breakdown", "mean-network-share", b.MeanNetworkShare, "", "", "", "", "")
 	t.AddRow("breakdown", "max-network-share", b.MaxNetworkShare, "", "", "", "", "")
 	t.AddRow("breakdown", "hw-ratio-cloud/NEP", b.HardwareRatioCloudOverNEP, "", "", "", "", "")

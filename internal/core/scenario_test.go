@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgescope/internal/scenario"
+)
+
+func TestParseScale(t *testing.T) {
+	if sc, err := ParseScale("small"); err != nil || sc != Small {
+		t.Fatalf("ParseScale(small) = %v, %v", sc, err)
+	}
+	if sc, err := ParseScale("paper"); err != nil || sc != PaperScale {
+		t.Fatalf("ParseScale(paper) = %v, %v", sc, err)
+	}
+	if _, err := ParseScale("medium"); err == nil || !strings.Contains(err.Error(), `"medium"`) {
+		t.Fatalf("ParseScale(medium) err = %v", err)
+	}
+}
+
+// TestNewSuiteFromSpecMatchesShim pins the compatibility contract: the
+// legacy (seed, Scale) constructor and the scenario-spec constructor build
+// byte-identical artifacts, because the former is now a shim over the
+// built-in specs.
+func TestNewSuiteFromSpecMatchesShim(t *testing.T) {
+	sp := scenario.MustGet("small")
+	sp.Seed = 5
+	fromSpec, err := NewSuiteFromSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim := NewSuite(5, Small)
+	if shim.Name() != "small" || fromSpec.Name() != "small" {
+		t.Fatalf("names = %q / %q, want small", shim.Name(), fromSpec.Name())
+	}
+
+	var a, b bytes.Buffer
+	if err := fromSpec.Figure2a().Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := shim.Figure2a().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("spec-built and shim-built suites diverge")
+	}
+}
+
+func TestNewSuiteFromSpecRejects(t *testing.T) {
+	if _, err := NewSuiteFromSpec(nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	bad := scenario.MustGet("small")
+	bad.Crowd.Users = 0
+	_, err := NewSuiteFromSpec(bad)
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if !strings.Contains(err.Error(), "crowd.users") {
+		t.Fatalf("error does not name the field: %v", err)
+	}
+}
+
+// TestSuiteSpecIsolated pins the copy semantics: mutating the caller's spec
+// after construction must not affect the suite.
+func TestSuiteSpecIsolated(t *testing.T) {
+	sp := scenario.MustGet("small")
+	s, err := NewSuiteFromSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Crowd.Users = 1
+	sp.Seed = 999
+	if s.Spec.Crowd.Users == 1 || s.Seed == 999 {
+		t.Fatal("suite shares the caller's spec")
+	}
+}
+
+func TestResolveScenario(t *testing.T) {
+	// -scenario wins over -scale.
+	sp, err := ResolveScenario("dense-metro", "paper")
+	if err != nil || sp.Name != "dense-metro" {
+		t.Fatalf("ResolveScenario = %v, %v", sp, err)
+	}
+	// Legacy scale fallback.
+	sp, err = ResolveScenario("", "paper")
+	if err != nil || sp.Name != "paper" {
+		t.Fatalf("scale fallback = %v, %v", sp, err)
+	}
+	if _, err := ResolveScenario("", "huge"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	// JSON file path.
+	custom := scenario.MustGet("flash-crowd")
+	custom.Name = "my-flash"
+	path := filepath.Join(t.TempDir(), "my.json")
+	if err := scenario.Save(path, custom); err != nil {
+		t.Fatal(err)
+	}
+	sp, err = ResolveScenario(path, "small")
+	if err != nil || sp.Name != "my-flash" {
+		t.Fatalf("file resolve = %v, %v", sp, err)
+	}
+}
+
+// TestScenarioSuitesParallelismInvariance extends the engine's headline
+// determinism contract to the new built-in scenarios: a representative
+// artifact slice (crowd latency, throughput, workload billing) renders
+// byte-identically at any parallelism, for every scenario — the property
+// that makes `reproall -scenario X > out.txt` diffable.
+func TestScenarioSuitesParallelismInvariance(t *testing.T) {
+	ctx := context.Background()
+	subset := []string{"fig2a", "fig5", "table6"}
+	for _, name := range []string{"dense-metro", "rural-sparse", "flash-crowd"} {
+		t.Run(name, func(t *testing.T) {
+			render := func(parallelism int) map[string][]byte {
+				s, err := NewSuiteFromSpec(scenario.MustGet(name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				results, err := s.RunArtifacts(ctx, parallelism, subset, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return renderAll(t, results)
+			}
+			serial, parallel := render(1), render(4)
+			if len(serial) != len(subset) {
+				t.Fatalf("artifacts = %d, want %d", len(serial), len(subset))
+			}
+			for id, sb := range serial {
+				if !bytes.Equal(sb, parallel[id]) {
+					t.Fatalf("scenario %s artifact %s differs across parallelism", name, id)
+				}
+			}
+		})
+	}
+}

@@ -3,19 +3,31 @@
 // substrates (the crowd campaign, the NEP and cloud workload traces) through
 // a Suite. The cmd/ binaries and the repository-level benchmarks are thin
 // wrappers over this package.
+//
+// A Suite is configured entirely by a scenario.Spec: the declarative layer
+// decides the user population, access mix, probe schedule, trace horizon
+// and per-study sizing, and the Suite turns that data into substrates and
+// artifacts. The legacy (seed, Scale) constructor survives as a shim over
+// the "small" and "paper" built-in scenarios.
 package core
 
 import (
+	"errors"
+	"flag"
+	"fmt"
 	"sync"
 
 	"edgescope/internal/crowd"
 	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
 	"edgescope/internal/topology"
 	"edgescope/internal/vm"
 	"edgescope/internal/workload"
 )
 
-// Scale selects experiment sizing.
+// Scale selects one of the two legacy experiment sizings. It survives as a
+// compatibility shim: each value is now just a name into the scenario
+// registry, and every sizing knob lives in the scenario.Spec it resolves to.
 type Scale int
 
 // Scales: Small keeps every experiment under a second or two for CI and
@@ -26,7 +38,7 @@ const (
 	PaperScale
 )
 
-// String names the scale.
+// String names the scale; the name doubles as the built-in scenario name.
 func (s Scale) String() string {
 	if s == PaperScale {
 		return "paper"
@@ -34,52 +46,59 @@ func (s Scale) String() string {
 	return "small"
 }
 
-// params bundles the per-scale experiment sizing.
-type params struct {
-	users        int
-	repeats      int
-	nepApps      int
-	cloudApps    int
-	nepDays      int
-	cloudDays    int
-	interPairs   int
-	qoeSamples   int
-	predictVMs   int
-	lstmVMs      int
-	lstmEpochs   int
-	billingTopN  int
-	throughUsers int
-	throughSites int
+// Spec resolves the scale to a copy of its built-in scenario spec.
+func (s Scale) Spec() *scenario.Spec { return scenario.MustGet(s.String()) }
+
+// ParseScale is the one place the legacy `-scale small|paper` CLI surface
+// is parsed; every binary that still offers the flag goes through it.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return Small, nil
+	case "paper":
+		return PaperScale, nil
+	}
+	return Small, fmt.Errorf("core: unknown scale %q (valid: small, paper)", name)
 }
 
-func paramsFor(s Scale) params {
-	if s == PaperScale {
-		return params{
-			users: 158, repeats: 30,
-			nepApps: 100, cloudApps: 500,
-			nepDays: 28, cloudDays: 28,
-			interPairs: 20000, qoeSamples: 50,
-			predictVMs: 150, lstmVMs: 20, lstmEpochs: 8,
-			billingTopN:  50,
-			throughUsers: 25, throughSites: 20,
+// ResolveScenario turns the CLI surface into a validated spec in one place:
+// -scenario (a registry name or a path to a JSON spec) wins when set,
+// otherwise the legacy -scale value resolves through ParseScale onto the
+// matching built-in.
+func ResolveScenario(scenarioArg, scaleArg string) (*scenario.Spec, error) {
+	if scenarioArg != "" {
+		return scenario.Resolve(scenarioArg)
+	}
+	sc, err := ParseScale(scaleArg)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Spec(), nil
+}
+
+// SuiteFromFlags is the one entry point the CLI binaries share: it resolves
+// -scenario/-scale through ResolveScenario, applies the shared -seed
+// precedence rule — a seed flag the user explicitly set on fs (which must
+// already be parsed) overrides the scenario's seed, otherwise the spec
+// rules — and builds the Suite.
+func SuiteFromFlags(fs *flag.FlagSet, scenarioArg, scaleArg, seedFlagName string, seedValue uint64) (*Suite, error) {
+	spec, err := ResolveScenario(scenarioArg, scaleArg)
+	if err != nil {
+		return nil, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == seedFlagName {
+			spec.Seed = seedValue
 		}
-	}
-	return params{
-		users: 60, repeats: 10,
-		nepApps: 40, cloudApps: 150,
-		nepDays: 14, cloudDays: 8,
-		interPairs: 3000, qoeSamples: 30,
-		predictVMs: 40, lstmVMs: 3, lstmEpochs: 3,
-		billingTopN:  25,
-		throughUsers: 15, throughSites: 12,
-	}
+	})
+	return NewSuiteFromSpec(spec)
 }
 
 // Suite shares substrates across experiments. All artifacts produced from
-// the same (seed, scale) are byte-identical across runs and across
-// parallelism levels: every substrate and artifact derives its randomness
-// from an independent named fork of the root seed, never from shared stream
-// position.
+// the same scenario spec (seed included) are byte-identical across runs and
+// across parallelism levels: every substrate and artifact derives its
+// randomness from an independent named fork of the root seed, never from
+// shared stream position.
 //
 // A Suite is safe for concurrent use: each lazily built substrate is a
 // sync.OnceValue, so any number of goroutines may request artifacts while
@@ -87,9 +106,10 @@ func paramsFor(s Scale) params {
 // error on every access instead of later callers observing a zero value.
 // Substrates are immutable once built.
 type Suite struct {
-	Seed  uint64
-	Scale Scale
-	p     params
+	Seed uint64
+	// Spec is the validated scenario driving every substrate and sizing.
+	// It is a private copy; treat it as immutable.
+	Spec *scenario.Spec
 
 	campaign   func() *crowd.Campaign
 	latencyObs func() []crowd.Observation
@@ -98,46 +118,58 @@ type Suite struct {
 	cloudTrace func() *vm.Dataset
 }
 
-// NewSuite builds an experiment suite.
-func NewSuite(seed uint64, scale Scale) *Suite {
-	s := &Suite{Seed: seed, Scale: scale, p: paramsFor(scale)}
+// NewSuiteFromSpec builds an experiment suite from a declarative scenario.
+// The spec is validated and copied, so later caller mutations cannot leak
+// into a running suite.
+func NewSuiteFromSpec(sp *scenario.Spec) (*Suite, error) {
+	if sp == nil {
+		return nil, errors.New("core: nil scenario spec")
+	}
+	cp := sp.Clone()
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Suite{Seed: cp.Seed, Spec: cp}
 	s.campaign = sync.OnceValue(func() *crowd.Campaign {
-		return crowd.NewCampaign(s.root().Fork("campaign"), crowd.Options{
-			NumUsers: s.p.users,
-			Repeats:  s.p.repeats,
-		})
+		return crowd.NewCampaign(s.root().Fork("campaign"), cp.Crowd)
 	})
 	s.latencyObs = sync.OnceValue(func() []crowd.Observation {
 		return s.Campaign().RunLatency(s.root().Fork("latency"))
 	})
 	s.thrObs = sync.OnceValue(func() []crowd.ThroughputObs {
-		return s.Campaign().RunThroughput(s.root().Fork("throughput"), crowd.ThroughputOptions{
-			NumUsers: s.p.throughUsers,
-			NumSites: s.p.throughSites,
-		})
+		return s.Campaign().RunThroughput(s.root().Fork("throughput"))
 	})
 	s.nepTrace = sync.OnceValue(func() *vm.Dataset {
-		d, err := workload.GenerateNEP(s.root().Fork("nep-trace"), workload.Options{
-			Apps: s.p.nepApps,
-			Days: s.p.nepDays,
-		})
+		d, err := workload.GenerateNEP(s.root().Fork("nep-trace"), workload.NEPFromSpec(cp.Workload))
 		if err != nil {
 			panic("core: NEP trace generation failed: " + err.Error())
 		}
 		return d
 	})
 	s.cloudTrace = sync.OnceValue(func() *vm.Dataset {
-		d, err := workload.GenerateCloud(s.root().Fork("cloud-trace"), workload.Options{
-			Apps: s.p.cloudApps,
-			Days: s.p.cloudDays,
-		})
+		d, err := workload.GenerateCloud(s.root().Fork("cloud-trace"), workload.CloudFromSpec(cp.Workload))
 		if err != nil {
 			panic("core: cloud trace generation failed: " + err.Error())
 		}
 		return d
 	})
+	return s, nil
+}
+
+// NewSuite is the legacy constructor: the scale's built-in scenario with
+// the given seed. Built-ins always validate, so it cannot fail.
+func NewSuite(seed uint64, scale Scale) *Suite {
+	sp := scale.Spec()
+	sp.Seed = seed
+	s, err := NewSuiteFromSpec(sp)
+	if err != nil {
+		panic("core: built-in scenario invalid: " + err.Error())
+	}
 	return s
 }
+
+// Name returns the scenario name the suite runs.
+func (s *Suite) Name() string { return s.Spec.Name }
 
 func (s *Suite) root() *rng.Source { return rng.New(s.Seed) }
 

@@ -4,6 +4,11 @@
 // iperf tests against the nearest/3rd-nearest edge sites and the cloud
 // regions, and the per-user results aggregate into the paper's Figures 2, 3
 // and 5 and Tables 3 and 4.
+//
+// The campaign is sized entirely by a scenario.CrowdSpec — the population,
+// its geography and access mix, and the probe schedule all come from the
+// declarative scenario layer, so a new measurement scenario is a data
+// change, not a code change here.
 package crowd
 
 import (
@@ -15,6 +20,7 @@ import (
 	"edgescope/internal/par"
 	"edgescope/internal/probe"
 	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
 	"edgescope/internal/topology"
 )
 
@@ -31,64 +37,28 @@ type User struct {
 	County bool
 }
 
-// Options configures user generation.
-type Options struct {
-	// NumUsers defaults to 158, the paper's participant count.
-	NumUsers int
-	// WiFiShare, LTEShare, FiveGShare default to the paper's 59/34/7 mix.
-	// They must sum to ~1 when set.
-	WiFiShare, LTEShare, FiveGShare float64
-	// CountyFraction is the probability a user lives outside the metro
-	// proper. Defaults to 0.7 (paper: 69% not co-located).
-	CountyFraction float64
-	// Repeats is the per-target ping count. Defaults to 30.
-	Repeats int
-}
-
-func (o *Options) fill() {
-	if o.NumUsers == 0 {
-		o.NumUsers = 158
-	}
-	if o.WiFiShare == 0 && o.LTEShare == 0 && o.FiveGShare == 0 {
-		o.WiFiShare, o.LTEShare, o.FiveGShare = 0.59, 0.34, 0.07
-	}
-	if o.CountyFraction == 0 {
-		o.CountyFraction = 0.7
-	}
-	if o.Repeats == 0 {
-		o.Repeats = 30
-	}
-}
-
-// GenerateUsers creates the participant population: metros drawn
-// population-weighted, a CountyFraction of users displaced 60–300 km out of
-// town, and 5G users pinned to Beijing (the paper notes almost all its 5G
-// samples came from Beijing due to limited coverage elsewhere in 2020).
-func GenerateUsers(r *rng.Source, opts Options) []User {
-	opts.fill()
+// GenerateUsers creates the participant population declared by the spec:
+// metros drawn population-weighted, a CountyFraction of users displaced
+// 60–300 km out of town, and 5G users pinned to Beijing (the paper notes
+// almost all its 5G samples came from Beijing due to limited coverage
+// elsewhere in 2020). Unset spec fields take the paper defaults.
+func GenerateUsers(r *rng.Source, spec scenario.CrowdSpec) []User {
+	spec = spec.WithDefaults()
 	cities := geo.Cities()
 	weights := make([]float64, len(cities))
 	for i, c := range cities {
 		weights[i] = c.PopulationM
 	}
-	users := make([]User, 0, opts.NumUsers)
-	for i := 0; i < opts.NumUsers; i++ {
-		var access netmodel.Access
-		switch r.Choice([]float64{opts.WiFiShare, opts.LTEShare, opts.FiveGShare}) {
-		case 0:
-			access = netmodel.WiFi
-		case 1:
-			access = netmodel.LTE
-		default:
-			access = netmodel.FiveG
-		}
+	users := make([]User, 0, spec.Users)
+	for i := 0; i < spec.Users; i++ {
+		access := netmodel.PickAccess(r, spec.Mix)
 		var metro geo.City
 		county := false
 		if access == netmodel.FiveG {
 			metro = geo.MustCity("Beijing")
 		} else {
 			metro = cities[r.Choice(weights)]
-			county = r.Bernoulli(opts.CountyFraction)
+			county = r.Bernoulli(spec.CountyFraction)
 		}
 		loc := metro.Loc
 		if county {
@@ -162,94 +132,113 @@ type Campaign struct {
 	NEP   *topology.Platform
 	Cloud *topology.Platform
 	Users []User
-	// Repeats is the ping count per user×target (paper: 30).
-	Repeats int
+	// Spec is the resolved (defaults-applied) crowd slice of the scenario
+	// the campaign was built from; it schedules both the ping and the iperf
+	// studies.
+	Spec scenario.CrowdSpec
 }
 
-// NewCampaign assembles a campaign with the default paper-scale settings.
-func NewCampaign(r *rng.Source, opts Options) *Campaign {
-	opts.fill()
+// NewCampaign assembles the campaign a scenario declares. Unset spec fields
+// take the paper defaults.
+func NewCampaign(r *rng.Source, spec scenario.CrowdSpec) *Campaign {
+	spec = spec.WithDefaults()
 	return &Campaign{
-		NEP:     topology.BuildNEP(r.Fork("nep"), topology.NEPOptions{}),
-		Cloud:   topology.BuildAliCloud(),
-		Users:   GenerateUsers(r.Fork("users"), opts),
-		Repeats: opts.Repeats,
+		NEP:   topology.BuildNEP(r.Fork("nep"), topology.NEPOptions{}),
+		Cloud: topology.BuildAliCloud(),
+		Users: GenerateUsers(r.Fork("users"), spec),
+		Spec:  spec,
 	}
 }
 
-// RunLatency executes the ping campaign: for every user it measures the
-// nearest edge site, the 3rd-nearest edge site, the nearest cloud region and
-// every cloud region (for the all-clouds average).
+// observeChunk bounds how many users' observations Observe holds in memory
+// at once: large enough to keep every worker busy between emission barriers,
+// small enough that streaming consumers never see the whole campaign
+// materialised.
+const observeChunk = 64
+
+// Observe is THE observation walk of the ping campaign — the single source
+// every consumer (batch slices, streaming telemetry) derives from. For every
+// user it measures the nearest edge site, the 3rd-nearest edge site, the
+// nearest cloud region and every cloud region (for the all-clouds average),
+// and hands each Observation to sink in user-then-target order.
 //
-// Users probe in parallel (one worker per CPU). Each user draws from an
-// independent sub-stream forked deterministically from r before the fan-out,
-// and results are collected in user order, so the output is byte-identical
-// for a given seed regardless of GOMAXPROCS.
+// Users probe in parallel (one worker per CPU) in chunks of observeChunk,
+// and each chunk is emitted in order once measured, so memory stays bounded
+// by the chunk, not the campaign. Each user draws from an independent
+// sub-stream forked deterministically from r before the fan-out, so the
+// emitted sequence is byte-identical for a given seed regardless of
+// GOMAXPROCS — which is what guarantees batch/stream equivalence by
+// construction for every scenario.
 //
 // Within one user, every target is measured with an *identical* sub-stream
 // (common random numbers): the user's access link and local conditions are
 // shared across their probes, so coupling the draws both mirrors the
 // measurement reality and keeps per-user orderings (nearest edge vs cloud,
 // nearest vs 3rd-nearest) stable at small sample counts.
-func (c *Campaign) RunLatency(r *rng.Source) []Observation {
+func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 	seeds := make([]uint64, len(c.Users))
 	for i, u := range c.Users {
 		seeds[i] = r.Fork(fmt.Sprintf("user-%d", u.ID)).Uint64()
 	}
-	perUser := make([][]Observation, len(c.Users))
-	par.ForEach(len(c.Users), 0, func(i int) {
-		u := c.Users[i]
-		crn := func() *rng.Source { return rng.New(seeds[i]) }
-		edgeRank := c.NEP.NearestSites(u.Loc)
-		cloudRank := c.Cloud.NearestSites(u.Loc)
-
-		obs := make([]Observation, 0, 3+len(cloudRank))
-		obs = append(obs, c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
-		if len(edgeRank) >= 3 {
-			obs = append(obs, c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
+	buf := make([][]Observation, observeChunk)
+	for start := 0; start < len(c.Users); start += observeChunk {
+		end := start + observeChunk
+		if end > len(c.Users) {
+			end = len(c.Users)
 		}
-		obs = append(obs, c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
-		for _, ci := range cloudRank {
-			obs = append(obs, c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci]))
+		chunk := buf[:end-start]
+		par.ForEach(end-start, 0, func(j int) {
+			chunk[j] = c.observeUser(seeds[start+j], c.Users[start+j])
+		})
+		for _, obs := range chunk {
+			for _, o := range obs {
+				sink(o)
+			}
 		}
-		perUser[i] = obs
-	})
-	out := make([]Observation, 0, len(c.Users)*4)
-	for _, obs := range perUser {
-		out = append(out, obs...)
 	}
+}
+
+// observeUser measures every target of one user from a common-random-number
+// sub-stream rebuilt per target off the user's pre-forked seed.
+func (c *Campaign) observeUser(seed uint64, u User) []Observation {
+	crn := func() *rng.Source { return rng.New(seed) }
+	edgeRank := c.NEP.NearestSites(u.Loc)
+	cloudRank := c.Cloud.NearestSites(u.Loc)
+
+	obs := make([]Observation, 0, 3+len(cloudRank))
+	obs = append(obs, c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
+	if len(edgeRank) >= 3 {
+		obs = append(obs, c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
+	}
+	obs = append(obs, c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
+	for _, ci := range cloudRank {
+		obs = append(obs, c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci]))
+	}
+	return obs
+}
+
+// RunLatency is the batch consumer of Observe: it collects the one
+// observation walk into a slice.
+func (c *Campaign) RunLatency(r *rng.Source) []Observation {
+	out := make([]Observation, 0, len(c.Users)*(3+len(c.Cloud.Sites)))
+	c.Observe(r, func(o Observation) { out = append(out, o) })
 	return out
 }
 
-// StreamLatency is RunLatency's streaming counterpart: it emits each
-// observation to the callback as soon as it is measured, in deterministic
-// user-then-target order, without materialising the campaign in memory.
-// The randomness contract matches RunLatency exactly — the same per-user
-// pre-forked sub-streams and common random numbers — so for a given seed
-// the emitted observations are identical to RunLatency's slice, element for
-// element. It is the emission hook the telemetry pipeline replays through.
+// StreamLatency is the streaming consumer of Observe: each observation is
+// handed to emit as soon as its chunk is measured, without materialising
+// the campaign in memory. It is the emission hook the telemetry pipeline
+// replays through. Both RunLatency and StreamLatency are thin sinks over
+// the same walk, so for a given seed the streamed observations are the
+// batch slice's, element for element — by construction, for every scenario.
 func (c *Campaign) StreamLatency(r *rng.Source, emit func(Observation)) {
-	for _, u := range c.Users {
-		seed := r.Fork(fmt.Sprintf("user-%d", u.ID)).Uint64()
-		crn := func() *rng.Source { return rng.New(seed) }
-		edgeRank := c.NEP.NearestSites(u.Loc)
-		cloudRank := c.Cloud.NearestSites(u.Loc)
-
-		emit(c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
-		if len(edgeRank) >= 3 {
-			emit(c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
-		}
-		emit(c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
-		for _, ci := range cloudRank {
-			emit(c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci]))
-		}
-	}
+	c.Observe(r, emit)
 }
 
 func (c *Campaign) observe(r *rng.Source, u User, kind TargetKind, site *topology.Site) Observation {
 	dist := geo.Haversine(u.Loc, site.Loc)
 	path := netmodel.BuildPath(r, u.Access, site.Class, dist)
-	st := probe.VirtualPing(r, path, c.Repeats)
+	st := probe.VirtualPing(r, path, c.Spec.Repeats)
 	s1, s2, s3, rest := path.HopShare()
 
 	cityDist := geo.Haversine(u.Metro.Loc, site.City.Loc)
@@ -298,47 +287,17 @@ type ThroughputObs struct {
 	Mbps       float64
 }
 
-// ThroughputOptions configures RunThroughput.
-type ThroughputOptions struct {
-	// NumUsers defaults to 25 (a subset of the latency volunteers plus
-	// wired vantage points, as in the paper).
-	NumUsers int
-	// NumSites defaults to 20 edge VMs at different cities.
-	NumSites int
-	// ServerMbps is the per-VM bandwidth allocation; the paper provisioned
-	// 1 Gbps VMs. Defaults to 1000.
-	ServerMbps float64
-	// WiredShare is the fraction of throughput testers on wired access.
-	// Defaults to 0.2.
-	WiredShare float64
-}
-
-func (o *ThroughputOptions) fill() {
-	if o.NumUsers == 0 {
-		o.NumUsers = 25
-	}
-	if o.NumSites == 0 {
-		o.NumSites = 20
-	}
-	if o.ServerMbps == 0 {
-		o.ServerMbps = 1000
-	}
-	if o.WiredShare == 0 {
-		o.WiredShare = 0.2
-	}
-}
-
-// RunThroughput executes the iperf campaign: each selected user measures
-// down- and uplink against each of the selected edge sites (one site per
-// metro, maximising distance spread).
-func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []ThroughputObs {
-	opts.fill()
-
-	// One site per distinct metro, round-robin until NumSites.
+// RunThroughput executes the iperf campaign the scenario schedules
+// (Spec.ThroughputUsers testers × Spec.ThroughputSites edge sites, one site
+// per metro to maximise distance spread, down- and uplink each, against
+// Spec.ServerMbps servers, with Spec.WiredShare of testers flipped to wired
+// access).
+func (c *Campaign) RunThroughput(r *rng.Source) []ThroughputObs {
+	// One site per distinct metro, round-robin until ThroughputSites.
 	seen := map[string]bool{}
 	var sites []*topology.Site
 	for _, s := range c.NEP.Sites {
-		if len(sites) >= opts.NumSites {
+		if len(sites) >= c.Spec.ThroughputSites {
 			break
 		}
 		if seen[s.City.Name] {
@@ -349,9 +308,9 @@ func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []Throug
 	}
 
 	// Testers: reuse latency users, flipping some to wired access. As in
-	// RunLatency, each tester gets a pre-forked sub-stream and an output
-	// slot, so the parallel fan-out stays deterministic.
-	n := opts.NumUsers
+	// Observe, each tester gets a pre-forked sub-stream and an output slot,
+	// so the parallel fan-out stays deterministic.
+	n := c.Spec.ThroughputUsers
 	if n > len(c.Users) {
 		n = len(c.Users)
 	}
@@ -362,7 +321,7 @@ func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []Throug
 	perUser := make([][]ThroughputObs, n)
 	par.ForEach(n, 0, func(i int) {
 		u, ru := c.Users[i], srcs[i]
-		if ru.Bernoulli(opts.WiredShare) {
+		if ru.Bernoulli(c.Spec.WiredShare) {
 			u.Access = netmodel.Wired
 		}
 		obs := make([]ThroughputObs, 0, 2*len(sites))
@@ -370,7 +329,7 @@ func (c *Campaign) RunThroughput(r *rng.Source, opts ThroughputOptions) []Throug
 			dist := geo.Haversine(u.Loc, s.Loc)
 			path := netmodel.BuildPath(ru, u.Access, netmodel.EdgeSite, dist)
 			for _, dir := range []netmodel.Direction{netmodel.Downlink, netmodel.Uplink} {
-				res := probe.VirtualIperf(ru, path, dir, opts.ServerMbps)
+				res := probe.VirtualIperf(ru, path, dir, c.Spec.ServerMbps)
 				obs = append(obs, ThroughputObs{
 					UserID:     u.ID,
 					Access:     u.Access,

@@ -7,13 +7,14 @@ import (
 
 	"edgescope/internal/netmodel"
 	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
 	"edgescope/internal/stats"
 )
 
 func testCampaign(t *testing.T, seed uint64) (*Campaign, []Observation) {
 	t.Helper()
 	r := rng.New(seed)
-	c := NewCampaign(r, Options{})
+	c := NewCampaign(r, scenario.CrowdSpec{})
 	obs := c.RunLatency(r.Fork("latency"))
 	if len(obs) == 0 {
 		t.Fatal("no observations")
@@ -23,7 +24,7 @@ func testCampaign(t *testing.T, seed uint64) (*Campaign, []Observation) {
 
 func TestGenerateUsersMix(t *testing.T) {
 	r := rng.New(1)
-	users := GenerateUsers(r, Options{NumUsers: 2000})
+	users := GenerateUsers(r, scenario.CrowdSpec{Users: 2000})
 	var wifi, lte, fiveg, county int
 	for _, u := range users {
 		switch u.Access {
@@ -207,8 +208,8 @@ func TestFigure3HopCounts(t *testing.T) {
 
 func TestFigure5ThroughputCorrelations(t *testing.T) {
 	r := rng.New(8)
-	c := NewCampaign(r, Options{})
-	tobs := c.RunThroughput(r.Fork("tp"), ThroughputOptions{})
+	c := NewCampaign(r, scenario.CrowdSpec{})
+	tobs := c.RunThroughput(r.Fork("tp"))
 	rows := ThroughputCorrelations(tobs)
 	if len(rows) == 0 {
 		t.Fatal("no correlation rows")
@@ -250,8 +251,8 @@ func TestFigure5ThroughputCorrelations(t *testing.T) {
 
 func TestRunThroughputSiteSpread(t *testing.T) {
 	r := rng.New(9)
-	c := NewCampaign(r, Options{})
-	tobs := c.RunThroughput(r.Fork("tp"), ThroughputOptions{NumUsers: 5, NumSites: 10})
+	c := NewCampaign(r, scenario.CrowdSpec{ThroughputUsers: 5, ThroughputSites: 10})
+	tobs := c.RunThroughput(r.Fork("tp"))
 	// 5 users × 10 sites × 2 directions.
 	if len(tobs) != 100 {
 		t.Fatalf("observations = %d, want 100", len(tobs))
@@ -279,9 +280,9 @@ func TestTargetKindString(t *testing.T) {
 func TestCampaignParallelismInvariance(t *testing.T) {
 	run := func() ([]Observation, []ThroughputObs) {
 		r := rng.New(21)
-		c := NewCampaign(r, Options{NumUsers: 40})
+		c := NewCampaign(r, scenario.CrowdSpec{Users: 40, ThroughputUsers: 8, ThroughputSites: 6})
 		return c.RunLatency(r.Fork("latency")),
-			c.RunThroughput(r.Fork("tp"), ThroughputOptions{NumUsers: 8, NumSites: 6})
+			c.RunThroughput(r.Fork("tp"))
 	}
 	old := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(old)
@@ -313,5 +314,89 @@ func TestCampaignDeterminism(t *testing.T) {
 		if obs1[i] != obs2[i] {
 			t.Fatalf("observation %d differs across identical seeds", i)
 		}
+	}
+}
+
+// TestObserveIsTheOneWalk pins the tentpole contract: RunLatency and
+// StreamLatency are thin sinks over the single Observe walk, so all three
+// emit identical observations in identical order — including across a chunk
+// boundary (users > observeChunk).
+func TestObserveIsTheOneWalk(t *testing.T) {
+	spec := scenario.CrowdSpec{Users: observeChunk + 9, Repeats: 3}
+	mk := func() (*Campaign, *rng.Source) {
+		r := rng.New(31)
+		return NewCampaign(r.Fork("campaign"), spec), r.Fork("latency")
+	}
+
+	c1, r1 := mk()
+	batch := c1.RunLatency(r1)
+	if len(batch) == 0 {
+		t.Fatal("no observations")
+	}
+
+	c2, r2 := mk()
+	var walked []Observation
+	c2.Observe(r2, func(o Observation) { walked = append(walked, o) })
+
+	c3, r3 := mk()
+	var streamed []Observation
+	c3.StreamLatency(r3, func(o Observation) { streamed = append(streamed, o) })
+
+	if len(batch) != len(walked) || len(batch) != len(streamed) {
+		t.Fatalf("lengths diverge: batch %d, walk %d, stream %d", len(batch), len(walked), len(streamed))
+	}
+	for i := range batch {
+		if batch[i] != walked[i] || batch[i] != streamed[i] {
+			t.Fatalf("observation %d diverges between sinks", i)
+		}
+	}
+}
+
+// TestRunThroughputDeterminism gives the iperf campaign the same pin the
+// latency campaign has always had: identical seeds yield identical slices,
+// and the parallel fan-out is invariant to GOMAXPROCS — including with
+// non-default spec sizing.
+func TestRunThroughputDeterminism(t *testing.T) {
+	spec := scenario.CrowdSpec{
+		Users: 30, Repeats: 4,
+		ThroughputUsers: 12, ThroughputSites: 9,
+		WiredShare: 0.5,
+	}
+	run := func() []ThroughputObs {
+		r := rng.New(33)
+		return NewCampaign(r.Fork("campaign"), spec).RunThroughput(r.Fork("tp"))
+	}
+
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths = %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observation %d differs across identical seeds", i)
+		}
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	serial := run()
+	runtime.GOMAXPROCS(8)
+	parallel := run()
+	if len(serial) != len(parallel) {
+		t.Fatal("observation counts differ across GOMAXPROCS")
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("observation %d differs across GOMAXPROCS", i)
+		}
+	}
+	var wired int
+	for _, o := range serial {
+		if o.Access == netmodel.Wired {
+			wired++
+		}
+	}
+	if wired == 0 {
+		t.Fatal("WiredShare 0.5 produced no wired testers")
 	}
 }

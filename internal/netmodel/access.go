@@ -12,7 +12,12 @@
 // wired access).
 package netmodel
 
-import "fmt"
+import (
+	"fmt"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
+)
 
 // Access identifies the last-mile access network of an end user.
 type Access int
@@ -43,6 +48,23 @@ func (a Access) String() string {
 
 // AllAccess lists the access types in presentation order.
 func AllAccess() []Access { return []Access{WiFi, LTE, FiveG, Wired} }
+
+// PickAccess draws a last-mile access network from a scenario's declared
+// mix: exactly one weighted draw over the canonical WiFi/LTE/5G weight
+// order, so a fixed source yields the same access sequence for the same
+// mix regardless of which caller performs the draw. Wired access is never
+// drawn here — it is a per-study override (throughput testers), not part
+// of the volunteer population mix.
+func PickAccess(r *rng.Source, m scenario.AccessMix) Access {
+	switch r.Choice(m.Weights()) {
+	case 0:
+		return WiFi
+	case 1:
+		return LTE
+	default:
+		return FiveG
+	}
+}
 
 // AccessProfile holds the latency, jitter and capacity characteristics of one
 // access network type. Latencies are round-trip contributions in

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry maps scenario names to specs. Built-ins are registered at
+// init; user code may Register more (e.g. loaded from JSON at startup).
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+)
+
+// Register adds a scenario to the registry. The spec must validate and its
+// name must be unused.
+func Register(sp *Spec) error {
+	if sp == nil {
+		return fmt.Errorf("scenario: Register(nil)")
+	}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[sp.Name]; ok {
+		return fmt.Errorf("scenario: %q already registered", sp.Name)
+	}
+	registry[sp.Name] = sp.Clone()
+	return nil
+}
+
+// Get returns a copy of the named scenario, so callers may override fields
+// (typically Seed) without mutating the registry.
+func Get(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sp, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return sp.Clone(), true
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Notes returns the one-line description of a registered scenario ("" when
+// unknown), for CLI listings.
+func Notes(name string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if sp, ok := registry[name]; ok {
+		return sp.Notes
+	}
+	return ""
+}
+
+// MustGet returns a copy of a registered scenario, panicking when absent.
+// Use for the built-in names only.
+func MustGet(name string) *Spec {
+	sp, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: built-in %q not registered", name))
+	}
+	return sp
+}
+
+// Resolve is the single CLI entry point for `-scenario NAME|file.json`: a
+// registered name returns that scenario; anything else is treated as a path
+// to a JSON spec file. Unknown names that are not files error with the full
+// catalogue so the caller can self-correct.
+func Resolve(arg string) (*Spec, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("scenario: empty scenario name")
+	}
+	if sp, ok := Get(arg); ok {
+		return sp, nil
+	}
+	if looksLikePath(arg) {
+		return Load(arg)
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return Load(arg)
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (built-ins: %s; or pass a path to a JSON spec)",
+		arg, strings.Join(Names(), ", "))
+}
+
+func looksLikePath(arg string) bool {
+	return strings.HasSuffix(arg, ".json") || strings.ContainsAny(arg, "/\\")
+}
+
+// The built-in catalogue. `small` and `paper` are the two sizings the repo
+// has always shipped (CI-fast vs the paper's parameters); the rest open new
+// workloads purely as data. All built-ins use seed 1 by default.
+func init() {
+	builtins := []*Spec{
+		{
+			Name:  "small",
+			Notes: "CI-fast sizing of the paper campaign: every experiment in a second or two",
+			Seed:  1,
+			Crowd: CrowdSpec{
+				Users: 60, Repeats: 10,
+				Mix:             AccessMix{WiFi: 0.59, LTE: 0.34, FiveG: 0.07},
+				CountyFraction:  0.7,
+				ThroughputUsers: 15, ThroughputSites: 12,
+				ServerMbps: 1000, WiredShare: 0.2,
+			},
+			Workload: WorkloadSpec{NEPApps: 40, CloudApps: 150, NEPDays: 14, CloudDays: 8},
+			Sizing: SizingSpec{
+				InterSitePairs: 3000, QoESamples: 30,
+				PredictVMs: 40, LSTMVMs: 3, LSTMEpochs: 3,
+				BillingTopN: 25,
+			},
+		},
+		{
+			Name:  "paper",
+			Notes: "the paper's parameters: 158 users, 30 repeats, 4-week traces, full LSTM sweep",
+			Seed:  1,
+			Crowd: CrowdSpec{
+				Users: 158, Repeats: 30,
+				Mix:             AccessMix{WiFi: 0.59, LTE: 0.34, FiveG: 0.07},
+				CountyFraction:  0.7,
+				ThroughputUsers: 25, ThroughputSites: 20,
+				ServerMbps: 1000, WiredShare: 0.2,
+			},
+			Workload: WorkloadSpec{NEPApps: 100, CloudApps: 500, NEPDays: 28, CloudDays: 28},
+			Sizing: SizingSpec{
+				InterSitePairs: 20000, QoESamples: 50,
+				PredictVMs: 150, LSTMVMs: 20, LSTMEpochs: 8,
+				BillingTopN: 50,
+			},
+		},
+		{
+			Name:  "dense-metro",
+			Notes: "tier-1 metro population: 5G-heavy access, almost everyone co-located with a site city",
+			Seed:  1,
+			Crowd: CrowdSpec{
+				Users: 90, Repeats: 8,
+				Mix:             AccessMix{WiFi: 0.40, LTE: 0.30, FiveG: 0.30},
+				CountyFraction:  0.10,
+				ThroughputUsers: 18, ThroughputSites: 10,
+				ServerMbps: 1000, WiredShare: 0.25,
+			},
+			Workload: WorkloadSpec{NEPApps: 60, CloudApps: 150, NEPDays: 10, CloudDays: 6},
+			Sizing: SizingSpec{
+				InterSitePairs: 4000, QoESamples: 30,
+				PredictVMs: 40, LSTMVMs: 3, LSTMEpochs: 3,
+				BillingTopN: 25,
+			},
+		},
+		{
+			Name:  "rural-sparse",
+			Notes: "county-town population far from every site: LTE-dominated, long last miles",
+			Seed:  1,
+			Crowd: CrowdSpec{
+				Users: 70, Repeats: 12,
+				Mix:             AccessMix{WiFi: 0.30, LTE: 0.65, FiveG: 0.05},
+				CountyFraction:  0.95,
+				ThroughputUsers: 10, ThroughputSites: 12,
+				ServerMbps: 1000, WiredShare: 0.1,
+			},
+			Workload: WorkloadSpec{NEPApps: 30, CloudApps: 100, NEPDays: 14, CloudDays: 8},
+			Sizing: SizingSpec{
+				InterSitePairs: 2500, QoESamples: 25,
+				PredictVMs: 30, LSTMVMs: 2, LSTMEpochs: 3,
+				BillingTopN: 20,
+			},
+		},
+		{
+			Name:  "flash-crowd",
+			Notes: "live-event surge: a large burst of users probing briefly, short trace horizon",
+			Seed:  1,
+			Crowd: CrowdSpec{
+				Users: 240, Repeats: 3,
+				Mix:             AccessMix{WiFi: 0.55, LTE: 0.38, FiveG: 0.07},
+				CountyFraction:  0.5,
+				ThroughputUsers: 20, ThroughputSites: 12,
+				ServerMbps: 1000, WiredShare: 0.2,
+			},
+			Workload: WorkloadSpec{NEPApps: 50, CloudApps: 120, NEPDays: 7, CloudDays: 5},
+			Sizing: SizingSpec{
+				InterSitePairs: 3000, QoESamples: 40,
+				PredictVMs: 30, LSTMVMs: 2, LSTMEpochs: 2,
+				BillingTopN: 25,
+			},
+		},
+		{
+			Name:  "stress",
+			Notes: "everything scaled past paper defaults except the LSTM: a load test for the engine",
+			Seed:  1,
+			Crowd: CrowdSpec{
+				Users: 320, Repeats: 12,
+				Mix:             AccessMix{WiFi: 0.59, LTE: 0.34, FiveG: 0.07},
+				CountyFraction:  0.7,
+				ThroughputUsers: 30, ThroughputSites: 20,
+				ServerMbps: 1000, WiredShare: 0.2,
+			},
+			Workload: WorkloadSpec{NEPApps: 120, CloudApps: 250, NEPDays: 14, CloudDays: 8},
+			Sizing: SizingSpec{
+				InterSitePairs: 8000, QoESamples: 60,
+				PredictVMs: 60, LSTMVMs: 4, LSTMEpochs: 3,
+				BillingTopN: 40,
+			},
+		},
+	}
+	for _, sp := range builtins {
+		if err := Register(sp); err != nil {
+			panic("scenario: built-in registration failed: " + err.Error())
+		}
+	}
+}

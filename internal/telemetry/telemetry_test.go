@@ -11,6 +11,7 @@ import (
 
 	"edgescope/internal/crowd"
 	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
 	"edgescope/internal/stats"
 )
 
@@ -388,7 +389,7 @@ func TestWindowRetentionManyKeys(t *testing.T) {
 func TestReplayCampaignLatencyMatchesBatch(t *testing.T) {
 	const seed = 6
 	mkCampaign := func() *crowd.Campaign {
-		return crowd.NewCampaign(rng.New(seed).Fork("campaign"), crowd.Options{NumUsers: 20, Repeats: 5})
+		return crowd.NewCampaign(rng.New(seed).Fork("campaign"), scenario.CrowdSpec{Users: 20, Repeats: 5})
 	}
 	query := func(ing *Ingestor) QueryResult {
 		res, err := ing.Query(QuerySpec{Metric: MetricRTT, CDFAt: []float64{20, 40, 80}})
@@ -446,7 +447,7 @@ func TestIngestDeterministicForFixedShardCount(t *testing.T) {
 func campaignEvents(t *testing.T) []Envelope {
 	t.Helper()
 	r := rng.New(1)
-	c := crowd.NewCampaign(r.Fork("campaign"), crowd.Options{NumUsers: 40, Repeats: 8})
+	c := crowd.NewCampaign(r.Fork("campaign"), scenario.CrowdSpec{Users: 40, Repeats: 8})
 	obs := c.RunLatency(r.Fork("latency"))
 	return LatencyEvents(obs, ReplayOptions{})
 }
@@ -456,7 +457,7 @@ func campaignEvents(t *testing.T) []Envelope {
 func TestStreamLatencyMatchesRunLatency(t *testing.T) {
 	mk := func() (*crowd.Campaign, *rng.Source) {
 		r := rng.New(3)
-		return crowd.NewCampaign(r.Fork("campaign"), crowd.Options{NumUsers: 12, Repeats: 4}), r.Fork("latency")
+		return crowd.NewCampaign(r.Fork("campaign"), scenario.CrowdSpec{Users: 12, Repeats: 4}), r.Fork("latency")
 	}
 	c1, r1 := mk()
 	batch := c1.RunLatency(r1)
@@ -474,7 +475,7 @@ func TestStreamLatencyMatchesRunLatency(t *testing.T) {
 // stats.Summary within twice the sketch's documented rank-error bound.
 func TestReplayMatchesBatchSummary(t *testing.T) {
 	r := rng.New(1)
-	c := crowd.NewCampaign(r.Fork("campaign"), crowd.Options{NumUsers: 60, Repeats: 10})
+	c := crowd.NewCampaign(r.Fork("campaign"), scenario.CrowdSpec{Users: 60, Repeats: 10})
 	obs := c.RunLatency(r.Fork("latency"))
 	events := LatencyEvents(obs, ReplayOptions{})
 

@@ -1,0 +1,15 @@
+package workload
+
+import "edgescope/internal/scenario"
+
+// NEPFromSpec maps a scenario's workload slice onto edge-trace generation
+// options: the app count and trace horizon come from the spec; sampling
+// cadence, start date, categories and placement stay platform defaults.
+func NEPFromSpec(ws scenario.WorkloadSpec) Options {
+	return Options{Apps: ws.NEPApps, Days: ws.NEPDays}
+}
+
+// CloudFromSpec is NEPFromSpec for the Azure-like cloud trace.
+func CloudFromSpec(ws scenario.WorkloadSpec) Options {
+	return Options{Apps: ws.CloudApps, Days: ws.CloudDays}
+}

@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's tier-1 gate plus the perf-trajectory snapshot.
 #
-#   build  → vet  → full tests  → race tests (concurrency-bearing packages)
+#   gofmt cleanliness  → build  → vet  → full tests
+#   → race tests (concurrency-bearing packages)
 #   → short fuzz pass (decoder hardening)
+#   → scenario smoke: small built-in scenarios through reproall, with the
+#     -parallel invariance diff (stdout must be byte-identical at any
+#     worker count)
 #   → short paper-artifact benchmarks recorded to BENCH.json via benchdump
+#     (tagged with the scenario the bench suite runs)
 #
 # Usage: scripts/ci.sh [--no-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
 
 echo "== build =="
 go build ./...
@@ -24,8 +37,22 @@ go test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/tele
 echo "== fuzz (telemetry decoder, 5s) =="
 go test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
 
+echo "== scenario smoke (reproall, parallel-invariance diff) =="
+smoke=$(mktemp -d .ci-smoke.XXXXXX)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/reproall" ./cmd/reproall
+"$smoke/reproall" -list > /dev/null
+for sc in small dense-metro rural-sparse flash-crowd; do
+  "$smoke/reproall" -scenario "$sc" -parallel 1 -quiet-times > "$smoke/$sc-p1.txt"
+  "$smoke/reproall" -scenario "$sc" -parallel 4 -quiet-times > "$smoke/$sc-p4.txt"
+  diff "$smoke/$sc-p1.txt" "$smoke/$sc-p4.txt"
+  echo "  $sc ok ($(wc -c < "$smoke/$sc-p1.txt") bytes, parallel-invariant)"
+done
+
 if [[ "${1:-}" != "--no-bench" ]]; then
   echo "== bench → BENCH.json =="
+  # The scenario tag comes from the `scenario:` context line bench_test.go
+  # prints, so BENCH.json always names what actually ran.
   go test -bench . -benchmem -benchtime 1x -run xxx . \
     | tee /dev/stderr \
     | go run ./cmd/benchdump -out BENCH.json
