@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench bench-json ci repro
+.PHONY: build vet test race fuzz bench bench-json bench-compare ci repro
 
 build:
 	$(GO) build ./...
@@ -21,14 +21,27 @@ race:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
 
-# Full benchmark sweep (slow; one iteration per benchmark for a quick pass).
+# Full benchmark sweep. 100ms per benchmark keeps iteration counts
+# meaningful on the micro-benchmarks while the heavyweights run once.
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x -run xxx .
+	$(GO) test -bench . -benchmem -benchtime 100ms -run xxx .
 
 # Record the perf trajectory for future PRs (the scenario tag comes from the
 # `scenario:` context line bench_test.go prints).
 bench-json:
-	$(GO) test -bench . -benchmem -benchtime 1x -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.json
+	$(GO) test -bench . -benchmem -benchtime 100ms -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.json
+
+# Delta table of the working tree's benchmarks vs the committed BENCH.json
+# (HEAD's copy, so repeated runs never gate against a drifted baseline),
+# with the same allocation-budget gate ci.sh enforces (the gated names live
+# in scripts/bench_gate — one source for CI and local runs). The temp
+# snapshots are removed whether the gate passes or fails.
+bench-compare:
+	$(GO) test -bench . -benchmem -benchtime 100ms -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.new.json
+	@git show HEAD:BENCH.json > BENCH.base.json 2>/dev/null || cp BENCH.json BENCH.base.json; \
+	$(GO) run ./cmd/benchdump -compare \
+		-gate "$$(cat scripts/bench_gate)" -tolerance 0.15 \
+		BENCH.base.json BENCH.new.json; st=$$?; rm -f BENCH.new.json BENCH.base.json; exit $$st
 
 ci:
 	./scripts/ci.sh

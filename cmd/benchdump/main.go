@@ -1,13 +1,31 @@
 // Command benchdump converts `go test -bench` output into a machine-readable
 // BENCH.json so successive PRs can track the performance trajectory of the
-// paper-artifact benchmarks (ns/op, B/op, allocs/op per benchmark).
+// paper-artifact benchmarks (ns/op, B/op, allocs/op per benchmark), and
+// compares two such snapshots as a delta table with an optional regression
+// gate for CI.
 //
-// Usage:
+// Record mode:
 //
-//	go test -bench . -benchmem -run xxx ./... | go run ./cmd/benchdump -out BENCH.json
+//	go test -bench . -benchmem -run xxx . | go run ./cmd/benchdump -out BENCH.json
 //
 // Lines that are not benchmark results (test chatter, pkg headers) are
-// ignored; the cpu/goos context lines are captured when present.
+// ignored; the cpu/scenario context lines are captured when present. Entries
+// that ran exactly one iteration are kept but flagged on stderr: a
+// 1-iteration number is a single sample, not a statistic — raise -benchtime
+// if it matters.
+//
+// Compare mode:
+//
+//	go run ./cmd/benchdump -compare \
+//	    [-gate RunAllSerial,Table6Cost] [-tolerance 0.15] BASE.json NEW.json
+//
+// prints old/new/delta for ns/op, B/op and allocs/op of every benchmark
+// present in either file. With -gate, the named benchmarks' B/op and
+// allocs/op must not regress by more than -tolerance (fractional, default
+// 0.15): any gated benchmark that does — or that is missing from either
+// file — fails the run with exit status 1. Gates compare the allocation
+// metrics, not ns/op, on purpose: allocated bytes and counts are stable
+// across machines and load, wall time is not.
 package main
 
 import (
@@ -15,8 +33,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +67,41 @@ type File struct {
 func main() {
 	out := flag.String("out", "BENCH.json", "output path (- for stdout)")
 	scn := flag.String("scenario", "", "scenario name the benchmarks were sized by (default: the `scenario:` context line the bench suite prints)")
+	compare := flag.Bool("compare", false, "compare two BENCH.json files (args: BASE NEW), print a delta table")
+	gate := flag.String("gate", "", "comma-separated benchmark names whose B/op must not regress past -tolerance (compare mode)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional B/op regression for gated benchmarks (compare mode)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchdump: -compare needs exactly two args: BASE.json NEW.json")
+			os.Exit(2)
+		}
+		base, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := readFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
+			os.Exit(2)
+		}
+		var gates []string
+		for _, g := range strings.Split(*gate, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				gates = append(gates, g)
+			}
+		}
+		failures := compareFiles(os.Stdout, base, cur, gates, *tolerance)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchdump: GATE FAIL: %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	f := File{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -55,31 +109,22 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		Scenario:    *scn,
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
-			f.CPU = strings.TrimSpace(cpu)
-			continue
-		}
-		// The bench suite prints its own `scenario:` context line; an
-		// explicit -scenario flag wins over it.
-		if sc, ok := strings.CutPrefix(line, "scenario: "); ok && *scn == "" {
-			f.Scenario = strings.TrimSpace(sc)
-			continue
-		}
-		if r, ok := parseBenchLine(line); ok {
-			f.Benchmarks = append(f.Benchmarks, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	scenarioLine, err := parseStream(os.Stdin, &f)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdump: read: %v\n", err)
 		os.Exit(1)
+	}
+	if f.Scenario == "" {
+		f.Scenario = scenarioLine
 	}
 	if len(f.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdump: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+	for _, r := range f.Benchmarks {
+		if r.Iterations == 1 {
+			fmt.Fprintf(os.Stderr, "benchdump: warning: %s ran 1 iteration — a single sample, not a statistic; raise -benchtime for meaningful numbers\n", r.Name)
+		}
 	}
 
 	enc, err := json.MarshalIndent(f, "", "  ")
@@ -99,21 +144,47 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchdump: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
 }
 
+// parseStream scans bench output into f and returns the `scenario:` context
+// line's value (the -scenario flag wins over it at the call site).
+func parseStream(r io.Reader, f *File) (scenario string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			f.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if s, ok := strings.CutPrefix(line, "scenario: "); ok {
+			scenario = strings.TrimSpace(s)
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			f.Benchmarks = append(f.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	f.Benchmarks = stripGOMAXPROCSSuffix(f.Benchmarks)
+	return scenario, nil
+}
+
 // parseBenchLine parses one `go test -bench` result line, e.g.
 //
 //	BenchmarkFigure2aRTT-8  852  1407703 ns/op  288455 B/op  3548 allocs/op
+//
+// The name is kept in full (minus the Benchmark prefix): per-line suffix
+// stripping cannot tell a GOMAXPROCS suffix from a sub-benchmark name that
+// ends in a number (TelemetryIngest/shards-1 vs shards-4 used to collapse
+// into one duplicated key). stripGOMAXPROCSSuffix handles the real suffix
+// across the whole run.
 func parseBenchLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Result{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
-	// Strip the -GOMAXPROCS suffix.
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
@@ -135,4 +206,167 @@ func parseBenchLine(line string) (Result, bool) {
 		}
 	}
 	return r, seen
+}
+
+// stripGOMAXPROCSSuffix removes the `-N` GOMAXPROCS suffix go test appends
+// to every benchmark of a run (only when GOMAXPROCS != 1). It is a run-wide
+// property, so it is stripped only when every name of a multi-benchmark run
+// carries the same all-digits suffix — a sub-benchmark that legitimately
+// ends in `-1` on a single-CPU machine (where go test appends nothing)
+// survives intact, and mixed `-cpu 1,2,4` sweeps keep their distinct names.
+// A single-benchmark run is inherently ambiguous (one shared suffix is no
+// evidence), so it is recorded verbatim; record full sweeps, not one
+// filtered benchmark, when the snapshot feeds compare mode.
+func stripGOMAXPROCSSuffix(rs []Result) []Result {
+	if len(rs) < 2 {
+		return rs
+	}
+	suffix := ""
+	for i, r := range rs {
+		cut := strings.LastIndex(r.Name, "-")
+		if cut <= 0 {
+			return rs
+		}
+		n := r.Name[cut:]
+		if len(n) < 2 {
+			return rs
+		}
+		if _, err := strconv.Atoi(n[1:]); err != nil {
+			return rs
+		}
+		if i == 0 {
+			suffix = n
+		} else if n != suffix {
+			return rs
+		}
+	}
+	for i := range rs {
+		rs[i].Name = strings.TrimSuffix(rs[i].Name, suffix)
+	}
+	return rs
+}
+
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// compareFiles writes the delta table to w and returns the gate failures.
+func compareFiles(w io.Writer, base, cur *File, gates []string, tolerance float64) []string {
+	baseBy := map[string]Result{}
+	for _, r := range base.Benchmarks {
+		baseBy[r.Name] = r
+	}
+	curBy := map[string]Result{}
+	for _, r := range cur.Benchmarks {
+		curBy[r.Name] = r
+	}
+	names := make([]string, 0, len(baseBy)+len(curBy))
+	for n := range baseBy {
+		names = append(names, n)
+	}
+	for n := range curBy {
+		if _, ok := baseBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	gated := map[string]bool{}
+	for _, g := range gates {
+		gated[g] = true
+	}
+
+	fmt.Fprintf(w, "%-34s %13s %13s %8s %13s %13s %8s %10s %10s %8s\n",
+		"benchmark", "ns/op old", "ns/op new", "Δ", "B/op old", "B/op new", "Δ",
+		"allocs old", "allocs new", "Δ")
+	var failures []string
+	for _, n := range names {
+		b, hasBase := baseBy[n]
+		c, hasCur := curBy[n]
+		mark := " "
+		if gated[n] {
+			mark = "*"
+		}
+		switch {
+		case !hasBase:
+			fmt.Fprintf(w, "%s%-33s %13s %13.0f %8s %13s %13.0f %8s %10s %10.0f %8s\n",
+				mark, n, "-", c.NsPerOp, "new", "-", c.BytesPerOp, "new", "-", c.AllocsPerOp, "new")
+		case !hasCur:
+			fmt.Fprintf(w, "%s%-33s %13.0f %13s %8s %13.0f %13s %8s %10.0f %10s %8s\n",
+				mark, n, b.NsPerOp, "-", "gone", b.BytesPerOp, "-", "gone", b.AllocsPerOp, "-", "gone")
+		default:
+			fmt.Fprintf(w, "%s%-33s %13.0f %13.0f %8s %13.0f %13.0f %8s %10.0f %10.0f %8s\n",
+				mark, n, b.NsPerOp, c.NsPerOp, pct(b.NsPerOp, c.NsPerOp),
+				b.BytesPerOp, c.BytesPerOp, pct(b.BytesPerOp, c.BytesPerOp),
+				b.AllocsPerOp, c.AllocsPerOp, pct(b.AllocsPerOp, c.AllocsPerOp))
+		}
+		if gated[n] {
+			switch {
+			case !hasBase || !hasCur:
+				failures = append(failures, fmt.Sprintf("%s: missing from %s file", n, missingSide(hasBase)))
+			default:
+				if regressed(b.BytesPerOp, c.BytesPerOp, tolerance) {
+					failures = append(failures,
+						fmt.Sprintf("%s: B/op %0.f → %0.f (%s), over the %+.0f%% budget",
+							n, b.BytesPerOp, c.BytesPerOp, pct(b.BytesPerOp, c.BytesPerOp), tolerance*100))
+				}
+				// allocs/op is gated too: a swarm of tiny allocations can
+				// regress GC pressure 100× while staying inside the B/op
+				// budget (the Figure 14 win was an allocs/op win first).
+				if regressed(b.AllocsPerOp, c.AllocsPerOp, tolerance) {
+					failures = append(failures,
+						fmt.Sprintf("%s: allocs/op %0.f → %0.f (%s), over the %+.0f%% budget",
+							n, b.AllocsPerOp, c.AllocsPerOp, pct(b.AllocsPerOp, c.AllocsPerOp), tolerance*100))
+				}
+			}
+		}
+	}
+	// A gated name present in neither file never enters the loop above —
+	// a renamed benchmark or a typo in the gate list must fail loudly, not
+	// silently disarm the gate.
+	for _, g := range gates {
+		_, inBase := baseBy[g]
+		_, inCur := curBy[g]
+		if !inBase && !inCur {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from both files (renamed? typo in -gate?)", g))
+		}
+	}
+	if len(gates) > 0 {
+		fmt.Fprintf(w, "(* = gated: B/op and allocs/op may not regress more than %.0f%%)\n", tolerance*100)
+	}
+	return failures
+}
+
+func missingSide(hasBase bool) string {
+	if hasBase {
+		return "new"
+	}
+	return "base"
+}
+
+// regressed reports whether new exceeds old by more than the fractional
+// tolerance. A zero baseline only passes a zero measurement.
+func regressed(old, new, tolerance float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return (new-old)/old > tolerance
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }

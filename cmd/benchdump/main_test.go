@@ -1,0 +1,177 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkFigure2aRTT-8  852  1407703 ns/op  288455 B/op  3548 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "Figure2aRTT-8" {
+		t.Fatalf("name = %q, want the full name (suffix handling is run-wide)", r.Name)
+	}
+	if r.Iterations != 852 || r.NsPerOp != 1407703 || r.BytesPerOp != 288455 || r.AllocsPerOp != 3548 {
+		t.Fatalf("parsed = %+v", r)
+	}
+	if _, ok := parseBenchLine("ok  	edgescope	1.2s"); ok {
+		t.Fatal("non-bench line parsed")
+	}
+	if _, ok := parseBenchLine("BenchmarkX-8 notanumber 12 ns/op"); ok {
+		t.Fatal("bad iteration count parsed")
+	}
+}
+
+// TestSubBenchNamesSurviveOnSingleCPU pins the bug this parser used to have:
+// on a GOMAXPROCS=1 machine go test appends no suffix, and the old per-line
+// `-N` stripping collapsed TelemetryIngest/shards-1 and /shards-4 into one
+// duplicated BENCH.json key.
+func TestSubBenchNamesSurviveOnSingleCPU(t *testing.T) {
+	out := `goos: linux
+scenario: small
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTelemetryIngest/shards-1  100  23854 ns/op  1008 B/op  6 allocs/op
+BenchmarkTelemetryIngest/shards-4  100  20639 ns/op  1104 B/op  7 allocs/op
+BenchmarkSketchAdd  100  661 ns/op  16 B/op  1 allocs/op
+`
+	var f File
+	scenario, err := parseStream(strings.NewReader(out), &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenario != "small" {
+		t.Fatalf("scenario = %q", scenario)
+	}
+	if f.CPU == "" {
+		t.Fatal("cpu line not captured")
+	}
+	want := []string{"TelemetryIngest/shards-1", "TelemetryIngest/shards-4", "SketchAdd"}
+	if len(f.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d", len(f.Benchmarks), len(want))
+	}
+	for i, w := range want {
+		if f.Benchmarks[i].Name != w {
+			t.Fatalf("name[%d] = %q, want %q", i, f.Benchmarks[i].Name, w)
+		}
+	}
+}
+
+// TestGOMAXPROCSSuffixStrippedWhenUniform covers the multi-CPU case: every
+// name of a run carries the same -N suffix, which is metadata, not identity.
+func TestGOMAXPROCSSuffixStrippedWhenUniform(t *testing.T) {
+	out := `BenchmarkTelemetryIngest/shards-1-8  100  23854 ns/op
+BenchmarkTelemetryIngest/shards-4-8  100  20639 ns/op
+BenchmarkSketchAdd-8  100  661 ns/op
+`
+	var f File
+	if _, err := parseStream(strings.NewReader(out), &f); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"TelemetryIngest/shards-1", "TelemetryIngest/shards-4", "SketchAdd"}
+	for i, w := range want {
+		if f.Benchmarks[i].Name != w {
+			t.Fatalf("name[%d] = %q, want %q", i, f.Benchmarks[i].Name, w)
+		}
+	}
+}
+
+// TestMixedCPUSweepKeepsSuffixes: a -cpu 1,2 sweep has non-uniform suffixes,
+// all of which are identity and must survive.
+func TestMixedCPUSweepKeepsSuffixes(t *testing.T) {
+	out := `BenchmarkSketchAdd  100  661 ns/op
+BenchmarkSketchAdd-2  100  400 ns/op
+`
+	var f File
+	if _, err := parseStream(strings.NewReader(out), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks[0].Name != "SketchAdd" || f.Benchmarks[1].Name != "SketchAdd-2" {
+		t.Fatalf("names = %q, %q", f.Benchmarks[0].Name, f.Benchmarks[1].Name)
+	}
+}
+
+// TestSingleBenchmarkRunKeptVerbatim: with one benchmark there is no
+// run-wide evidence that a trailing -N is the GOMAXPROCS suffix (a filtered
+// `-bench 'shards-4$'` run on a 1-CPU machine ends in a legit -4), so the
+// name is recorded as printed.
+func TestSingleBenchmarkRunKeptVerbatim(t *testing.T) {
+	var f File
+	if _, err := parseStream(strings.NewReader("BenchmarkTelemetryIngest/shards-4  100  20639 ns/op\n"), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks[0].Name != "TelemetryIngest/shards-4" {
+		t.Fatalf("name = %q, want verbatim", f.Benchmarks[0].Name)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 50},
+		{Name: "Steady", NsPerOp: 10, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "Removed", NsPerOp: 5, BytesPerOp: 5, AllocsPerOp: 1},
+	}}
+	cur := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", NsPerOp: 900, BytesPerOp: 1200, AllocsPerOp: 50}, // +20% B/op
+		{Name: "Steady", NsPerOp: 11, BytesPerOp: 110, AllocsPerOp: 11},         // +10% — inside tolerance
+		{Name: "Added", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
+	}}
+	var sb strings.Builder
+	failures := compareFiles(&sb, base, cur, []string{"RunAllSerial", "Steady"}, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "RunAllSerial") {
+		t.Fatalf("failures = %v, want one RunAllSerial regression", failures)
+	}
+	tbl := sb.String()
+	for _, want := range []string{"RunAllSerial", "Steady", "Removed", "Added", "+20.0%"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, tbl)
+		}
+	}
+
+	// A gated benchmark missing from the new snapshot must fail, not pass
+	// silently.
+	failures = compareFiles(&strings.Builder{}, base, cur, []string{"Removed"}, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "Removed") {
+		t.Fatalf("failures = %v, want missing-gate failure", failures)
+	}
+
+	// A gated name in NEITHER file (rename, gate-list typo) must also fail —
+	// it never enters the name loop, which is how it could silently disarm
+	// the gate.
+	failures = compareFiles(&strings.Builder{}, base, cur, []string{"Tyop"}, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "Tyop") {
+		t.Fatalf("failures = %v, want missing-from-both failure", failures)
+	}
+
+	// Improvements and within-tolerance drift pass.
+	failures = compareFiles(&strings.Builder{}, base, cur, nil, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("ungated compare returned failures: %v", failures)
+	}
+
+	// allocs/op is gated independently of B/op: a swarm of tiny allocations
+	// (allocs 100×, bytes flat) must trip the gate.
+	tiny := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 5000},
+	}}
+	failures = compareFiles(&strings.Builder{}, base, tiny, []string{"RunAllSerial"}, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one allocs/op regression", failures)
+	}
+}
+
+func TestRegressed(t *testing.T) {
+	if regressed(100, 110, 0.15) {
+		t.Fatal("+10% inside a 15% budget flagged")
+	}
+	if !regressed(100, 120, 0.15) {
+		t.Fatal("+20% outside a 15% budget not flagged")
+	}
+	if regressed(100, 50, 0.15) {
+		t.Fatal("improvement flagged")
+	}
+	if !regressed(0, 1, 0.15) {
+		t.Fatal("zero baseline must only accept zero")
+	}
+}

@@ -11,11 +11,18 @@
 // scenario. The legacy -scale small|paper flag resolves onto the matching
 // built-in scenarios.
 //
+// Profiling the reproduction itself is first-class: -cpuprofile and
+// -memprofile write pprof profiles of the artifact run (the heap profile is
+// taken after a final GC, so it shows what the run retains, and the
+// inuse/alloc spaces show where the churn was). This is the profile-first
+// workflow the README's Performance section documents.
+//
 // Usage:
 //
 //	reproall [-seed N] [-scenario NAME|file.json] [-scale small|paper]
 //	         [-parallel N] [-csvdir DIR] [-only id,id,...] [-ext]
 //	         [-quiet-times] [-list] [-dump-scenario NAME]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,6 +51,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated artifact IDs to run (default all)")
 	ext := flag.Bool("ext", false, "also run the extension experiments (density/migration/scheduling)")
 	quietTimes := flag.Bool("quiet-times", false, "suppress the per-artifact wall-time report (stderr)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the artifact run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file after the run")
 	flag.Parse()
 
 	if *list {
@@ -80,13 +91,33 @@ func main() {
 			ids = append(ids, id)
 		}
 	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pf.Close()
+	}
+
 	start := time.Now()
 	results, err := suite.RunArtifacts(context.Background(), *parallel, ids, *ext)
 	if err != nil {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile() // flush the partial profile before exiting
+		}
 		fmt.Fprintf(os.Stderr, "reproall: %v\n", err)
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
 
 	for _, a := range results {
 		if a.Artifact == nil {
@@ -122,6 +153,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  cpu-time sum %v (speedup ×%.2f over serial replay)\n",
 			sum.Round(time.Millisecond), float64(sum)/float64(wall))
 	}
+
+	// The heap profile is written last, after every artifact and CSV is out:
+	// the profile is a diagnostic side-channel and must never discard a
+	// completed run's results. A write failure still exits non-zero so
+	// scripted profiling notices.
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: memprofile: %v (results above are complete)\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "reproall: heap profile written to %s (go tool pprof -alloc_space %s)\n",
+			*memprofile, *memprofile)
+	}
+}
+
+// writeHeapProfile snapshots the heap after a final GC, so the profile
+// shows retention (inuse) and the full churn history (alloc) separately.
+func writeHeapProfile(path string) error {
+	mf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
 }
 
 func exportCSV(dir string, a core.ArtifactResult) error {

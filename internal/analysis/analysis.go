@@ -100,16 +100,20 @@ type UtilizationSummary struct {
 	CPUCVs    []float64
 }
 
-// Utilization computes Figure 10's inputs.
+// Utilization computes Figure 10's inputs. The P95 column reuses one
+// percentile scratch across the VM walk: the per-VM copy+sort of the whole
+// CPU series used to dominate both the time and the allocations of this
+// figure.
 func Utilization(d *vm.Dataset) UtilizationSummary {
 	out := UtilizationSummary{
 		MeanCPU:   make([]float64, len(d.VMs)),
 		P95MaxCPU: make([]float64, len(d.VMs)),
 		CPUCVs:    make([]float64, len(d.VMs)),
 	}
+	var sc stats.Scratch
 	for i, v := range d.VMs {
 		out.MeanCPU[i] = v.MeanCPU()
-		out.P95MaxCPU[i] = v.P95MaxCPU()
+		out.P95MaxCPU[i] = v.P95MaxCPUScratch(&sc)
 		out.CPUCVs[i] = v.CPUCV()
 	}
 	return out
@@ -295,14 +299,16 @@ func AppDaySample(d *vm.Dataset, maxVMs int) [][]float64 {
 }
 
 // WeeklyBandwidth returns each selected VM's weekly-averaged bandwidth
-// (Figure 13): one row per VM, one column per week.
+// (Figure 13): one row per VM, one column per week. The resample buffer is
+// recycled across VMs; only the returned rows are fresh allocations.
 func WeeklyBandwidth(d *vm.Dataset, vmIdx []int) [][]float64 {
 	var out [][]float64
+	var weekly timeseries.Series
 	for _, vi := range vmIdx {
 		if vi < 0 || vi >= len(d.VMs) || d.VMs[vi].PublicBW == nil {
 			continue
 		}
-		weekly := d.VMs[vi].PublicBW.Resample(7*24*time.Hour, timeseries.AggMean)
+		d.VMs[vi].PublicBW.ResampleInto(&weekly, 7*24*time.Hour, timeseries.AggMean)
 		row := make([]float64, weekly.Len())
 		copy(row, weekly.Values)
 		out = append(out, row)
@@ -318,11 +324,12 @@ func MostVolatileBW(d *vm.Dataset, n int) []int {
 		ratio float64
 	}
 	var cands []cand
+	var weekly timeseries.Series
 	for i, v := range d.VMs {
 		if v.PublicBW == nil {
 			continue
 		}
-		weekly := v.PublicBW.Resample(7*24*time.Hour, timeseries.AggMean)
+		v.PublicBW.ResampleInto(&weekly, 7*24*time.Hour, timeseries.AggMean)
 		if weekly.Len() < 2 {
 			continue
 		}

@@ -53,30 +53,29 @@ func monthScale(d time.Duration) float64 {
 // NEPAppBills prices every app's monthly cost on NEP: per-unit hardware
 // rates plus, per site, the province/operator unit price applied to the
 // 95th-percentile daily-peak bandwidth (traffic of an app's VMs in one site
-// is combined, per Appendix A).
+// is combined, per Appendix A). Per-app bandwidth combines through one
+// buffer-recycling accumulator, and sites fold into the bill in ascending
+// site order so the summation order (and therefore the bill, bit for bit)
+// never depends on map iteration.
 func NEPAppBills(d *vm.Dataset) []AppBill {
 	hw := NEPHardware()
 	apps := d.AppVMs()
 	ids := sortedAppIDs(apps)
-	var out []AppBill
+	out := make([]AppBill, 0, len(ids))
+	var siteBW bwAccum[int]
 	for _, app := range ids {
 		bill := AppBill{App: app}
-		// Combine bandwidth per site.
-		siteBW := map[int]*timeseries.Series{}
+		siteBW.Reset()
 		for _, vi := range apps[app] {
 			v := d.VMs[vi]
 			bill.Hardware += hw.MonthlyHardware(v.VCPUs, v.MemGB, v.DiskGB)
 			if v.PublicBW == nil {
 				continue
 			}
-			if cur, ok := siteBW[v.Site]; ok {
-				siteBW[v.Site] = cur.Add(v.PublicBW)
-			} else {
-				siteBW[v.Site] = v.PublicBW.Clone()
-			}
+			siteBW.Add(v.Site, v.PublicBW)
 		}
-		for site, bw := range siteBW {
-			peak := NEP95thDailyPeak(bw.DailyPeaks())
+		for _, site := range siteBW.Keys() {
+			peak := NEP95thDailyPeak(siteBW.Get(site).DailyPeaks())
 			unit := NEPNetUnitPrice(d.Sites[site].Province, OperatorForSite(d.Sites[site].Name))
 			bill.Network += unit * peak
 		}
@@ -94,25 +93,21 @@ func CloudAppBills(d *vm.Dataset, hw HardwarePricing, net CloudNetPricing, model
 	apps := d.AppVMs()
 	ids := sortedAppIDs(apps)
 	scale := monthScale(d.Duration)
-	var out []AppBill
+	out := make([]AppBill, 0, len(ids))
+	var regionBW bwAccum[string]
 	for _, app := range ids {
 		bill := AppBill{App: app}
-		regionBW := map[string]*timeseries.Series{}
+		regionBW.Reset()
 		for _, vi := range apps[app] {
 			v := d.VMs[vi]
 			bill.Hardware += hw.MonthlyHardware(v.VCPUs, v.MemGB, v.DiskGB)
 			if v.PublicBW == nil {
 				continue
 			}
-			region := regionForProvince(d.Sites[v.Site].Province)
-			if cur, ok := regionBW[region]; ok {
-				regionBW[region] = cur.Add(v.PublicBW)
-			} else {
-				regionBW[region] = v.PublicBW.Clone()
-			}
+			regionBW.Add(regionForProvince(d.Sites[v.Site].Province), v.PublicBW)
 		}
-		for _, bw := range regionBW {
-			bill.Network += cloudNetworkCost(bw, net, model, scale)
+		for _, region := range regionBW.Keys() {
+			bill.Network += cloudNetworkCost(regionBW.Get(region), net, model, scale)
 		}
 		out = append(out, bill)
 	}

@@ -180,6 +180,10 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 	for i, u := range c.Users {
 		seeds[i] = r.Fork(fmt.Sprintf("user-%d", u.ID)).Uint64()
 	}
+	// The per-slot observation buffers live for the whole walk: each chunk
+	// re-fills slot j's backing array (observeUser sizes it exactly on first
+	// use), so steady-state chunks allocate nothing and GC pressure stays
+	// flat even at stress-scenario populations.
 	buf := make([][]Observation, observeChunk)
 	for start := 0; start < len(c.Users); start += observeChunk {
 		end := start + observeChunk
@@ -188,7 +192,7 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 		}
 		chunk := buf[:end-start]
 		par.ForEach(end-start, 0, func(j int) {
-			chunk[j] = c.observeUser(seeds[start+j], c.Users[start+j])
+			chunk[j] = c.observeUser(seeds[start+j], c.Users[start+j], chunk[j][:0])
 		})
 		for _, obs := range chunk {
 			for _, o := range obs {
@@ -199,13 +203,17 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 }
 
 // observeUser measures every target of one user from a common-random-number
-// sub-stream rebuilt per target off the user's pre-forked seed.
-func (c *Campaign) observeUser(seed uint64, u User) []Observation {
+// sub-stream rebuilt per target off the user's pre-forked seed, appending
+// into dst (allocated to the exact per-user size when its capacity is short).
+func (c *Campaign) observeUser(seed uint64, u User, dst []Observation) []Observation {
 	crn := func() *rng.Source { return rng.New(seed) }
 	edgeRank := c.NEP.NearestSites(u.Loc)
 	cloudRank := c.Cloud.NearestSites(u.Loc)
 
-	obs := make([]Observation, 0, 3+len(cloudRank))
+	if need := 3 + len(cloudRank); cap(dst) < need {
+		dst = make([]Observation, 0, need)
+	}
+	obs := dst
 	obs = append(obs, c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
 	if len(edgeRank) >= 3 {
 		obs = append(obs, c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
@@ -341,7 +349,7 @@ func (c *Campaign) RunThroughput(r *rng.Source) []ThroughputObs {
 		}
 		perUser[i] = obs
 	})
-	var out []ThroughputObs
+	out := make([]ThroughputObs, 0, n*2*len(sites))
 	for _, obs := range perUser {
 		out = append(out, obs...)
 	}

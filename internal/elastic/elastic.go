@@ -60,7 +60,7 @@ func (p VMPlan) Evaluate(w Workload) Outcome {
 	hw := billing.NEPHardware()
 	cost := billing.Money(p.Replicas) * hw.MonthlyHardware(p.VCPUs, p.MemGB, 40)
 
-	var lats []float64
+	lats := make([]float64, 0, len(w.RPS.Values))
 	overload := 0
 	for _, r := range w.RPS.Values {
 		rho := r / cap
@@ -119,7 +119,7 @@ func DefaultServerless() ServerlessPlan {
 func (p ServerlessPlan) Evaluate(w Workload) Outcome {
 	secs := w.RPS.Interval.Seconds()
 	var inv, gbs float64
-	var lats []float64
+	lats := make([]float64, 0, len(w.RPS.Values))
 	for _, r := range w.RPS.Values {
 		n := r * secs
 		inv += n

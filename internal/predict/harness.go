@@ -69,6 +69,10 @@ func Evaluate(d *vm.Dataset, opts Options) ([]Result, error) {
 		n = opts.MaxVMs
 	}
 	var out []Result
+	// One resample buffer serves every (VM, target) iteration: the models
+	// only read train/test, and both are consumed before the next resample
+	// overwrites the buffer.
+	var series timeseries.Series
 	for vi := 0; vi < n; vi++ {
 		cpu := d.VMs[vi].CPU
 		if opts.Window%cpu.Interval != 0 {
@@ -81,7 +85,7 @@ func Evaluate(d *vm.Dataset, opts Options) ([]Result, error) {
 			if target == MeanCPU {
 				agg = timeseries.AggMean
 			}
-			series := cpu.Resample(opts.Window, agg)
+			cpu.ResampleInto(&series, opts.Window, agg)
 			split := int(float64(series.Len()) * opts.TrainFrac)
 			if split < 2*period || series.Len()-split < period/2 {
 				continue // series too short for this split

@@ -80,7 +80,10 @@ func (l *LSTM) newState() cellState {
 	return cellState{h: make([]float64, l.h), c: make([]float64, l.h)}
 }
 
-// stepRecord stores activations for backprop.
+// stepRecord stores one timestep's activations for backprop. Its nine
+// per-unit vectors are sub-slices of one flat slab owned by lstmScratch —
+// the per-step seven-make allocation pattern here was where the bulk of
+// Figure 14's 273k allocations per run lived.
 type stepRecord struct {
 	x          float64
 	hPrev      []float64
@@ -91,17 +94,58 @@ type stepRecord struct {
 	yhat       float64
 }
 
-// forward runs one step, returning the record and updating st.
-func (l *LSTM) forward(x float64, st *cellState) stepRecord {
-	h := l.h
-	rec := stepRecord{
-		x:     x,
-		hPrev: append([]float64(nil), st.h...),
-		cPrev: append([]float64(nil), st.c...),
-		i:     make([]float64, h), f: make([]float64, h),
-		g: make([]float64, h), o: make([]float64, h),
-		c: make([]float64, h), tanhC: make([]float64, h), h: make([]float64, h),
+// recVectors is the number of length-h vectors a stepRecord carries.
+const recVectors = 9
+
+// lstmScratch holds every buffer one FitPredict call needs, allocated once
+// and reused across BPTT windows and epochs: the step records (backed by a
+// single flat slab), the gradient slabs, the four swap buffers that carry
+// dh/dc across steps, and the one-element read-out vectors Adam updates.
+type lstmScratch struct {
+	slab []float64
+	recs []stepRecord
+
+	gWx, gB, gWo []float64
+	dh           []float64
+	dhA, dcA     []float64 // swap pair: dhNext/dcNext
+	dhB, dcB     []float64 // swap pair: dhPrev/dcPrev
+	bo, gBo      []float64
+}
+
+func newLSTMScratch(h, steps, in int) *lstmScratch {
+	sc := &lstmScratch{
+		slab: make([]float64, steps*recVectors*h),
+		recs: make([]stepRecord, steps),
+		gWx:  make([]float64, 4*h*in),
+		gB:   make([]float64, 4*h),
+		gWo:  make([]float64, h),
+		dh:   make([]float64, h),
+		dhA:  make([]float64, h),
+		dcA:  make([]float64, h),
+		dhB:  make([]float64, h),
+		dcB:  make([]float64, h),
+		bo:   make([]float64, 1),
+		gBo:  make([]float64, 1),
 	}
+	for k := range sc.recs {
+		base := k * recVectors * h
+		cut := func(i int) []float64 { return sc.slab[base+i*h : base+(i+1)*h : base+(i+1)*h] }
+		sc.recs[k] = stepRecord{
+			hPrev: cut(0), cPrev: cut(1),
+			i: cut(2), f: cut(3), g: cut(4), o: cut(5),
+			c: cut(6), tanhC: cut(7), h: cut(8),
+		}
+	}
+	return sc
+}
+
+// forward runs one step into rec (whose vectors are already sized h) and
+// updates st.
+func (l *LSTM) forward(x float64, st *cellState, rec *stepRecord) {
+	h := l.h
+	rec.x = x
+	copy(rec.hPrev, st.h)
+	copy(rec.cPrev, st.c)
 	in := 1 + h
 	for u := 0; u < h; u++ {
 		var zi, zf, zg, zo float64
@@ -131,7 +175,6 @@ func (l *LSTM) forward(x float64, st *cellState) stepRecord {
 	}
 	copy(st.h, rec.h)
 	copy(st.c, rec.c)
-	return rec
 }
 
 // adam holds optimiser moments for one parameter vector.
@@ -198,6 +241,11 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 	optWo := newAdam(len(l.wo))
 	optBo := newAdam(1)
 
+	// One scratch serves every window of every epoch (and the prediction
+	// roll below): the old per-window gradient buffers and per-step records
+	// are now zeroed slabs, not fresh allocations.
+	sc := newLSTMScratch(l.h, l.Window, in)
+
 	for epoch := 0; epoch < l.Epochs; epoch++ {
 		st := l.newState()
 		for begin := 0; begin+1 < len(train); begin += l.Window {
@@ -206,29 +254,33 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 				end = len(train) - 1
 			}
 			// Forward through the window.
-			recs := make([]stepRecord, 0, end-begin)
+			recs := sc.recs[:end-begin]
 			for t := begin; t < end; t++ {
-				recs = append(recs, l.forward(norm(train[t]), &st))
+				l.forward(norm(train[t]), &st, &recs[t-begin])
 			}
 			// Backward.
-			gWx := make([]float64, len(l.wx))
-			gB := make([]float64, len(l.b))
-			gWo := make([]float64, len(l.wo))
+			gWx, gB, gWo := sc.gWx, sc.gB, sc.gWo
+			clear(gWx)
+			clear(gB)
+			clear(gWo)
 			var gBo float64
-			dhNext := make([]float64, l.h)
-			dcNext := make([]float64, l.h)
+			dhNext, dcNext := sc.dhA, sc.dcA
+			dhPrev, dcPrev := sc.dhB, sc.dcB
+			clear(dhNext)
+			clear(dcNext)
 			for k := len(recs) - 1; k >= 0; k-- {
-				rec := recs[k]
+				rec := &recs[k]
 				target := norm(train[begin+k+1])
 				dy := 2 * (rec.yhat - target) / float64(len(recs))
 				gBo += dy
-				dh := make([]float64, l.h)
+				dh := sc.dh
 				for u := 0; u < l.h; u++ {
 					gWo[u] += dy * rec.h[u]
 					dh[u] = dy*l.wo[u] + dhNext[u]
 				}
-				dhPrev := make([]float64, l.h)
-				dcPrev := make([]float64, l.h)
+				// dhPrev accumulates and must start from zero each step;
+				// dcPrev is fully assigned below and needs no clear.
+				clear(dhPrev)
 				for u := 0; u < l.h; u++ {
 					do := dh[u] * rec.tanhC[u]
 					dc := dh[u]*rec.o[u]*(1-rec.tanhC[u]*rec.tanhC[u]) + dcNext[u]
@@ -253,7 +305,8 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 						}
 					}
 				}
-				dhNext, dcNext = dhPrev, dcPrev
+				dhNext, dhPrev = dhPrev, dhNext
+				dcNext, dcPrev = dcPrev, dcNext
 			}
 			clip(gWx, 5)
 			clip(gB, 5)
@@ -261,28 +314,26 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 			optWx.update(l.wx, gWx, l.LearningRate)
 			optB.update(l.b, gB, l.LearningRate)
 			optWo.update(l.wo, gWo, l.LearningRate)
-			bo := []float64{l.bo}
-			optBo.update(bo, []float64{gBo}, l.LearningRate)
-			l.bo = bo[0]
+			sc.bo[0], sc.gBo[0] = l.bo, gBo
+			optBo.update(sc.bo, sc.gBo, l.LearningRate)
+			l.bo = sc.bo[0]
 		}
 	}
 
-	// Prime the state on the tail of train, then roll through test.
+	// Prime the state on the tail of train (the last forward's yhat predicts
+	// test[0]), then roll through test one step ahead.
 	st := l.newState()
-	for _, x := range train {
-		l.forward(norm(x), &st)
-	}
-	// The last forward already consumed train[len-1]; its yhat predicts
-	// test[0]. Re-run to capture predictions cleanly.
-	st = l.newState()
+	rec := &sc.recs[0]
 	var lastY float64
 	for _, x := range train {
-		lastY = l.forward(norm(x), &st).yhat
+		l.forward(norm(x), &st, rec)
+		lastY = rec.yhat
 	}
 	out := make([]float64, len(test))
 	for i, actual := range test {
 		out[i] = denorm(lastY)
-		lastY = l.forward(norm(actual), &st).yhat
+		l.forward(norm(actual), &st, rec)
+		lastY = rec.yhat
 	}
 	return out, nil
 }

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// sortPercentile is the old copy-and-sort implementation, kept here as the
+// reference the quickselect path must match bit for bit.
+func sortPercentile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func TestQuantileSelectMatchesSort(t *testing.T) {
+	rnd := uint64(987654321)
+	next := func() float64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return float64(rnd%1000000) / 1000
+	}
+	ps := []float64{0, 1, 5, 25, 50, 75, 90, 95, 99, 100}
+	var sc Scratch
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + trial*7
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = next()
+			if trial%3 == 0 {
+				xs[i] = math.Floor(xs[i] / 100) // heavy duplicates
+			}
+		}
+		for _, p := range ps {
+			want := sortPercentile(xs, p)
+			if got := Percentile(xs, p); got != want {
+				t.Fatalf("trial %d n=%d p=%v: Percentile=%v, sort-based=%v", trial, n, p, got, want)
+			}
+			if got := sc.Percentile(xs, p); got != want {
+				t.Fatalf("trial %d n=%d p=%v: Scratch.Percentile=%v, sort-based=%v", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestScratchPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	var sc Scratch
+	sc.Percentile(xs, 95)
+	for i, want := range []float64{5, 1, 4, 2, 3} {
+		if xs[i] != want {
+			t.Fatalf("input mutated: %v", xs)
+		}
+	}
+}
+
+func TestScratchPercentileZeroAllocWhenWarm(t *testing.T) {
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = float64((i * 2654435761) % 100003)
+	}
+	var sc Scratch
+	sc.Percentile(xs, 95) // warm the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.Percentile(xs, 95)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Scratch.Percentile allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestScratchPercentileEdgeCases(t *testing.T) {
+	var sc Scratch
+	if got := sc.Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := sc.Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on p out of range")
+		}
+	}()
+	sc.Percentile([]float64{1}, 101)
+}

@@ -80,8 +80,10 @@ func Sum(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. It copies and sorts internally.
-// It returns 0 for an empty slice and panics on p outside [0,100].
+// interpolation between closest ranks. It copies xs and runs a quickselect
+// on the copy (expected O(n), bit-identical to the former sort-based
+// implementation). It returns 0 for an empty slice and panics on p outside
+// [0,100]. Loops that query many slices should reuse a Scratch instead.
 func Percentile(xs []float64, p float64) float64 {
 	if p < 0 || p > 100 {
 		panic("stats: percentile out of range")
@@ -91,8 +93,7 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
-	sort.Float64s(s)
-	return percentileSorted(s, p)
+	return quantileSelect(s, p)
 }
 
 // PercentilesSorted computes several percentiles in one pass over a slice the

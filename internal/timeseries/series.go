@@ -50,14 +50,31 @@ func (s *Series) Clone() *Series {
 	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
 }
 
-// Slice returns the sub-series of samples [i,j). It shares no storage with s.
+// Slice returns the sub-series of samples [i,j) as a zero-copy view: the
+// returned Series aliases s's backing array. Aliasing rules: mutating the
+// parent's samples in [i,j) is visible through the view and vice versa;
+// appending to either Values does not affect the other. Use Clone (or
+// Slice(i,j).Clone()) when an independent copy is required.
 func (s *Series) Slice(i, j int) *Series {
 	if i < 0 || j > len(s.Values) || i > j {
-		panic(fmt.Sprintf("timeseries: slice bounds [%d,%d) of %d", i, j, len(s.Values)))
+		sliceBoundsPanic(i, j, len(s.Values))
 	}
-	v := make([]float64, j-i)
-	copy(v, s.Values[i:j])
-	return &Series{Start: s.TimeAt(i), Interval: s.Interval, Values: v}
+	return &Series{Start: s.TimeAt(i), Interval: s.Interval, Values: s.Values[i:j:j]}
+}
+
+// SliceInto writes the [i,j) view into *dst and returns dst — the
+// allocation-free form of Slice for hot loops that recycle one Series
+// variable. The same aliasing rules apply.
+func (s *Series) SliceInto(dst *Series, i, j int) *Series {
+	if i < 0 || j > len(s.Values) || i > j {
+		sliceBoundsPanic(i, j, len(s.Values))
+	}
+	dst.Start, dst.Interval, dst.Values = s.TimeAt(i), s.Interval, s.Values[i:j:j]
+	return dst
+}
+
+func sliceBoundsPanic(i, j, n int) {
+	panic(fmt.Sprintf("timeseries: slice bounds [%d,%d) of %d", i, j, n))
 }
 
 // Agg selects how a window of samples collapses to one value.
@@ -72,7 +89,7 @@ const (
 	AggP95
 )
 
-func aggregate(a Agg, window []float64) float64 {
+func aggregate(a Agg, window []float64, sc *stats.Scratch) float64 {
 	switch a {
 	case AggMean:
 		return stats.Mean(window)
@@ -83,7 +100,7 @@ func aggregate(a Agg, window []float64) float64 {
 	case AggSum:
 		return stats.Sum(window)
 	case AggP95:
-		return stats.Percentile(window, 95)
+		return sc.Percentile(window, 95)
 	default:
 		panic("timeseries: unknown aggregation")
 	}
@@ -93,34 +110,62 @@ func aggregate(a Agg, window []float64) float64 {
 // duration must be a positive multiple of the series interval. A trailing
 // partial window is aggregated as-is.
 func (s *Series) Resample(window time.Duration, a Agg) *Series {
+	return s.ResampleInto(&Series{}, window, a)
+}
+
+// ResampleInto is Resample with caller-owned storage: the result is written
+// into *dst, reusing dst.Values' capacity, and dst is returned. A loop that
+// resamples many series can recycle one Series variable and stops allocating
+// once its buffer has grown to the largest output. The caller must be done
+// with dst's previous contents, and dst must not alias s.
+func (s *Series) ResampleInto(dst *Series, window time.Duration, a Agg) *Series {
 	if window <= 0 || window%s.Interval != 0 {
 		panic("timeseries: window must be a positive multiple of interval")
 	}
 	k := int(window / s.Interval)
 	n := (len(s.Values) + k - 1) / k
-	out := make([]float64, 0, n)
+	out := dst.Values[:0]
+	if cap(out) < n {
+		out = make([]float64, 0, n)
+	}
+	var sc stats.Scratch
 	for i := 0; i < len(s.Values); i += k {
 		j := i + k
 		if j > len(s.Values) {
 			j = len(s.Values)
 		}
-		out = append(out, aggregate(a, s.Values[i:j]))
+		out = append(out, aggregate(a, s.Values[i:j], &sc))
 	}
-	return &Series{Start: s.Start, Interval: window, Values: out}
+	dst.Start, dst.Interval, dst.Values = s.Start, window, out
+	return dst
 }
 
 // Rolling applies agg over a sliding window of k samples; output i covers
 // input samples [i, i+k). The result has Len()-k+1 samples. It panics if
 // k <= 0 or k > Len().
 func (s *Series) Rolling(k int, a Agg) *Series {
+	return s.RollingInto(&Series{}, k, a)
+}
+
+// RollingInto is Rolling with caller-owned storage, under the same buffer
+// contract as ResampleInto.
+func (s *Series) RollingInto(dst *Series, k int, a Agg) *Series {
 	if k <= 0 || k > len(s.Values) {
 		panic("timeseries: invalid rolling window")
 	}
-	out := make([]float64, len(s.Values)-k+1)
-	for i := range out {
-		out[i] = aggregate(a, s.Values[i:i+k])
+	n := len(s.Values) - k + 1
+	out := dst.Values[:0]
+	if cap(out) < n {
+		out = make([]float64, n)
+	} else {
+		out = out[:n]
 	}
-	return &Series{Start: s.Start, Interval: s.Interval, Values: out}
+	var sc stats.Scratch
+	for i := range out {
+		out[i] = aggregate(a, s.Values[i:i+k], &sc)
+	}
+	dst.Start, dst.Interval, dst.Values = s.Start, s.Interval, out
+	return dst
 }
 
 // DailyPeaks returns the maximum of each UTC day in the series. NEP bills
@@ -258,6 +303,20 @@ func (s *Series) Add(other *Series) *Series {
 		v[i] = s.Values[i] + other.Values[i]
 	}
 	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
+}
+
+// AddInPlace adds other into s sample by sample, mutating s's backing array
+// (and therefore every view aliasing it), and returns s. Shapes must match
+// as in Add. Accumulation loops should prefer this over Add, which allocates
+// a fresh backing array per call.
+func (s *Series) AddInPlace(other *Series) *Series {
+	if len(s.Values) != len(other.Values) || s.Interval != other.Interval {
+		panic("timeseries: Add shape mismatch")
+	}
+	for i, v := range other.Values {
+		s.Values[i] += v
+	}
+	return s
 }
 
 // Scale returns a new series with every value multiplied by f.

@@ -54,9 +54,32 @@ func TestSlice(t *testing.T) {
 	if !sub.Start.Equal(t0.Add(2 * time.Minute)) {
 		t.Fatalf("Slice start = %v", sub.Start)
 	}
+}
+
+// TestSliceViewAliasing pins the zero-copy contract: a Slice is a view over
+// the parent's backing array, mutations are visible in both directions, and
+// appending to the view cannot clobber the parent past the view's end.
+func TestSliceViewAliasing(t *testing.T) {
+	s := New(t0, time.Minute, seq(10))
+	sub := s.Slice(2, 5)
 	sub.Values[0] = -1
-	if s.Values[2] == -1 {
-		t.Fatal("Slice shares storage")
+	if s.Values[2] != -1 {
+		t.Fatal("mutating the view must be visible in the parent")
+	}
+	s.Values[4] = 99
+	if sub.Values[2] != 99 {
+		t.Fatal("mutating the parent must be visible in the view")
+	}
+	// The view is capacity-clipped: growing it must not overwrite s.Values[5].
+	sub.Values = append(sub.Values, 123)
+	if s.Values[5] != 5 {
+		t.Fatal("append through the view overwrote the parent")
+	}
+	// Clone detaches.
+	c := s.Slice(2, 5).Clone()
+	c.Values[0] = 7
+	if s.Values[2] == 7 {
+		t.Fatal("Clone still aliases the parent")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"edgescope/internal/geo"
 	"edgescope/internal/netmodel"
@@ -39,20 +40,30 @@ type Site struct {
 // Position implements geo.Located.
 func (s *Site) Position() geo.Point { return s.Loc }
 
-// Platform is a set of sites operated by one provider.
+// Platform is a set of sites operated by one provider. Sites are immutable
+// once the platform is built.
 type Platform struct {
 	Name  string
 	Class netmodel.SiteClass
 	Sites []*Site
+
+	locsOnce sync.Once
+	locs     []geo.Point
 }
 
-// Locations returns the positions of all sites, aligned with Sites.
+// Locations returns the positions of all sites, aligned with Sites. The
+// slice is built once and cached — the crowd campaign ranks sites per user,
+// and rebuilding a platform-wide position slice for every user dominated
+// that walk's allocations. Callers must not mutate the result.
 func (p *Platform) Locations() []geo.Point {
-	out := make([]geo.Point, len(p.Sites))
-	for i, s := range p.Sites {
-		out[i] = s.Loc
-	}
-	return out
+	p.locsOnce.Do(func() {
+		out := make([]geo.Point, len(p.Sites))
+		for i, s := range p.Sites {
+			out[i] = s.Loc
+		}
+		p.locs = out
+	})
+	return p.locs
 }
 
 // TotalServers sums servers across sites.

@@ -7,12 +7,23 @@
 #   → scenario smoke: small built-in scenarios through reproall, with the
 #     -parallel invariance diff (stdout must be byte-identical at any
 #     worker count)
-#   → short paper-artifact benchmarks recorded to BENCH.json via benchdump
-#     (tagged with the scenario the bench suite runs)
+#   → short paper-artifact benchmarks, compared against the committed
+#     BENCH.json by `benchdump -compare`: the delta table lands in the CI
+#     log, and the allocation-budget gate fails the run if B/op or
+#     allocs/op on the named hot benchmarks regresses more than 15%. On
+#     success the fresh snapshot replaces BENCH.json (commit it to ratchet
+#     the trajectory).
 #
 # Usage: scripts/ci.sh [--no-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The allocation-budget gate: the benchmarks the allocation overhaul pinned
+# down. B/op and allocs/op (not ns/op) are gated because allocation metrics
+# are stable across machines; 15% headroom absorbs benchtime-iteration
+# jitter. The list lives in scripts/bench_gate so `make bench-compare` and
+# CI cannot drift.
+BENCH_GATE="$(cat scripts/bench_gate)"
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -50,12 +61,24 @@ for sc in small dense-metro rural-sparse flash-crowd; do
 done
 
 if [[ "${1:-}" != "--no-bench" ]]; then
-  echo "== bench → BENCH.json =="
+  echo "== bench → compare gate → BENCH.json =="
   # The scenario tag comes from the `scenario:` context line bench_test.go
-  # prints, so BENCH.json always names what actually ran.
-  go test -bench . -benchmem -benchtime 1x -run xxx . \
+  # prints, so BENCH.json always names what actually ran. -benchtime 100ms
+  # gives the sub-microsecond benchmarks meaningful iteration counts (the
+  # heavyweights still run once; benchdump flags those on stderr).
+  go test -bench . -benchmem -benchtime 100ms -run xxx . \
     | tee /dev/stderr \
-    | go run ./cmd/benchdump -out BENCH.json
+    | go run ./cmd/benchdump -out "$smoke/BENCH.new.json"
+  # Gate against the COMMITTED baseline (not the working-tree file, which a
+  # previous passing run may have refreshed): repeated local runs must not
+  # ratchet +14% drifts under a 15% budget. Outside git, fall back to the
+  # tree snapshot.
+  git show HEAD:BENCH.json > "$smoke/BENCH.base.json" 2>/dev/null \
+    || cp BENCH.json "$smoke/BENCH.base.json"
+  echo "-- benchdump delta vs committed BENCH.json --"
+  go run ./cmd/benchdump -compare -gate "$BENCH_GATE" -tolerance 0.15 \
+    "$smoke/BENCH.base.json" "$smoke/BENCH.new.json"
+  mv "$smoke/BENCH.new.json" BENCH.json
 fi
 
 echo "== ci OK =="
