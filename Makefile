@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench bench-json bench-compare ci repro
+.PHONY: build vet test race fuzz bench bench-json bench-compare ci repro profile
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,13 @@ bench:
 	$(GO) test -bench . -benchmem -benchtime 100ms -run xxx .
 
 # Record the perf trajectory for future PRs (the scenario tag comes from the
-# `scenario:` context line bench_test.go prints).
+# `scenario:` context line bench_test.go prints). The RunAll pair is
+# re-benched at an iteration-count -benchtime so its ns/op is a ≥2-iteration
+# statistic; benchdump keeps the higher-iteration entry per name.
 bench-json:
-	$(GO) test -bench . -benchmem -benchtime 100ms -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.json
+	{ $(GO) test -bench . -benchmem -benchtime 100ms -run xxx . && \
+	  $(GO) test -bench '^BenchmarkRunAll(Serial|Parallel)$$' -benchmem -benchtime 2x -run xxx . ; } \
+	  | $(GO) run ./cmd/benchdump -out BENCH.json
 
 # Delta table of the working tree's benchmarks vs the committed BENCH.json
 # (HEAD's copy, so repeated runs never gate against a drifted baseline),
@@ -37,7 +41,9 @@ bench-json:
 # in scripts/bench_gate — one source for CI and local runs). The temp
 # snapshots are removed whether the gate passes or fails.
 bench-compare:
-	$(GO) test -bench . -benchmem -benchtime 100ms -run xxx . | $(GO) run ./cmd/benchdump -out BENCH.new.json
+	{ $(GO) test -bench . -benchmem -benchtime 100ms -run xxx . && \
+	  $(GO) test -bench '^BenchmarkRunAll(Serial|Parallel)$$' -benchmem -benchtime 2x -run xxx . ; } \
+	  | $(GO) run ./cmd/benchdump -out BENCH.new.json
 	@git show HEAD:BENCH.json > BENCH.base.json 2>/dev/null || cp BENCH.json BENCH.base.json; \
 	$(GO) run ./cmd/benchdump -compare \
 		-gate "$$(cat scripts/bench_gate)" -tolerance 0.15 \
@@ -49,3 +55,15 @@ ci:
 # Reproduce every paper artifact in parallel.
 repro:
 	$(GO) run ./cmd/reproall -parallel 0
+
+# The profile-first workflow in one command: run the full serial
+# reproduction under CPU and heap profiling, then print the top consumers of
+# both. Override the scenario with PROFILE_SCENARIO=stress (etc.).
+PROFILE_SCENARIO ?= small
+profile:
+	$(GO) run ./cmd/reproall -scenario $(PROFILE_SCENARIO) -parallel 1 -quiet-times \
+	  -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "== cpu.prof (top) =="
+	$(GO) tool pprof -top -nodecount 15 cpu.prof
+	@echo "== mem.prof (top) =="
+	$(GO) tool pprof -top -nodecount 15 mem.prof

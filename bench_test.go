@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"edgescope/internal/core"
+	"edgescope/internal/crowd"
 	"edgescope/internal/emunet"
 	"edgescope/internal/netmodel"
 	"edgescope/internal/placement"
@@ -72,10 +73,13 @@ func suite() *core.Suite {
 // iteration, so substrate construction (the dominant cost) is included.
 // Serial vs parallel is the PR's headline comparison; the outputs are
 // byte-identical either way.
-func benchmarkRunAll(b *testing.B, parallelism int) {
+func benchmarkRunAll(b *testing.B, scenarioName string, parallelism int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s := benchSuite()
+		s, err := core.NewSuiteFromSpec(scenario.MustGet(scenarioName))
+		if err != nil {
+			b.Fatal(err)
+		}
 		results, err := s.RunAll(context.Background(), parallelism)
 		if err != nil {
 			b.Fatal(err)
@@ -92,8 +96,13 @@ func benchmarkRunAll(b *testing.B, parallelism int) {
 	}
 }
 
-func BenchmarkRunAllSerial(b *testing.B)   { benchmarkRunAll(b, 1) }
-func BenchmarkRunAllParallel(b *testing.B) { benchmarkRunAll(b, 0) }
+func BenchmarkRunAllSerial(b *testing.B)   { benchmarkRunAll(b, benchScenario, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchmarkRunAll(b, benchScenario, 0) }
+
+// BenchmarkRunAllStress tracks the full reproduction at the largest built-in
+// scenario (320 users, 12 repeats), where the measurement kernels — not the
+// workload traces — carry most of the weight.
+func BenchmarkRunAllStress(b *testing.B) { benchmarkRunAll(b, "stress", 1) }
 
 // --- one benchmark per paper table/figure ---
 
@@ -367,6 +376,91 @@ func BenchmarkForecasters(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- measurement-kernel microbenchmarks ---
+
+// BenchmarkVirtualPing measures the scalar virtual-ping kernel at the
+// paper's 30-repeat schedule, including its per-call result allocation.
+func BenchmarkVirtualPing(b *testing.B) {
+	r := rng.New(29)
+	p := netmodel.BuildPath(r, netmodel.LTE, netmodel.CloudSite, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := probe.VirtualPing(r, p, 30)
+		if st.Sent != 30 {
+			b.Fatal("bad ping")
+		}
+	}
+}
+
+// BenchmarkVirtualPingInto is the fused kernel in steady state: the caller
+// owns the PingStats buffer, so the loop allocates nothing.
+func BenchmarkVirtualPingInto(b *testing.B) {
+	r := rng.New(29)
+	p := netmodel.BuildPath(r, netmodel.LTE, netmodel.CloudSite, 800)
+	var st probe.PingStats
+	probe.VirtualPingInto(r, p, 30, &st) // warm the buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe.VirtualPingInto(r, p, 30, &st)
+	}
+}
+
+// BenchmarkSampleRTTBatch measures the batched RTT kernel: one 512-sample
+// fill per op (the scalar comparison is PathModel/sample-rtt).
+func BenchmarkSampleRTTBatch(b *testing.B) {
+	r := rng.New(31)
+	p := netmodel.BuildPath(r, netmodel.WiFi, netmodel.CloudSite, 800)
+	dst := make([]float64, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SampleRTTs(r, dst)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(dst))/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkObserveWalk measures the one observation walk of the crowd
+// campaign end to end (path build + fused pings + aggregation per target).
+func BenchmarkObserveWalk(b *testing.B) {
+	r := rng.New(37)
+	c := crowd.NewCampaign(r.Fork("campaign"), scenario.MustGet(benchScenario).Crowd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		c.Observe(rng.New(uint64(i)), func(crowd.Observation) { n++ })
+		if n == 0 {
+			b.Fatal("no observations")
+		}
+	}
+}
+
+// BenchmarkFig2aFromColumns measures the columnar aggregation behind Figure
+// 2a — per-user collapse and across-user median for every access×target
+// group — over the warm substrate's group indexes.
+func BenchmarkFig2aFromColumns(b *testing.B) {
+	st := suite().LatencyStore()
+	accesses := []netmodel.Access{netmodel.WiFi, netmodel.LTE, netmodel.FiveG}
+	targets := []crowd.TargetKind{
+		crowd.NearestEdge, crowd.ThirdNearestEdge, crowd.NearestCloud, crowd.CloudMember,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink float64
+		for _, a := range accesses {
+			for _, k := range targets {
+				sink += st.MedianRTTAcrossUsers(a, k)
+			}
+		}
+		if sink == 0 {
+			b.Fatal("empty aggregation")
+		}
+	}
 }
 
 // BenchmarkPathModel measures the core network-model hot paths.

@@ -118,7 +118,7 @@ func TestCompareGate(t *testing.T) {
 		{Name: "Added", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
 	}}
 	var sb strings.Builder
-	failures := compareFiles(&sb, base, cur, []string{"RunAllSerial", "Steady"}, 0.15)
+	failures := compareFiles(&sb, base, cur, []string{"RunAllSerial", "Steady"}, 0.15, false, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "RunAllSerial") {
 		t.Fatalf("failures = %v, want one RunAllSerial regression", failures)
 	}
@@ -131,7 +131,7 @@ func TestCompareGate(t *testing.T) {
 
 	// A gated benchmark missing from the new snapshot must fail, not pass
 	// silently.
-	failures = compareFiles(&strings.Builder{}, base, cur, []string{"Removed"}, 0.15)
+	failures = compareFiles(&strings.Builder{}, base, cur, []string{"Removed"}, 0.15, false, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "Removed") {
 		t.Fatalf("failures = %v, want missing-gate failure", failures)
 	}
@@ -139,13 +139,13 @@ func TestCompareGate(t *testing.T) {
 	// A gated name in NEITHER file (rename, gate-list typo) must also fail —
 	// it never enters the name loop, which is how it could silently disarm
 	// the gate.
-	failures = compareFiles(&strings.Builder{}, base, cur, []string{"Tyop"}, 0.15)
+	failures = compareFiles(&strings.Builder{}, base, cur, []string{"Tyop"}, 0.15, false, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "Tyop") {
 		t.Fatalf("failures = %v, want missing-from-both failure", failures)
 	}
 
 	// Improvements and within-tolerance drift pass.
-	failures = compareFiles(&strings.Builder{}, base, cur, nil, 0.15)
+	failures = compareFiles(&strings.Builder{}, base, cur, nil, 0.15, false, 0.30)
 	if len(failures) != 0 {
 		t.Fatalf("ungated compare returned failures: %v", failures)
 	}
@@ -155,7 +155,7 @@ func TestCompareGate(t *testing.T) {
 	tiny := &File{Benchmarks: []Result{
 		{Name: "RunAllSerial", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 5000},
 	}}
-	failures = compareFiles(&strings.Builder{}, base, tiny, []string{"RunAllSerial"}, 0.15)
+	failures = compareFiles(&strings.Builder{}, base, tiny, []string{"RunAllSerial"}, 0.15, false, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
 		t.Fatalf("failures = %v, want one allocs/op regression", failures)
 	}
@@ -173,5 +173,89 @@ func TestRegressed(t *testing.T) {
 	}
 	if !regressed(0, 1, 0.15) {
 		t.Fatal("zero baseline must only accept zero")
+	}
+}
+
+// TestNsGateOptIn covers the opt-in wall-time gate: off by default, its own
+// wider tolerance when on, and 1-iteration entries advisory-only.
+func TestNsGateOptIn(t *testing.T) {
+	base := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", Iterations: 1, NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "SampleRTTBatch", Iterations: 5000, NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+	}}
+	cur := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", Iterations: 1, NsPerOp: 2000, BytesPerOp: 100, AllocsPerOp: 10},  // +100% ns, 1 iter
+		{Name: "SampleRTTBatch", Iterations: 5000, NsPerOp: 150, BytesPerOp: 0, AllocsPerOp: 0}, // +50% ns
+	}}
+	gates := []string{"RunAllSerial", "SampleRTTBatch"}
+
+	// Default: ns/op not gated at all — both regressions pass.
+	if failures := compareFiles(&strings.Builder{}, base, cur, gates, 0.15, false, 0.30); len(failures) != 0 {
+		t.Fatalf("ns regressions failed the gate without -gate-ns: %v", failures)
+	}
+
+	// Opted in: the multi-iteration regression fails, the 1-iteration one is
+	// advisory only.
+	var sb strings.Builder
+	failures := compareFiles(&sb, base, cur, gates, 0.15, true, 0.30)
+	if len(failures) != 1 || !strings.Contains(failures[0], "SampleRTTBatch") || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("failures = %v, want one SampleRTTBatch ns/op failure", failures)
+	}
+	if out := sb.String(); !strings.Contains(out, "advisory") || !strings.Contains(out, "RunAllSerial") {
+		t.Fatalf("1-iteration ns regression not reported as advisory:\n%s", out)
+	}
+
+	// Inside the wider ns budget: passes.
+	curOK := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", Iterations: 2, NsPerOp: 1100, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "SampleRTTBatch", Iterations: 5000, NsPerOp: 120, BytesPerOp: 0, AllocsPerOp: 0},
+	}}
+	if failures := compareFiles(&strings.Builder{}, base, curOK, gates, 0.15, true, 0.30); len(failures) != 0 {
+		t.Fatalf("within-ns-budget drift failed: %v", failures)
+	}
+}
+
+// TestGatedNewBenchmarkIsAdvisory: a gated benchmark added in the same
+// change as its gate entry (present only in NEW) must not fail the compare —
+// there is no baseline to regress against.
+func TestGatedNewBenchmarkIsAdvisory(t *testing.T) {
+	base := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", Iterations: 2, NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+	}}
+	cur := &File{Benchmarks: []Result{
+		{Name: "RunAllSerial", Iterations: 2, NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "ObserveWalk", Iterations: 50, NsPerOp: 7, BytesPerOp: 7, AllocsPerOp: 7},
+	}}
+	var sb strings.Builder
+	failures := compareFiles(&sb, base, cur, []string{"RunAllSerial", "ObserveWalk"}, 0.15, false, 0.30)
+	if len(failures) != 0 {
+		t.Fatalf("new gated benchmark failed the compare: %v", failures)
+	}
+	if out := sb.String(); !strings.Contains(out, "advisory") || !strings.Contains(out, "ObserveWalk") {
+		t.Fatalf("new gated benchmark not noted as advisory:\n%s", out)
+	}
+}
+
+// TestDedupeKeepsMostIterations: ci.sh re-benches the RunAll pair at an
+// iteration-count -benchtime after the main sweep; the recorded snapshot
+// must carry one entry per name — the higher-iteration measurement.
+func TestDedupeKeepsMostIterations(t *testing.T) {
+	out := `scenario: small
+BenchmarkRunAllSerial  1  2000000000 ns/op  1000 B/op  50 allocs/op
+BenchmarkSketchAdd  100  661 ns/op  16 B/op  1 allocs/op
+BenchmarkRunAllSerial  2  1900000000 ns/op  1000 B/op  50 allocs/op
+`
+	var f File
+	if _, err := parseStream(strings.NewReader(out), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (deduped)", len(f.Benchmarks))
+	}
+	if f.Benchmarks[0].Name != "RunAllSerial" || f.Benchmarks[0].Iterations != 2 {
+		t.Fatalf("dedupe kept %+v, want the 2-iteration rerun in first-seen position", f.Benchmarks[0])
+	}
+	if f.Benchmarks[1].Name != "SketchAdd" {
+		t.Fatalf("order disturbed: %+v", f.Benchmarks[1])
 	}
 }

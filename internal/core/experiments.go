@@ -60,7 +60,7 @@ var latencyTargets = []crowd.TargetKind{
 
 // Figure2a reproduces the median-RTT comparison.
 func (s *Suite) Figure2a() *report.Table {
-	obs := s.LatencyObs()
+	st := s.LatencyStore()
 	t := &report.Table{
 		Title:   "Figure 2a: median RTT across users (ms)",
 		Headers: []string{"access", "nearest-edge", "3rd-nearest-edge", "nearest-cloud", "all-clouds"},
@@ -68,7 +68,7 @@ func (s *Suite) Figure2a() *report.Table {
 	for _, a := range latencyAccess {
 		row := []any{a.String()}
 		for _, k := range latencyTargets {
-			row = append(row, crowd.MedianRTTAcrossUsers(obs, a, k))
+			row = append(row, st.MedianRTTAcrossUsers(a, k))
 		}
 		t.AddRow(row...)
 	}
@@ -77,7 +77,7 @@ func (s *Suite) Figure2a() *report.Table {
 
 // Figure2b reproduces the RTT-jitter (CV) comparison.
 func (s *Suite) Figure2b() *report.Table {
-	obs := s.LatencyObs()
+	st := s.LatencyStore()
 	t := &report.Table{
 		Title:   "Figure 2b: median RTT coefficient of variation across users",
 		Headers: []string{"access", "nearest-edge", "3rd-nearest-edge", "nearest-cloud", "all-clouds"},
@@ -85,7 +85,7 @@ func (s *Suite) Figure2b() *report.Table {
 	for _, a := range latencyAccess {
 		row := []any{a.String()}
 		for _, k := range latencyTargets {
-			row = append(row, crowd.MedianCVAcrossUsers(obs, a, k))
+			row = append(row, st.MedianCVAcrossUsers(a, k))
 		}
 		t.AddRow(row...)
 	}
@@ -94,14 +94,14 @@ func (s *Suite) Figure2b() *report.Table {
 
 // Table3 reproduces the hop-level latency breakdown.
 func (s *Suite) Table3() *report.Table {
-	obs := s.LatencyObs()
+	st := s.LatencyStore()
 	t := &report.Table{
 		Title:   "Table 3: hop-level breakdown of network delay (share of RTT)",
 		Headers: []string{"access", "target", "hop1", "hop2", "hop3", "rest"},
 	}
 	for _, a := range latencyAccess {
 		for _, k := range []crowd.TargetKind{crowd.NearestEdge, crowd.NearestCloud} {
-			row := crowd.HopBreakdown(obs, a, k)
+			row := st.HopBreakdown(a, k)
 			t.AddRow(a.String(), k.String(), row.Share1, row.Share2, row.Share3, row.ShareRest)
 		}
 	}
@@ -110,7 +110,7 @@ func (s *Suite) Table3() *report.Table {
 
 // Table4 reproduces the co-location RTT/distance table.
 func (s *Suite) Table4() *report.Table {
-	rows := crowd.CoLocationTable(s.LatencyObs())
+	rows := s.LatencyStore().CoLocationTable()
 	t := &report.Table{
 		Title: "Table 4: average RTT and city-level distance by co-location",
 		Headers: []string{"class", "user-share",
@@ -124,13 +124,13 @@ func (s *Suite) Table4() *report.Table {
 
 // Figure3 reproduces the hop-count distributions.
 func (s *Suite) Figure3() *report.Figure {
-	obs := s.LatencyObs()
+	st := s.LatencyStore()
 	f := &report.Figure{
 		Title:  "Figure 3: hop count to nearest edge vs clouds",
 		XLabel: "hops", YLabel: "CDF",
 	}
-	f.AddCDF("nearest-edge", crowd.HopCounts(obs, true))
-	f.AddCDF("clouds", crowd.HopCounts(obs, false))
+	f.AddCDF("nearest-edge", st.HopCounts(true))
+	f.AddCDF("clouds", st.HopCounts(false))
 	return f
 }
 

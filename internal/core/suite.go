@@ -111,11 +111,11 @@ type Suite struct {
 	// It is a private copy; treat it as immutable.
 	Spec *scenario.Spec
 
-	campaign   func() *crowd.Campaign
-	latencyObs func() []crowd.Observation
-	thrObs     func() []crowd.ThroughputObs
-	nepTrace   func() *vm.Dataset
-	cloudTrace func() *vm.Dataset
+	campaign     func() *crowd.Campaign
+	latencyStore func() *crowd.ObservationStore
+	thrObs       func() []crowd.ThroughputObs
+	nepTrace     func() *vm.Dataset
+	cloudTrace   func() *vm.Dataset
 }
 
 // NewSuiteFromSpec builds an experiment suite from a declarative scenario.
@@ -133,8 +133,8 @@ func NewSuiteFromSpec(sp *scenario.Spec) (*Suite, error) {
 	s.campaign = sync.OnceValue(func() *crowd.Campaign {
 		return crowd.NewCampaign(s.root().Fork("campaign"), cp.Crowd)
 	})
-	s.latencyObs = sync.OnceValue(func() []crowd.Observation {
-		return s.Campaign().RunLatency(s.root().Fork("latency"))
+	s.latencyStore = sync.OnceValue(func() *crowd.ObservationStore {
+		return crowd.NewObservationStore(s.Campaign(), s.root().Fork("latency"))
 	})
 	s.thrObs = sync.OnceValue(func() []crowd.ThroughputObs {
 		return s.Campaign().RunThroughput(s.root().Fork("throughput"))
@@ -176,8 +176,14 @@ func (s *Suite) root() *rng.Source { return rng.New(s.Seed) }
 // Campaign returns (building on first use) the crowd campaign.
 func (s *Suite) Campaign() *crowd.Campaign { return s.campaign() }
 
-// LatencyObs returns the cached latency-campaign observations.
-func (s *Suite) LatencyObs() []crowd.Observation { return s.latencyObs() }
+// LatencyStore returns (building on first use) the columnar latency
+// substrate: one observation walk, columnarised once, consumed by every
+// latency-family artifact.
+func (s *Suite) LatencyStore() *crowd.ObservationStore { return s.latencyStore() }
+
+// LatencyObs returns the cached latency-campaign observations — the
+// array-of-structs view over the columnar substrate, in emission order.
+func (s *Suite) LatencyObs() []crowd.Observation { return s.latencyStore().View() }
 
 // ThroughputObs returns the cached throughput-campaign observations.
 func (s *Suite) ThroughputObs() []crowd.ThroughputObs { return s.thrObs() }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"edgescope/internal/netmodel"
 	"edgescope/internal/report"
 	"edgescope/internal/stats"
 	"edgescope/internal/telemetry"
@@ -18,8 +19,9 @@ import (
 // bound (stats.Sketch.RankErrorBound) — streaming must always land within
 // 2× bound, which the telemetry tests also pin.
 func (s *Suite) ExtTelemetry() *report.Table {
-	obs := s.LatencyObs()
-	events := telemetry.LatencyEvents(obs, telemetry.ReplayOptions{})
+	st := s.LatencyStore()
+	// The streaming side replays whole records: the thin []Observation view.
+	events := telemetry.LatencyEvents(st.View(), telemetry.ReplayOptions{})
 
 	ing := telemetry.NewIngestor(telemetry.Config{
 		Shards: 4,
@@ -37,21 +39,19 @@ func (s *Suite) ExtTelemetry() *report.Table {
 	}
 
 	slices := []struct {
-		name string
-		net  string // query filter; "" = all
+		name   string
+		net    string // query filter; "" = all
+		access netmodel.Access
 	}{
-		{"all-access", ""},
-		{"WiFi", "WiFi"},
-		{"LTE", "LTE"},
-		{"5G", "5G"},
+		{"all-access", "", 0},
+		{"WiFi", "WiFi", netmodel.WiFi},
+		{"LTE", "LTE", netmodel.LTE},
+		{"5G", "5G", netmodel.FiveG},
 	}
 	for _, sl := range slices {
-		var xs []float64
-		for _, o := range obs {
-			if sl.net == "" || o.Access.String() == sl.net {
-				xs = append(xs, o.MedianRTTMs)
-			}
-		}
+		// The batch side reads the median-RTT column straight off the
+		// columnar substrate instead of re-walking []Observation.
+		xs := st.AppendMedianRTTs(nil, sl.access, sl.net == "")
 		if len(xs) == 0 {
 			continue
 		}

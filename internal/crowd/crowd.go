@@ -21,6 +21,7 @@ import (
 	"edgescope/internal/probe"
 	"edgescope/internal/rng"
 	"edgescope/internal/scenario"
+	"edgescope/internal/stats"
 	"edgescope/internal/topology"
 )
 
@@ -180,11 +181,12 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 	for i, u := range c.Users {
 		seeds[i] = r.Fork(fmt.Sprintf("user-%d", u.ID)).Uint64()
 	}
-	// The per-slot observation buffers live for the whole walk: each chunk
-	// re-fills slot j's backing array (observeUser sizes it exactly on first
-	// use), so steady-state chunks allocate nothing and GC pressure stays
-	// flat even at stress-scenario populations.
+	// The per-slot observation buffers and probe scratch live for the whole
+	// walk: each chunk re-fills slot j's backing arrays (observeUser sizes
+	// them exactly on first use), so steady-state chunks allocate nothing
+	// and GC pressure stays flat even at stress-scenario populations.
 	buf := make([][]Observation, observeChunk)
+	scratch := make([]obsScratch, observeChunk)
 	for start := 0; start < len(c.Users); start += observeChunk {
 		end := start + observeChunk
 		if end > len(c.Users) {
@@ -192,7 +194,7 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 		}
 		chunk := buf[:end-start]
 		par.ForEach(end-start, 0, func(j int) {
-			chunk[j] = c.observeUser(seeds[start+j], c.Users[start+j], chunk[j][:0])
+			chunk[j] = c.observeUser(seeds[start+j], c.Users[start+j], chunk[j][:0], &scratch[j])
 		})
 		for _, obs := range chunk {
 			for _, o := range obs {
@@ -202,10 +204,19 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 	}
 }
 
+// obsScratch is one worker slot's reusable probe state: the ping buffer
+// VirtualPingInto refills and the selection scratch the median query reuses.
+// Both warm up to the per-target sizes on the first user and allocate
+// nothing afterwards.
+type obsScratch struct {
+	ping probe.PingStats
+	sel  stats.Scratch
+}
+
 // observeUser measures every target of one user from a common-random-number
 // sub-stream rebuilt per target off the user's pre-forked seed, appending
 // into dst (allocated to the exact per-user size when its capacity is short).
-func (c *Campaign) observeUser(seed uint64, u User, dst []Observation) []Observation {
+func (c *Campaign) observeUser(seed uint64, u User, dst []Observation, sc *obsScratch) []Observation {
 	crn := func() *rng.Source { return rng.New(seed) }
 	edgeRank := c.NEP.NearestSites(u.Loc)
 	cloudRank := c.Cloud.NearestSites(u.Loc)
@@ -214,13 +225,13 @@ func (c *Campaign) observeUser(seed uint64, u User, dst []Observation) []Observa
 		dst = make([]Observation, 0, need)
 	}
 	obs := dst
-	obs = append(obs, c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]]))
+	obs = append(obs, c.observe(crn(), u, NearestEdge, c.NEP.Sites[edgeRank[0]], sc))
 	if len(edgeRank) >= 3 {
-		obs = append(obs, c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]]))
+		obs = append(obs, c.observe(crn(), u, ThirdNearestEdge, c.NEP.Sites[edgeRank[2]], sc))
 	}
-	obs = append(obs, c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]]))
+	obs = append(obs, c.observe(crn(), u, NearestCloud, c.Cloud.Sites[cloudRank[0]], sc))
 	for _, ci := range cloudRank {
-		obs = append(obs, c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci]))
+		obs = append(obs, c.observe(crn(), u, CloudMember, c.Cloud.Sites[ci], sc))
 	}
 	return obs
 }
@@ -243,10 +254,11 @@ func (c *Campaign) StreamLatency(r *rng.Source, emit func(Observation)) {
 	c.Observe(r, emit)
 }
 
-func (c *Campaign) observe(r *rng.Source, u User, kind TargetKind, site *topology.Site) Observation {
+func (c *Campaign) observe(r *rng.Source, u User, kind TargetKind, site *topology.Site, sc *obsScratch) Observation {
 	dist := geo.Haversine(u.Loc, site.Loc)
 	path := netmodel.BuildPath(r, u.Access, site.Class, dist)
-	st := probe.VirtualPing(r, path, c.Spec.Repeats)
+	probe.VirtualPingInto(r, path, c.Spec.Repeats, &sc.ping)
+	st := &sc.ping
 	s1, s2, s3, rest := path.HopShare()
 
 	cityDist := geo.Haversine(u.Metro.Loc, site.City.Loc)
@@ -264,7 +276,7 @@ func (c *Campaign) observe(r *rng.Source, u User, kind TargetKind, site *topolog
 		SiteMetro:   site.City.Name,
 		DistanceKm:  dist,
 		CityDistKm:  cityDist,
-		MedianRTTMs: st.MedianMs(),
+		MedianRTTMs: sc.sel.Percentile(st.RTTs, 50), // == st.MedianMs(), no copy alloc
 		MeanRTTMs:   mean(st.RTTs),
 		CV:          st.CV(),
 		HopCount:    path.HopCount(),

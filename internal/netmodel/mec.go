@@ -38,5 +38,6 @@ func BuildSunkPath(r *rng.Source, access Access) *Path {
 		profile:  p,
 	}
 	path.extraJitterStd = edgeJitterFactor * path.BaseRTTMs()
+	path.finalize()
 	return path
 }

@@ -81,6 +81,37 @@ type Path struct {
 	extraJitterStd float64
 	// profile snapshot used when the path was built.
 	profile AccessProfile
+	// kern is the flattened sampling kernel; see finalize.
+	kern pathKern
+}
+
+// pathKern is the struct-of-arrays view of the hop parameters that the
+// sampling kernels walk: a path is built once and sampled many times, so the
+// per-hop constants are flattened into dense float64 runs (one cache line
+// holds eight hops' bases) and the per-sample invariants (base-RTT sum and
+// its 80% truncation floor) are computed once instead of per draw.
+type pathKern struct {
+	base    []float64
+	jitter  []float64
+	baseSum float64 // cached BaseRTTMs(), summed in hop order
+	floor   float64 // 0.8 * baseSum, SampleRTT's truncation floor
+}
+
+// finalize flattens the hop parameters into the sampling kernel. Builders
+// call it after the hop slice is complete (and after any post-hoc hop
+// adjustments); a Path assembled manually without finalize still samples
+// correctly through the slow hop-walking paths.
+func (p *Path) finalize() {
+	n := len(p.Hops)
+	flat := make([]float64, 2*n)
+	k := pathKern{base: flat[:n:n], jitter: flat[n:]}
+	for i, h := range p.Hops {
+		k.base[i] = h.BaseRTTMs
+		k.jitter[i] = h.JitterStdMs
+		k.baseSum += h.BaseRTTMs
+	}
+	k.floor = 0.8 * k.baseSum
+	p.kern = k
 }
 
 // Propagation and router constants calibrated to the paper (Fig 4 slope,
@@ -191,6 +222,7 @@ func BuildPath(r *rng.Source, access Access, class SiteClass, distKm float64) *P
 		factor = cloudJitterFactor
 	}
 	path.extraJitterStd = factor * path.BaseRTTMs()
+	path.finalize()
 	return path
 }
 
@@ -199,6 +231,9 @@ func (p *Path) HopCount() int { return len(p.Hops) }
 
 // BaseRTTMs returns the deterministic component of the path RTT.
 func (p *Path) BaseRTTMs() float64 {
+	if p.kern.base != nil {
+		return p.kern.baseSum
+	}
 	var t float64
 	for _, h := range p.Hops {
 		t += h.BaseRTTMs
@@ -210,6 +245,23 @@ func (p *Path) BaseRTTMs() float64 {
 // plus independent per-hop jitter (truncated so the sample never drops below
 // 80% of base, as queueing can only add delay beyond serialisation variance).
 func (p *Path) SampleRTT(r *rng.Source) float64 {
+	if p.kern.base == nil {
+		return p.sampleRTTSlow(r)
+	}
+	rtt := r.Normal(0, p.extraJitterStd)
+	base, jitter := p.kern.base, p.kern.jitter
+	for i, b := range base {
+		rtt += b + r.Normal(0, jitter[i])
+	}
+	if rtt < p.kern.floor {
+		rtt = p.kern.floor
+	}
+	return rtt
+}
+
+// sampleRTTSlow is the hop-walking fallback for paths assembled without
+// finalize (e.g. struct literals in tests). Same draws, same arithmetic.
+func (p *Path) sampleRTTSlow(r *rng.Source) float64 {
 	rtt := r.Normal(0, p.extraJitterStd)
 	for _, h := range p.Hops {
 		rtt += h.BaseRTTMs + r.Normal(0, h.JitterStdMs)
@@ -220,21 +272,71 @@ func (p *Path) SampleRTT(r *rng.Source) float64 {
 	return rtt
 }
 
+// SampleRTTs fills dst with len(dst) end-to-end RTT samples. It is the
+// batched form of SampleRTT: draw-for-draw identical to len(dst) sequential
+// SampleRTT calls (probe-major order — all of sample i's per-hop draws
+// before any of sample i+1's), with the per-sample overheads (field loads,
+// kernel lookups) hoisted out of the loop.
+func (p *Path) SampleRTTs(r *rng.Source, dst []float64) {
+	if p.kern.base == nil {
+		for i := range dst {
+			dst[i] = p.sampleRTTSlow(r)
+		}
+		return
+	}
+	base, jitter := p.kern.base, p.kern.jitter
+	extra, floor := p.extraJitterStd, p.kern.floor
+	for i := range dst {
+		rtt := r.Normal(0, extra)
+		for k, b := range base {
+			rtt += b + r.Normal(0, jitter[k])
+		}
+		if rtt < floor {
+			rtt = floor
+		}
+		dst[i] = rtt
+	}
+}
+
 // HopRTTs returns per-hop cumulative RTTs as a TTL-walking traceroute would
 // observe them: entry i is the RTT to hop i, or NaN-like -1 when the hop does
 // not answer TTL-expired probes (e.g. the first 5G hops).
 func (p *Path) HopRTTs(r *rng.Source) []float64 {
 	out := make([]float64, len(p.Hops))
+	p.HopRTTsInto(r, out)
+	return out
+}
+
+// HopRTTsInto is HopRTTs writing into a caller-owned buffer (len(dst) must
+// be HopCount()): identical draws and values, no allocation.
+func (p *Path) HopRTTsInto(r *rng.Source, dst []float64) {
+	if len(dst) != len(p.Hops) {
+		panic("netmodel: HopRTTsInto buffer length must equal HopCount")
+	}
+	// Hop visibility is only consulted here (the cold traceroute path), so
+	// it stays on the Hops slice rather than costing the kernel a column.
+	if p.kern.base == nil {
+		var cum float64
+		for i, h := range p.Hops {
+			cum += h.BaseRTTMs + r.Normal(0, h.JitterStdMs)
+			if h.Visible {
+				dst[i] = cum
+			} else {
+				dst[i] = -1
+			}
+		}
+		return
+	}
+	base, jitter := p.kern.base, p.kern.jitter
 	var cum float64
-	for i, h := range p.Hops {
-		cum += h.BaseRTTMs + r.Normal(0, h.JitterStdMs)
-		if h.Visible {
-			out[i] = cum
+	for i, b := range base {
+		cum += b + r.Normal(0, jitter[i])
+		if p.Hops[i].Visible {
+			dst[i] = cum
 		} else {
-			out[i] = -1
+			dst[i] = -1
 		}
 	}
-	return out
 }
 
 // HopShare returns the fraction of the base RTT contributed by the 1st, 2nd,

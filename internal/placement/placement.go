@@ -11,7 +11,6 @@ package placement
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"edgescope/internal/rng"
 	"edgescope/internal/vm"
@@ -125,14 +124,9 @@ func (NEPDefault) Name() string { return "nep-default" }
 
 // Place implements Strategy.
 func (NEPDefault) Place(r *rng.Source, st *ClusterState, req Request) ([]Assignment, error) {
-	return placeN(st, req, func(cands []Assignment) []Assignment {
-		sort.SliceStable(cands, func(a, b int) bool {
-			sa := st.salesRatio(cands[a].Site, cands[a].Server) + st.UsageEst[cands[a].Site][cands[a].Server]/100
-			sb := st.salesRatio(cands[b].Site, cands[b].Server) + st.UsageEst[cands[b].Site][cands[b].Server]/100
-			return sa < sb
-		})
-		return cands
-	})
+	return placeN(st, req, func(site, server int) float64 {
+		return st.salesRatio(site, server) + st.UsageEst[site][server]/100
+	}, false)
 }
 
 // BestFit packs VMs onto the fullest feasible server (bin-packing), the
@@ -144,13 +138,9 @@ func (BestFit) Name() string { return "best-fit" }
 
 // Place implements Strategy.
 func (BestFit) Place(r *rng.Source, st *ClusterState, req Request) ([]Assignment, error) {
-	return placeN(st, req, func(cands []Assignment) []Assignment {
-		sort.SliceStable(cands, func(a, b int) bool {
-			return st.salesRatio(cands[a].Site, cands[a].Server) >
-				st.salesRatio(cands[b].Site, cands[b].Server)
-		})
-		return cands
-	})
+	return placeN(st, req, func(site, server int) float64 {
+		return st.salesRatio(site, server)
+	}, true)
 }
 
 // Random places each VM on a uniformly random feasible server.
@@ -163,8 +153,9 @@ func (Random) Name() string { return "random" }
 func (Random) Place(r *rng.Source, st *ClusterState, req Request) ([]Assignment, error) {
 	var out []Assignment
 	one := Request{VCPUs: req.VCPUs, MemGB: req.MemGB, Province: req.Province, Count: 1}
+	var cands []Assignment // reused across the request's VMs
 	for k := 0; k < req.Count; k++ {
-		var cands []Assignment
+		cands = cands[:0]
 		for _, si := range st.candidateSites(one) {
 			for sj := range st.Sites[si].Servers {
 				if st.Fits(si, sj, one) {
@@ -191,35 +182,42 @@ func (LeastLoaded) Name() string { return "least-loaded" }
 
 // Place implements Strategy.
 func (LeastLoaded) Place(r *rng.Source, st *ClusterState, req Request) ([]Assignment, error) {
-	return placeN(st, req, func(cands []Assignment) []Assignment {
-		sort.SliceStable(cands, func(a, b int) bool {
-			return st.UsageEst[cands[a].Site][cands[a].Server] <
-				st.UsageEst[cands[b].Site][cands[b].Server]
-		})
-		return cands
-	})
+	return placeN(st, req, func(site, server int) float64 {
+		return st.UsageEst[site][server]
+	}, false)
 }
 
-// placeN applies rank to the feasible candidate set once per VM and commits
-// the top choice.
-func placeN(st *ClusterState, req Request, rank func([]Assignment) []Assignment) ([]Assignment, error) {
+// placeN picks, once per VM, the best feasible server under the strategy's
+// score (descending reverses the order) and commits it. The scored-ranking
+// strategies only ever consume the top of the ranking, so placeN runs a
+// single stable min scan — first candidate wins ties, exactly the element a
+// stable sort would have put at index 0 — instead of sorting the whole
+// candidate set per VM, and scores each candidate once instead of twice per
+// comparison. Candidates are enumerated in (site, server) order, so the
+// tie-break matches the former sort-based implementation choice for choice.
+func placeN(st *ClusterState, req Request, score func(site, server int) float64, descending bool) ([]Assignment, error) {
 	var out []Assignment
 	one := Request{VCPUs: req.VCPUs, MemGB: req.MemGB, Province: req.Province, Count: 1}
 	for k := 0; k < req.Count; k++ {
-		var cands []Assignment
+		best := Assignment{Site: -1}
+		var bestScore float64
 		for _, si := range st.candidateSites(one) {
 			for sj := range st.Sites[si].Servers {
-				if st.Fits(si, sj, one) {
-					cands = append(cands, Assignment{si, sj})
+				if !st.Fits(si, sj, one) {
+					continue
+				}
+				s := score(si, sj)
+				if best.Site < 0 || (descending && s > bestScore) || (!descending && s < bestScore) {
+					best = Assignment{Site: si, Server: sj}
+					bestScore = s
 				}
 			}
 		}
-		if len(cands) == 0 {
+		if best.Site < 0 {
 			return out, fmt.Errorf("%w (placed %d of %d)", ErrNoCapacity, k, req.Count)
 		}
-		cands = rank(cands)
-		st.Commit(cands[0], one)
-		out = append(out, cands[0])
+		st.Commit(best, one)
+		out = append(out, best)
 	}
 	return out, nil
 }

@@ -10,15 +10,32 @@ import (
 // would measure. It returns PingStats with loss applied per the path's
 // loss rate.
 func VirtualPing(r *rng.Source, path *netmodel.Path, count int) PingStats {
-	out := PingStats{Addr: "virtual", Sent: count}
+	var out PingStats
+	VirtualPingInto(r, path, count, &out)
+	return out
+}
+
+// VirtualPingInto is VirtualPing writing into a caller-owned PingStats: the
+// RTT buffer is reused when its capacity suffices and allocated at exactly
+// count capacity otherwise, so a steady-state probe loop allocates nothing.
+// Draws are identical to VirtualPing's, probe-major: each probe's loss draw
+// precedes its RTT sample draws, probes in sequence.
+func VirtualPingInto(r *rng.Source, path *netmodel.Path, count int, out *PingStats) {
+	out.Addr = "virtual"
+	out.Sent = count
+	if cap(out.RTTs) < count {
+		out.RTTs = make([]float64, 0, count)
+	}
+	rtts := out.RTTs[:0]
+	loss := path.LossRate
 	for i := 0; i < count; i++ {
-		if r.Bernoulli(path.LossRate) {
+		if r.Bernoulli(loss) {
 			continue
 		}
-		out.Received++
-		out.RTTs = append(out.RTTs, path.SampleRTT(r))
+		rtts = append(rtts, path.SampleRTT(r))
 	}
-	return out
+	out.RTTs = rtts
+	out.Received = len(rtts)
 }
 
 // TracerouteHop is one visible hop of a virtual traceroute.

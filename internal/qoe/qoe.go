@@ -47,15 +47,17 @@ func RTTTable(r *rng.Source, locations int) []RTTRow {
 	if locations <= 0 {
 		locations = 4
 	}
+	const perLocation = 10
 	var rows []RTTRow
 	for _, a := range []netmodel.Access{netmodel.WiFi, netmodel.LTE, netmodel.FiveG} {
 		for _, b := range Backends() {
-			var samples []float64
+			// Each location's repeats are one pure run of RTT draws on a
+			// stable path — the batched kernel's case (draw-for-draw equal
+			// to the scalar loop this replaced).
+			samples := make([]float64, locations*perLocation)
 			for l := 0; l < locations; l++ {
 				p := netmodel.BuildPath(r, a, b.Class, b.DistanceKm)
-				for i := 0; i < 10; i++ {
-					samples = append(samples, p.SampleRTT(r))
-				}
+				p.SampleRTTs(r, samples[l*perLocation:(l+1)*perLocation])
 			}
 			rows = append(rows, RTTRow{Access: a, Backend: b.Name, MeanMs: stats.Mean(samples)})
 		}

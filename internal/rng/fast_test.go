@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// refRand builds a plain math/rand/v2 Rand on the exact generator New(seed)
+// uses, bypassing this package entirely — the reference the fast paths must
+// match bit for bit.
+func refRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// TestFastPathsMatchRand pins the concrete-PCG fast paths (f64, the ziggurat
+// norm, and everything built on them) against the stdlib implementations on
+// the same stream: any divergence would silently change every experiment
+// output in the repo.
+func TestFastPathsMatchRand(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		s := New(seed)
+		ref := refRand(seed)
+		for i := 0; i < 20000; i++ {
+			switch i % 4 {
+			case 0:
+				if got, want := s.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, got, want)
+				}
+			case 1:
+				if got, want := s.Normal(0, 1), ref.NormFloat64(); got != want {
+					t.Fatalf("seed %d draw %d: Normal(0,1) = %v, want %v", seed, i, got, want)
+				}
+			case 2:
+				if got, want := s.Uint64(), ref.Uint64(); got != want {
+					t.Fatalf("seed %d draw %d: Uint64 = %v, want %v", seed, i, got, want)
+				}
+			case 3:
+				// Tail-heavy sigma hits the ziggurat's slow paths too.
+				if got, want := s.Normal(3, 10), 3+10*ref.NormFloat64(); got != want {
+					t.Fatalf("seed %d draw %d: Normal(3,10) = %v, want %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFastAndRandShareOneStream pins that rand.Rand-backed methods (IntN,
+// ExpFloat64, Shuffle) and the fast paths advance one shared generator: an
+// interleaved tape equals the same tape drawn from the stdlib reference.
+func TestFastAndRandShareOneStream(t *testing.T) {
+	for seed := uint64(1); seed < 9; seed++ {
+		s := New(seed)
+		ref := refRand(seed)
+		for i := 0; i < 5000; i++ {
+			switch i % 5 {
+			case 0:
+				if got, want := s.IntN(97), ref.IntN(97); got != want {
+					t.Fatalf("seed %d draw %d: IntN = %d, want %d", seed, i, got, want)
+				}
+			case 1:
+				if got, want := s.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, got, want)
+				}
+			case 2:
+				if got, want := s.Exponential(2), ref.ExpFloat64()*2; got != want {
+					t.Fatalf("seed %d draw %d: Exponential = %v, want %v", seed, i, got, want)
+				}
+			case 3:
+				if got, want := s.Normal(1, 2), 1+2*ref.NormFloat64(); got != want {
+					t.Fatalf("seed %d draw %d: Normal = %v, want %v", seed, i, got, want)
+				}
+			case 4:
+				if got, want := s.Uint64(), ref.Uint64(); got != want {
+					t.Fatalf("seed %d draw %d: Uint64 = %v, want %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBulkFillsMatchScalarDraws pins the bulk-fill helpers: filling a buffer
+// equals the same number of scalar calls, and a fill leaves the stream
+// positioned exactly where the scalar sequence would.
+func TestBulkFillsMatchScalarDraws(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, n := range []int{0, 1, 7, 1024} {
+			a, b := New(seed), New(seed)
+			fs := make([]float64, n)
+			a.Float64s(fs)
+			for i := range fs {
+				if want := b.Float64(); fs[i] != want {
+					t.Fatalf("seed %d n %d: Float64s[%d] = %v, want %v", seed, n, i, fs[i], want)
+				}
+			}
+			// Stream position after the fill matches the scalar walk.
+			if got, want := a.Normal(0, 1), b.Normal(0, 1); got != want {
+				t.Fatalf("seed %d n %d: post-fill stream diverged: %v vs %v", seed, n, got, want)
+			}
+
+			a, b = New(seed), New(seed)
+			us := make([]uint64, n)
+			a.Uint64s(us)
+			for i := range us {
+				if want := b.Uint64(); us[i] != want {
+					t.Fatalf("seed %d n %d: Uint64s[%d] = %v, want %v", seed, n, i, us[i], want)
+				}
+			}
+			if got, want := a.Uint64(), b.Uint64(); got != want {
+				t.Fatalf("seed %d n %d: post-fill stream diverged: %v vs %v", seed, n, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkUniformDraws shows what the bulk fill amortises: scalar Float64
+// calls vs one Float64s fill of the same length.
+func BenchmarkUniformDraws(b *testing.B) {
+	const n = 4096
+	b.Run("scalar", func(b *testing.B) {
+		s := New(7)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				sink = s.Float64()
+			}
+		}
+		_ = sink
+	})
+	b.Run("bulk", func(b *testing.B) {
+		s := New(7)
+		buf := make([]float64, n)
+		for i := 0; i < b.N; i++ {
+			s.Float64s(buf)
+		}
+	})
+}

@@ -16,14 +16,25 @@ import (
 
 // Source is a deterministic random source with distribution helpers.
 // It is not safe for concurrent use; fork one Source per goroutine.
+//
+// Internally the Source keeps both a *rand.Rand (for the algorithms this
+// package does not re-implement: IntN, ExpFloat64, Perm, Shuffle, Zipf) and
+// the concrete *rand.PCG generator behind it. The hot distribution helpers
+// (Float64, Normal and everything built on them) draw straight from the
+// PCG, skipping the rand.Rand Source-interface dispatch, with bit-identical
+// results — both handles advance the one shared generator state, so scalar
+// calls, bulk fills and rand.Rand-backed methods interleave freely on a
+// single stream. TestFastPathsMatchRand pins the equivalence.
 type Source struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a Source seeded with the given seed. Two Sources built from the
 // same seed produce identical streams.
 func New(seed uint64) *Source {
-	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Source{r: rand.New(pcg), pcg: pcg}
 }
 
 // Fork derives an independent sub-stream identified by name. The derived
@@ -40,21 +51,48 @@ func (s *Source) Fork(name string) *Source {
 		h ^= uint64(name[i])
 		h *= prime64
 	}
-	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64()^h, h))}
+	pcg := rand.NewPCG(s.pcg.Uint64()^h, h)
+	return &Source{r: rand.New(pcg), pcg: pcg}
 }
 
+// f64 is the concrete-generator uniform draw: the exact rand.Rand.Float64
+// transform over the next PCG output, minus the Source-interface dispatch.
+func (s *Source) f64() float64 { return float64(s.pcg.Uint64()<<11>>11) / (1 << 53) }
+
 // Float64 returns a uniform value in [0,1).
-func (s *Source) Float64() float64 { return s.r.Float64() }
+func (s *Source) Float64() float64 { return s.f64() }
 
 // Uint64 returns a uniform 64-bit value.
-func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+func (s *Source) Uint64() uint64 { return s.pcg.Uint64() }
+
+// Float64s fills dst with uniform [0,1) values, draw-for-draw identical to
+// len(dst) sequential Float64 calls, amortising the per-call overhead of
+// the scalar path over the whole buffer. It only fits draw sequences that
+// are a pure run of uniforms — the virtual-ping kernel cannot use it, for
+// example, because each probe's loss draw interleaves with its (normal)
+// RTT draws, and reordering draws would change every downstream bit.
+func (s *Source) Float64s(dst []float64) {
+	pcg := s.pcg
+	for i := range dst {
+		dst[i] = float64(pcg.Uint64()<<11>>11) / (1 << 53)
+	}
+}
+
+// Uint64s fills dst with uniform 64-bit values, draw-for-draw identical to
+// len(dst) sequential Uint64 calls.
+func (s *Source) Uint64s(dst []uint64) {
+	pcg := s.pcg
+	for i := range dst {
+		dst[i] = pcg.Uint64()
+	}
+}
 
 // IntN returns a uniform value in [0,n). It panics if n <= 0.
 func (s *Source) IntN(n int) int { return s.r.IntN(n) }
 
 // Uniform returns a uniform value in [lo,hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.r.Float64()
+	return lo + (hi-lo)*s.f64()
 }
 
 // Bernoulli returns true with probability p (clamped to [0,1]).
@@ -65,13 +103,13 @@ func (s *Source) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.r.Float64() < p
+	return s.f64() < p
 }
 
 // Normal returns a normally distributed value with the given mean and
 // standard deviation.
 func (s *Source) Normal(mean, stddev float64) float64 {
-	return mean + stddev*s.r.NormFloat64()
+	return mean + stddev*s.norm()
 }
 
 // NormalPos returns a normal sample truncated below at zero. It is the
@@ -111,7 +149,7 @@ func (s *Source) Pareto(xm, alpha float64) float64 {
 	if xm <= 0 || alpha <= 0 {
 		panic(fmt.Sprintf("rng: invalid Pareto parameters xm=%v alpha=%v", xm, alpha))
 	}
-	u := 1 - s.r.Float64() // (0,1]
+	u := 1 - s.f64() // (0,1]
 	return xm / math.Pow(u, 1/alpha)
 }
 
@@ -132,7 +170,7 @@ func (s *Source) Triangular(lo, mode, hi float64) float64 {
 	if lo == hi {
 		return lo
 	}
-	u := s.r.Float64()
+	u := s.f64()
 	fc := (mode - lo) / (hi - lo)
 	if u < fc {
 		return lo + math.Sqrt(u*(hi-lo)*(mode-lo))
@@ -178,7 +216,7 @@ func (s *Source) Choice(weights []float64) int {
 	if total == 0 {
 		panic("rng: all weights zero")
 	}
-	target := s.r.Float64() * total
+	target := s.f64() * total
 	var acc float64
 	for i, w := range weights {
 		acc += w

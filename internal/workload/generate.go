@@ -311,12 +311,104 @@ type seriesParams struct {
 
 // usageSeries synthesises one usage trace: diurnal cycle × weekly factor ×
 // optional weekly regime shifts × multiplicative noise.
+//
+// This is the workload generator's hot kernel (one call per VM per metric,
+// thousands of samples each), so the per-sample work is stripped to the
+// irreducible noise draw: the diurnal shape is a pure function of the minute
+// of day and is cached per distinct minute (a day of samples shares at most
+// 1440 cos/exp evaluations instead of one per sample), and hour/minute/
+// weekday come from integer nanosecond arithmetic instead of per-sample
+// time.Time decomposition. Values are bit-identical to the direct
+// per-sample formula — pinned by TestUsageSeriesFastPathMatchesSlow.
 func usageSeries(r *rng.Source, p seriesParams) *timeseries.Series {
 	n := int(time.Duration(p.days) * 24 * time.Hour / p.interval)
 	vals := make([]float64, n)
+	// The integer fast path needs UTC (hour/minute shortcuts assume a fixed
+	// zero offset) and a start within UnixNano range; every built-in trace
+	// starts 2020-06-01 UTC. Anything else takes the legacy loop.
+	if p.start.Location() == time.UTC && p.start.Year() >= 1970 && p.start.Year() <= 2200 {
+		usageSeriesUTC(r, p, vals)
+	} else {
+		usageSeriesSlow(r, p, vals)
+	}
+	return timeseries.New(p.start, p.interval, vals)
+}
+
+// usageSeriesUTC fills vals using cached diurnal shapes and integer time
+// arithmetic. Per sample it performs exactly the RNG draws (and, on cache
+// hits, none of the trigonometry) of usageSeriesSlow.
+func usageSeriesUTC(r *rng.Source, p seriesParams, vals []float64) {
+	const (
+		minuteNs = int64(time.Minute)
+		dayNs    = 24 * int64(time.Hour)
+	)
+	startAbs := p.start.UnixNano() // >= 0 by the fast-path gate
+	ivl := int64(p.interval)
+
+	// shapeFor computes the raw diurnal shape (before weekend and weekly
+	// multipliers) for one minute of day — the exact per-sample formula.
+	shapeFor := func(minOfDay int) float64 {
+		h := float64(minOfDay/60) + float64(minOfDay%60)/60
+		if p.windowHours > 0 {
+			// Gaussian bump around the peak: near-zero usage off-window.
+			dh := hourDiff(h, p.peakHour)
+			sigma := p.windowHours / 2.355 // FWHM → sigma
+			return 0.05 + math.Exp(-dh*dh/(2*sigma*sigma))*3.5
+		}
+		shape := 1 + p.amp*math.Cos((h-p.peakHour)/24*2*math.Pi)
+		if shape < 0.05 {
+			shape = 0.05
+		}
+		return shape
+	}
+	var (
+		cache  [24 * 60]float64
+		cached [24 * 60]bool
+	)
+
 	weekMult := 1.0
 	curWeek := -1
-	for i := 0; i < n; i++ {
+	for i := range vals {
+		abs := startAbs + int64(i)*ivl
+		day := abs / dayNs
+		minOfDay := int((abs - day*dayNs) / minuteNs)
+
+		shape := cache[minOfDay]
+		if !cached[minOfDay] {
+			shape = shapeFor(minOfDay)
+			cache[minOfDay] = shape
+			cached[minOfDay] = true
+		}
+		// 1970-01-01 (epoch day 0) was a Thursday; Sunday=0, Saturday=6.
+		wd := (day + 4) % 7
+		if wd == 6 || wd == 0 {
+			shape *= p.weekendFactor
+		}
+		if p.volatileWeeks {
+			week := int((time.Duration(i) * p.interval).Hours() / (24 * 7))
+			if week != curWeek {
+				curWeek = week
+				weekMult = math.Exp(r.Normal(0, p.volatileSigma))
+			}
+			shape *= weekMult
+		}
+		v := p.level * shape * math.Exp(r.Normal(0, p.noiseCV))
+		if v < 0.01 {
+			v = 0.01
+		}
+		if p.clampHi > 0 && v > p.clampHi {
+			v = p.clampHi
+		}
+		vals[i] = v
+	}
+}
+
+// usageSeriesSlow is the direct per-sample loop: the reference the fast path
+// must match bit for bit, and the fallback for non-UTC starts.
+func usageSeriesSlow(r *rng.Source, p seriesParams, vals []float64) {
+	weekMult := 1.0
+	curWeek := -1
+	for i := range vals {
 		ts := p.start.Add(time.Duration(i) * p.interval)
 		h := float64(ts.Hour()) + float64(ts.Minute())/60
 
@@ -353,7 +445,6 @@ func usageSeries(r *rng.Source, p seriesParams) *timeseries.Series {
 		}
 		vals[i] = v
 	}
-	return timeseries.New(p.start, p.interval, vals)
 }
 
 // hourDiff returns the circular distance between two hours of day.

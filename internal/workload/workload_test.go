@@ -322,3 +322,50 @@ func TestHourDiffCircular(t *testing.T) {
 		t.Fatal("identical hours should differ by 0")
 	}
 }
+
+// TestUsageSeriesFastPathMatchesSlow pins the cached-shape integer-time fast
+// path against the direct per-sample loop, bit for bit, across both diurnal
+// branches, weekend factors, volatile weeks and sampling cadences.
+func TestUsageSeriesFastPathMatchesSlow(t *testing.T) {
+	start := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	cases := []seriesParams{
+		{level: 20, amp: 0.6, peakHour: 21, noiseCV: 0.25, days: 14,
+			interval: 5 * time.Minute, start: start, clampHi: 95, weekendFactor: 1.2},
+		{level: 35, amp: 0.3, peakHour: 10.5, windowHours: 6, noiseCV: 0.4, days: 9,
+			interval: 15 * time.Minute, start: start, weekendFactor: 0.55},
+		{level: 5, amp: 0.9, peakHour: 2, noiseCV: 0.1, days: 21,
+			interval: 7 * time.Minute, start: start.Add(90 * time.Minute), clampHi: 0,
+			weekendFactor: 1, volatileWeeks: true, volatileSigma: 0.9},
+		{level: 120, amp: 0.2, peakHour: 18, windowHours: 3, noiseCV: 0.6, days: 2,
+			interval: 90 * time.Second, start: start, weekendFactor: 1.0},
+	}
+	for ci, p := range cases {
+		n := int(time.Duration(p.days) * 24 * time.Hour / p.interval)
+		fast := make([]float64, n)
+		slow := make([]float64, n)
+		usageSeriesUTC(rng.New(uint64(ci)+1), p, fast)
+		usageSeriesSlow(rng.New(uint64(ci)+1), p, slow)
+		for i := range slow {
+			if fast[i] != slow[i] {
+				t.Fatalf("case %d sample %d: fast %v, slow %v", ci, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+// TestUsageSeriesNonUTCFallsBack pins that a non-UTC start takes the legacy
+// loop and produces the legacy values.
+func TestUsageSeriesNonUTCFallsBack(t *testing.T) {
+	zone := time.FixedZone("UTC+8", 8*3600)
+	p := seriesParams{level: 15, amp: 0.5, peakHour: 20, noiseCV: 0.3, days: 3,
+		interval: 10 * time.Minute, start: time.Date(2020, 6, 1, 0, 0, 0, 0, zone),
+		clampHi: 95, weekendFactor: 1.2}
+	got := usageSeries(rng.New(9), p)
+	want := make([]float64, got.Len())
+	usageSeriesSlow(rng.New(9), p, want)
+	for i, v := range got.Values {
+		if v != want[i] {
+			t.Fatalf("sample %d: %v, want %v", i, v, want[i])
+		}
+	}
+}
