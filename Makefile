@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench bench-json bench-compare ci repro profile
+.PHONY: build vet test race fuzz chaos bench bench-json bench-compare ci repro profile
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,18 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/
 
-# Brief fuzz pass over the telemetry JSONL decoder.
+# Brief fuzz passes over the wire decoder and the durability surfaces (WAL
+# segment replay, snapshot decode, sketch codec).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
+	$(GO) test -run xxx -fuzz FuzzWALSegmentReplay -fuzztime 3s ./internal/telemetry/
+	$(GO) test -run xxx -fuzz FuzzSnapshotDecode -fuzztime 3s ./internal/telemetry/
+	$(GO) test -run xxx -fuzz FuzzSketchUnmarshalBinary -fuzztime 3s ./internal/stats/
+
+# The full chaos/durability test surface: fault-injected equivalence over
+# every built-in scenario, stall/short-write survival, kill-and-recover.
+chaos:
+	$(GO) test -count=1 -run 'TestChaos|TestKillAndRecover|TestRecover|TestTornTail|TestCorrupt' -v ./internal/telemetry/
 
 # Full benchmark sweep. 100ms per benchmark keeps iteration counts
 # meaningful on the micro-benchmarks while the heavyweights run once.

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -565,6 +566,80 @@ func BenchmarkTelemetryIngest(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 		})
 	}
+}
+
+// BenchmarkRecovery measures telemetryd restart cost: reopening a durable
+// data directory through both recovery paths — snapshot-primary (the clean
+// shutdown case, WAL suffixes only) and full WAL replay (the crash-without-
+// checkpoint fallback, snapshots removed before each Open).
+func BenchmarkRecovery(b *testing.B) {
+	regions := []string{"Beijing", "Shanghai", "Wuhan", "Chengdu"}
+	nets := []string{"WiFi", "LTE", "5G"}
+	events := make([]telemetry.Envelope, 4096)
+	r := rng.New(17)
+	for i := range events {
+		events[i] = telemetry.Envelope{
+			V: telemetry.SchemaVersion, TS: int64(i+1) * 100, Kind: telemetry.KindPing,
+			Metric: telemetry.MetricRTT, User: i % 64,
+			Region: regions[i%len(regions)], Net: nets[i%len(nets)],
+			Value: r.LogNormal(3, 0.6),
+		}
+	}
+	cfg := func(dir string) telemetry.Config {
+		return telemetry.Config{Shards: 4, QueueLen: 1024, Block: true,
+			WAL: telemetry.WALConfig{Dir: dir, SyncEvery: 256, SnapshotEvery: 1024}}
+	}
+	seedDir := func(b *testing.B) string {
+		dir := b.TempDir()
+		ing := telemetry.NewIngestor(cfg(dir))
+		ing.OfferAll(events)
+		ing.Flush()
+		if err := ing.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	reopen := func(b *testing.B, dir string) telemetry.RecoveryStats {
+		ing, rec, err := telemetry.Open(cfg(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ing.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return rec
+	}
+
+	b.Run("snapshot", func(b *testing.B) {
+		dir := seedDir(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := reopen(b, dir)
+			if rec.Snapshots == 0 {
+				b.Fatalf("snapshot path not taken: %+v", rec)
+			}
+		}
+	})
+	b.Run("wal-replay", func(b *testing.B) {
+		dir := seedDir(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Close re-checkpoints, so drop the snapshots each round to
+			// force the full-replay fallback.
+			snaps, _ := filepath.Glob(filepath.Join(dir, "shard-*", "snapshot.bin"))
+			for _, s := range snaps {
+				os.Remove(s)
+			}
+			b.StartTimer()
+			rec := reopen(b, dir)
+			if rec.RecordsReplayed == 0 {
+				b.Fatalf("replay path not taken: %+v", rec)
+			}
+		}
+	})
 }
 
 // BenchmarkTelemetryEncodeDecode measures the JSONL wire hot path.

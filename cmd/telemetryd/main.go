@@ -9,7 +9,16 @@
 //	GET  /query    ?metric=rtt_ms[&region=..][&net=..][&from=RFC3339]
 //	               [&to=RFC3339][&q=0.5,0.95,0.99][&cdf=10,50,100]
 //	GET  /keys     every queryable dimension tuple with its event count
-//	GET  /healthz  liveness plus per-shard ingest accounting
+//	GET  /healthz  liveness ("ok" or "degraded", with reasons), per-shard
+//	               ingest + WAL accounting, and the startup recovery report
+//
+// With -data the daemon is durable: accepted events are written to a
+// per-shard write-ahead log and periodic snapshots under the directory, and
+// a restarted daemon recovers them — answering the same /query results as
+// before the restart for everything fsynced (see the README's "Fault model
+// & durability"). SIGINT/SIGTERM trigger a graceful shutdown: stop
+// accepting, drain the shard queues, fsync the WAL, write a final snapshot,
+// exit 0.
 //
 // With -replay the daemon first streams a deterministic crowd campaign
 // (latency + throughput, internal/crowd) through the pipeline, so a fresh
@@ -25,6 +34,7 @@
 //
 //	telemetryd [-addr :8355] [-shards 4] [-window 1m] [-queue 1024]
 //	           [-compression 100] [-retain 10000] [-drop]
+//	           [-data DIR] [-sync-every 256] [-snapshot-every 4096]
 //	           [-replay] [-seed 1] [-scenario NAME|file.json]
 //	           [-scale small|paper]
 //
@@ -35,14 +45,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"edgescope/internal/core"
@@ -58,13 +72,16 @@ func main() {
 	compression := flag.Float64("compression", 0, "quantile sketch compression (0 = default)")
 	retain := flag.Int("retain", 10000, "max rollup windows retained per shard, oldest evicted first (0 = unbounded)")
 	drop := flag.Bool("drop", false, "shed load by dropping events when a shard queue is full instead of applying backpressure")
+	dataDir := flag.String("data", "", "durable data directory: per-shard WAL + snapshots, recovered on restart (empty = in-memory only)")
+	syncEvery := flag.Int("sync-every", 256, "fsync the WAL every N appended records per shard")
+	snapEvery := flag.Int("snapshot-every", 4096, "snapshot a shard's rollup state every N folded records (0 = only at shutdown)")
 	replay := flag.Bool("replay", false, "stream the deterministic crowd campaign through the pipeline at startup")
 	seed := flag.Uint64("seed", 1, "replay seed override (default: the scenario's)")
 	scale := flag.String("scale", "small", "legacy replay scale: small or paper (alias for the matching -scenario)")
 	scn := flag.String("scenario", "", "replay scenario name from the registry, or path to a JSON spec (overrides -scale)")
 	flag.Parse()
 
-	ing := telemetry.NewIngestor(telemetry.Config{
+	ing, rec, err := telemetry.Open(telemetry.Config{
 		Shards:      *shards,
 		QueueLen:    *queue,
 		Window:      *window,
@@ -74,7 +91,21 @@ func main() {
 		// the dropped counters in /healthz only ever mean real, chosen
 		// loss; -drop opts into load shedding instead.
 		Block: !*drop,
+		WAL: telemetry.WALConfig{
+			Dir:           *dataDir,
+			SyncEvery:     *syncEvery,
+			SnapshotEvery: *snapEvery,
+		},
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetryd: recover %s: %v\n", *dataDir, err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		log.Printf("recovered %s: %d snapshots, %d segments, %d records replayed (+%d from snapshots), %d torn tails, %d rollup windows, %dms",
+			*dataDir, rec.Snapshots, rec.SegmentsScanned, rec.RecordsReplayed, rec.RecordsSkipped,
+			rec.TornTails, rec.Windows, rec.DurationMs)
+	}
 	start := time.Now()
 
 	if *replay {
@@ -137,18 +168,47 @@ func main() {
 		writeJSON(w, ing.Keys())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := ing.Health()
 		writeJSON(w, map[string]any{
-			"status":         "ok",
+			"status":         h.Status,
+			"reasons":        h.Reasons,
+			"durable":        h.Durable,
 			"uptime_seconds": int(time.Since(start).Seconds()),
-			"shards":         ing.Stats(),
-			"total":          ing.TotalStats(),
+			"shards":         h.Shards,
+			"total":          h.Total,
+			"recovery":       h.Recovery,
 		})
 	})
 
-	log.Printf("telemetryd listening on %s (%d shards, %v windows)", *addr, *shards, *window)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatal(err)
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting HTTP, drain the
+	// shard queues, fsync every WAL and write final snapshots (Close), then
+	// exit 0 — so a deliberate restart recovers instantly from the snapshot
+	// with zero replay and zero loss.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("telemetryd listening on %s (%d shards, %v windows)", *addr, *shards, *window)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutdown signal: draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
 	}
+	if err := ing.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	log.Printf("telemetryd: clean shutdown: %s", ing)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

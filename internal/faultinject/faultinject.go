@@ -1,0 +1,296 @@
+// Package faultinject is edgescope's deterministic chaos harness for the
+// telemetry ingest path. An Injector wraps an offer function with a
+// seed-driven fault plan (scenario.FaultSpec): events are dropped,
+// duplicated, held back and re-delivered out of order, or refused wholesale
+// while a shard "stalls"; a companion io.Writer wrapper cuts WAL writes
+// short to forge torn tails. Every fault is decided by a deterministic draw
+// sequence over an rng.Source, so one seed pins the complete fault trace —
+// the chaos tests assert byte-identical query answers against a clean run
+// AND byte-identical traces across reruns.
+//
+// The injector deliberately lives outside internal/telemetry and speaks a
+// type parameter instead of Envelope: the production ingest path never
+// imports its own chaos harness, and the same machinery can shake any
+// ordered event stream.
+//
+// Faults are expressed in event counts, not wall time: a "delay" holds an
+// event until N later events have passed it, a "stall" refuses offers for N
+// events. Tests therefore run at full speed and replays are exact — there
+// is no clock anywhere in the plan.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
+)
+
+// Fault kinds as recorded in the trace.
+const (
+	KindDrop       = "drop"
+	KindDuplicate  = "duplicate"
+	KindReorder    = "reorder"
+	KindDelay      = "delay"
+	KindStall      = "stall"
+	KindShortWrite = "short_write"
+)
+
+// Default spans applied when a rate is set but its span is zero.
+const (
+	defaultReorderSpan = 4
+	defaultDelaySpan   = 16
+	defaultStallSpan   = 32
+)
+
+// TraceEntry records one injected fault. Stall entries mark the trigger
+// event; the refusals during the stall window are counted, not traced.
+type TraceEntry struct {
+	Event uint64 `json:"event"`          // ordinal of the offered event (0-based)
+	Kind  string `json:"kind"`           // one of the Kind constants
+	Span  int    `json:"span,omitempty"` // hold-back / stall length in events
+	Shard int    `json:"shard,omitempty"`
+}
+
+func (t TraceEntry) String() string {
+	return fmt.Sprintf("#%d %s span=%d shard=%d", t.Event, t.Kind, t.Span, t.Shard)
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Offered     uint64 `json:"offered"`
+	Dropped     uint64 `json:"dropped"`
+	Duplicated  uint64 `json:"duplicated"`
+	Reordered   uint64 `json:"reordered"`
+	Delayed     uint64 `json:"delayed"`
+	Stalled     uint64 `json:"stalled"` // offers refused inside stall windows
+	ShortWrites uint64 `json:"short_writes"`
+}
+
+// held is an event in flight: taken out of order, re-delivered once the
+// offered-event counter passes release.
+type held[E any] struct {
+	e       E
+	release uint64
+}
+
+// Injector applies one fault plan to an event stream. Offer must be called
+// from a single goroutine (the ingest client); the WrapWriter wrappers may
+// run concurrently on shard workers — they draw from independent per-shard
+// forks and share only the mutex-guarded trace.
+type Injector[E any] struct {
+	spec   scenario.FaultSpec
+	src    *rng.Source
+	active bool
+	seed   uint64
+
+	idx   uint64 // events offered so far
+	held  []held[E]
+	stall map[int]uint64 // shard → event index at which it recovers
+
+	mu    sync.Mutex // guards trace+stats (shared with writer wrappers)
+	trace []TraceEntry
+	stats Stats
+}
+
+// New builds an injector for a fault plan. scenarioSeed seeds the draw
+// stream when the plan does not pin its own Seed; the stream is forked
+// under "faultinject" so the fault plan never perturbs the scenario's other
+// substreams. A nil/zero-rate spec is valid and injects nothing — and draws
+// nothing, so wiring an inactive injector through a pipeline leaves every
+// byte of its output unchanged.
+func New[E any](spec *scenario.FaultSpec, scenarioSeed uint64) *Injector[E] {
+	inj := &Injector[E]{stall: map[int]uint64{}}
+	if spec != nil {
+		inj.spec = *spec
+	}
+	inj.active = spec.Active()
+	inj.seed = inj.spec.Seed
+	if inj.seed == 0 {
+		inj.seed = scenarioSeed
+	}
+	if inj.active {
+		inj.src = rng.New(inj.seed).Fork("faultinject")
+	}
+	if inj.spec.ReorderSpan == 0 {
+		inj.spec.ReorderSpan = defaultReorderSpan
+	}
+	if inj.spec.DelaySpan == 0 {
+		inj.spec.DelaySpan = defaultDelaySpan
+	}
+	if inj.spec.StallSpan == 0 {
+		inj.spec.StallSpan = defaultStallSpan
+	}
+	return inj
+}
+
+// record appends a trace entry and bumps its counter.
+func (inj *Injector[E]) record(t TraceEntry, n *uint64) {
+	inj.mu.Lock()
+	inj.trace = append(inj.trace, t)
+	*n++
+	inj.mu.Unlock()
+}
+
+// Offer passes one event through the fault plan. deliver is the real send
+// (e.g. Ingestor.Offer bound to the event); it may be invoked zero times
+// (drop, hold-back), once, or twice (duplicate) — and held-back events are
+// delivered during later Offer calls, after their span of successors.
+//
+// The return value is what the *client* observes: false means the send
+// visibly failed (dropped, or the event's shard is stalled) and a retrying
+// client should resend; true means the send was accepted — even when the
+// plan is still holding the event, because a real network loses and delays
+// silently, not with an error. shard routes stall faults; pass 0 when
+// sharding is not meaningful.
+func (inj *Injector[E]) Offer(e E, shard int, deliver func(E) bool) bool {
+	idx := inj.idx
+	inj.idx++
+	inj.flushHeld(deliver)
+	if !inj.active {
+		inj.mu.Lock()
+		inj.stats.Offered++
+		inj.mu.Unlock()
+		return deliver(e)
+	}
+	inj.mu.Lock()
+	inj.stats.Offered++
+	inj.mu.Unlock()
+
+	// One fixed draw order per event — drop, duplicate, reorder, delay,
+	// stall — with zero-rate kinds skipped entirely, so a plan's draw
+	// sequence (and therefore its whole trace) depends only on the rates it
+	// actually sets.
+	if until, ok := inj.stall[shard]; ok {
+		if idx < until {
+			inj.mu.Lock()
+			inj.stats.Stalled++
+			inj.mu.Unlock()
+			return false
+		}
+		delete(inj.stall, shard)
+	}
+	if inj.spec.Drop > 0 && inj.src.Bernoulli(inj.spec.Drop) {
+		inj.record(TraceEntry{Event: idx, Kind: KindDrop, Shard: shard}, &inj.stats.Dropped)
+		return false
+	}
+	if inj.spec.Duplicate > 0 && inj.src.Bernoulli(inj.spec.Duplicate) {
+		inj.record(TraceEntry{Event: idx, Kind: KindDuplicate, Shard: shard}, &inj.stats.Duplicated)
+		deliver(e)
+		return deliver(e)
+	}
+	if inj.spec.Reorder > 0 && inj.src.Bernoulli(inj.spec.Reorder) {
+		inj.record(TraceEntry{Event: idx, Kind: KindReorder, Span: inj.spec.ReorderSpan, Shard: shard}, &inj.stats.Reordered)
+		inj.held = append(inj.held, held[E]{e: e, release: idx + uint64(inj.spec.ReorderSpan)})
+		return true
+	}
+	if inj.spec.Delay > 0 && inj.src.Bernoulli(inj.spec.Delay) {
+		inj.record(TraceEntry{Event: idx, Kind: KindDelay, Span: inj.spec.DelaySpan, Shard: shard}, &inj.stats.Delayed)
+		inj.held = append(inj.held, held[E]{e: e, release: idx + uint64(inj.spec.DelaySpan)})
+		return true
+	}
+	if inj.spec.ShardStall > 0 && inj.src.Bernoulli(inj.spec.ShardStall) {
+		inj.record(TraceEntry{Event: idx, Kind: KindStall, Span: inj.spec.StallSpan, Shard: shard}, &inj.stats.Stalled)
+		inj.stall[shard] = idx + uint64(inj.spec.StallSpan)
+		// The trigger event itself is the stall's first casualty.
+		return false
+	}
+	return deliver(e)
+}
+
+// flushHeld re-delivers held-back events whose span has elapsed.
+func (inj *Injector[E]) flushHeld(deliver func(E) bool) {
+	if len(inj.held) == 0 {
+		return
+	}
+	kept := inj.held[:0]
+	for _, h := range inj.held {
+		if h.release <= inj.idx {
+			deliver(h.e)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	inj.held = kept
+}
+
+// Drain delivers every still-held event, in hold order. Call after the last
+// Offer so no event is lost to an expiring test: hold-back faults delay,
+// they never drop.
+func (inj *Injector[E]) Drain(deliver func(E) bool) {
+	for _, h := range inj.held {
+		deliver(h.e)
+	}
+	inj.held = inj.held[:0]
+}
+
+// Trace returns a copy of the fault trace so far, in injection order.
+func (inj *Injector[E]) Trace() []TraceEntry {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]TraceEntry, len(inj.trace))
+	copy(out, inj.trace)
+	return out
+}
+
+// Stats returns a copy of the fault counters.
+func (inj *Injector[E]) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// WrapWriter returns a telemetry WALConfig.WrapWriter-shaped hook that cuts
+// writes short with the plan's ShortWrite rate. Each shard's wrapper draws
+// from its own fork of the plan seed, so shard workers never contend on one
+// stream and each shard's fault sequence is individually reproducible. A
+// zero rate returns writers untouched.
+func (inj *Injector[E]) WrapWriter() func(shard int, w io.Writer) io.Writer {
+	return func(shard int, w io.Writer) io.Writer {
+		if inj.spec.ShortWrite <= 0 {
+			return w
+		}
+		return &shortWriter{
+			inj:   inj,
+			shard: shard,
+			src:   rng.New(inj.seed).Fork(fmt.Sprintf("shortwrite-%d", shard)),
+			rate:  inj.spec.ShortWrite,
+			w:     w,
+		}
+	}
+}
+
+// shortWriter truncates a faulted Write partway through and reports an
+// error — the footprint of a crash landing mid-write. The telemetry WAL
+// reacts by degrading that shard to memory-only; recovery later finds the
+// torn tail and truncates it.
+type shortWriter struct {
+	inj interface {
+		recordShortWrite(shard int)
+	}
+	shard int
+	src   *rng.Source
+	rate  float64
+	w     io.Writer
+}
+
+func (inj *Injector[E]) recordShortWrite(shard int) {
+	inj.mu.Lock()
+	inj.trace = append(inj.trace, TraceEntry{Event: inj.stats.Offered, Kind: KindShortWrite, Shard: shard})
+	inj.stats.ShortWrites++
+	inj.mu.Unlock()
+}
+
+func (sw *shortWriter) Write(p []byte) (int, error) {
+	if sw.src.Bernoulli(sw.rate) {
+		sw.inj.recordShortWrite(sw.shard)
+		n, err := sw.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faultinject: short write (%d of %d bytes)", n, len(p))
+	}
+	return sw.w.Write(p)
+}

@@ -34,6 +34,88 @@ type Spec struct {
 	Crowd    CrowdSpec    `json:"crowd"`
 	Workload WorkloadSpec `json:"workload"`
 	Sizing   SizingSpec   `json:"sizing"`
+
+	// Fault, when present, declares a deterministic fault-injection plan for
+	// the telemetry ingest path (see internal/faultinject). nil — the
+	// default for every built-in — means no fault plane at all: the spec
+	// JSON omits the block and no fault randomness is ever drawn, so adding
+	// this field changed no existing artifact byte.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec declares a seeded fault plan: per-event probabilities for each
+// fault kind, plus the spans that shape the time-extended faults. All rates
+// are probabilities in [0,1]; a zero-value spec injects nothing and draws no
+// randomness, so `"fault": {}` is exactly equivalent to omitting the block.
+type FaultSpec struct {
+	// Seed seeds the fault plan's random stream. 0 derives it from the
+	// scenario Seed (forked under "faultinject"), which is the common case:
+	// one scenario seed pins the fault trace along with everything else.
+	Seed uint64 `json:"seed,omitempty"`
+	// Drop is the probability an offered event is silently dropped before
+	// delivery (the retrying client's job to survive).
+	Drop float64 `json:"drop,omitempty"`
+	// Duplicate is the probability an event is delivered twice (the dedup
+	// layer's job to fold once).
+	Duplicate float64 `json:"duplicate,omitempty"`
+	// Reorder is the probability an event is held back and re-delivered
+	// after ReorderSpan subsequent events have passed it.
+	Reorder float64 `json:"reorder,omitempty"`
+	// ReorderSpan is how many later events overtake a held-back one.
+	// Default 4 when Reorder > 0.
+	ReorderSpan int `json:"reorder_span,omitempty"`
+	// Delay is like Reorder with its own (typically longer) span — a slow
+	// network path rather than local jitter. Default span 16 when > 0.
+	Delay float64 `json:"delay,omitempty"`
+	// DelaySpan is the hold-back span for Delay faults.
+	DelaySpan int `json:"delay_span,omitempty"`
+	// ShardStall is the per-event probability that the event's shard goes
+	// unresponsive — every offer to it fails — for StallSpan events.
+	ShardStall float64 `json:"shard_stall,omitempty"`
+	// StallSpan is the stall length in offered events. Default 32 when
+	// ShardStall > 0.
+	StallSpan int `json:"stall_span,omitempty"`
+	// ShortWrite is the per-write probability that a WAL write is cut short
+	// (a torn write), exercising recovery's truncation path.
+	ShortWrite float64 `json:"short_write,omitempty"`
+}
+
+// Active reports whether the plan can inject anything at all. Inactive plans
+// (nil or all-zero rates) draw no randomness.
+func (f *FaultSpec) Active() bool {
+	return f != nil && (f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 ||
+		f.Delay > 0 || f.ShardStall > 0 || f.ShortWrite > 0)
+}
+
+// validate appends FaultSpec field errors via bad.
+func (f *FaultSpec) validate(bad func(field, format string, args ...any)) {
+	for _, r := range []struct {
+		field string
+		v     float64
+	}{
+		{"fault.drop", f.Drop},
+		{"fault.duplicate", f.Duplicate},
+		{"fault.reorder", f.Reorder},
+		{"fault.delay", f.Delay},
+		{"fault.shard_stall", f.ShardStall},
+		{"fault.short_write", f.ShortWrite},
+	} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			bad(r.field, "rate %v outside [0,1]", r.v)
+		}
+	}
+	for _, sp := range []struct {
+		field string
+		v     int
+	}{
+		{"fault.reorder_span", f.ReorderSpan},
+		{"fault.delay_span", f.DelaySpan},
+		{"fault.stall_span", f.StallSpan},
+	} {
+		if sp.v < 0 {
+			bad(sp.field, "span must be non-negative (got %d)", sp.v)
+		}
+	}
 }
 
 // AccessMix weights the last-mile access networks of the user population.
@@ -248,16 +330,24 @@ func (s *Spec) Validate() error {
 		bad("sizing.billing_top_n", "must be positive (got %d)", z.BillingTopN)
 	}
 
+	if s.Fault != nil {
+		s.Fault.validate(bad)
+	}
+
 	if len(errs) > 0 {
 		return fmt.Errorf("scenario %q invalid: %w", s.Name, errors.Join(errs...))
 	}
 	return nil
 }
 
-// Clone returns an independent copy. Specs are all-scalar, so a value copy
-// is a deep copy; Clone exists so registry lookups can hand out specs that
-// callers may mutate (e.g. overriding Seed) without corrupting built-ins.
+// Clone returns an independent copy. Specs are all-scalar except the
+// optional Fault block, which is copied, so callers may mutate the clone
+// (e.g. overriding Seed or fault rates) without corrupting built-ins.
 func (s *Spec) Clone() *Spec {
 	cp := *s
+	if s.Fault != nil {
+		f := *s.Fault
+		cp.Fault = &f
+	}
 	return &cp
 }

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of a Sketch, for the telemetry pipeline's durable
+// window snapshots. The format captures the *exact* in-memory state —
+// compression, count, min/max, the compacted centroid list AND the unflushed
+// buffer — without forcing a flush, so that unmarshal(marshal(sk)) continues
+// the stream bit-for-bit where sk left off: subsequent Adds hit the same
+// flush boundaries and produce the same centroid layout as an uninterrupted
+// sketch. That exactness is what lets a recovered telemetry shard answer the
+// same quantile queries, byte for byte, as the process that crashed.
+
+// sketchBinVersion is the serialization format version. Unmarshal accepts
+// exactly this version; bumping it is how the format evolves under old
+// snapshot files.
+const sketchBinVersion = 1
+
+// sketchMagic guards against feeding arbitrary files to UnmarshalBinary.
+var sketchMagic = [4]byte{'e', 's', 'k', sketchBinVersion}
+
+// MarshalBinary encodes the sketch's exact state. The layout is:
+//
+//	magic "esk\x01" | compression f64 | count f64 | min f64 | max f64
+//	| nCentroids u32 | nBuf u32 | centroids (mean,weight f64 pairs)...
+//	| buf (mean,weight f64 pairs)...
+//
+// all little-endian. Encoding never fails (the error satisfies
+// encoding.BinaryMarshaler).
+func (sk *Sketch) MarshalBinary() ([]byte, error) {
+	return sk.AppendBinary(nil)
+}
+
+// AppendBinary appends the MarshalBinary encoding to dst and returns the
+// extended slice, so snapshot writers can reuse one buffer across many
+// sketches.
+func (sk *Sketch) AppendBinary(dst []byte) ([]byte, error) {
+	dst = append(dst, sketchMagic[:]...)
+	for _, f := range []float64{sk.compression, sk.count, sk.min, sk.max} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sk.centroids)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sk.buf)))
+	for _, c := range sk.centroids {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Mean))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Weight))
+	}
+	for _, c := range sk.buf {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Mean))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Weight))
+	}
+	return dst, nil
+}
+
+// sketchBinHeader is the fixed-size prefix: magic + 4 floats + 2 counts.
+const sketchBinHeader = 4 + 4*8 + 2*4
+
+// UnmarshalBinary decodes a MarshalBinary encoding into sk, replacing its
+// state. Arbitrary or corrupt input yields an error, never a panic and never
+// a sketch that violates its own invariants: lengths are checked against the
+// actual payload size before any allocation, every float must be finite
+// where the sketch requires it, and weights must be positive.
+func (sk *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < sketchBinHeader {
+		return fmt.Errorf("stats: sketch decode: %d bytes, want >= %d", len(data), sketchBinHeader)
+	}
+	if [4]byte(data[:4]) != sketchMagic {
+		return fmt.Errorf("stats: sketch decode: bad magic/version %q", data[:4])
+	}
+	f64 := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	}
+	compression, count, minV, maxV := f64(4), f64(12), f64(20), f64(28)
+	nCentroids := int(binary.LittleEndian.Uint32(data[36:]))
+	nBuf := int(binary.LittleEndian.Uint32(data[40:]))
+
+	// Validate sizes against the real payload before allocating anything, so
+	// a corrupt count cannot trigger a huge allocation.
+	want := sketchBinHeader + 16*(nCentroids+nBuf)
+	if nCentroids < 0 || nBuf < 0 || len(data) != want {
+		return fmt.Errorf("stats: sketch decode: %d bytes, want %d for %d centroids + %d buffered",
+			len(data), want, nCentroids, nBuf)
+	}
+	if math.IsNaN(compression) || compression < 20 {
+		return fmt.Errorf("stats: sketch decode: invalid compression %v", compression)
+	}
+	if math.IsNaN(count) || count < 0 || math.IsInf(count, 0) {
+		return fmt.Errorf("stats: sketch decode: invalid count %v", count)
+	}
+	empty := nCentroids == 0 && nBuf == 0
+	if empty != (count == 0) {
+		return fmt.Errorf("stats: sketch decode: count %v with %d points", count, nCentroids+nBuf)
+	}
+	if empty {
+		if !math.IsInf(minV, 1) || !math.IsInf(maxV, -1) {
+			return fmt.Errorf("stats: sketch decode: empty sketch with min/max %v/%v", minV, maxV)
+		}
+	} else if math.IsNaN(minV) || math.IsNaN(maxV) || math.IsInf(minV, 0) || math.IsInf(maxV, 0) || minV > maxV {
+		return fmt.Errorf("stats: sketch decode: invalid min/max %v/%v", minV, maxV)
+	}
+
+	readPoints := func(off, n int, sorted bool) ([]Centroid, error) {
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]Centroid, n)
+		var total float64
+		prev := math.Inf(-1)
+		for i := range out {
+			mean, weight := f64(off+16*i), f64(off+16*i+8)
+			if math.IsNaN(mean) || math.IsInf(mean, 0) || mean < minV || mean > maxV {
+				return nil, fmt.Errorf("stats: sketch decode: point %d mean %v outside [%v,%v]", i, mean, minV, maxV)
+			}
+			if math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
+				return nil, fmt.Errorf("stats: sketch decode: point %d weight %v", i, weight)
+			}
+			if sorted && mean < prev {
+				return nil, fmt.Errorf("stats: sketch decode: centroid %d mean %v out of order", i, mean)
+			}
+			prev = mean
+			total += weight
+			out[i] = Centroid{Mean: mean, Weight: weight}
+		}
+		_ = total
+		return out, nil
+	}
+	centroids, err := readPoints(sketchBinHeader, nCentroids, true)
+	if err != nil {
+		return err
+	}
+	buf, err := readPoints(sketchBinHeader+16*nCentroids, nBuf, false)
+	if err != nil {
+		return err
+	}
+	// Total weight must reconcile with the recorded count (within float
+	// accumulation slack) so a corrupt count cannot skew every quantile.
+	var total float64
+	for _, c := range centroids {
+		total += c.Weight
+	}
+	for _, c := range buf {
+		total += c.Weight
+	}
+	if math.Abs(total-count) > 1e-6*math.Max(1, math.Abs(count)) {
+		return fmt.Errorf("stats: sketch decode: count %v != total weight %v", count, total)
+	}
+
+	sk.compression = compression
+	sk.count = count
+	sk.min = minV
+	sk.max = maxV
+	sk.centroids = centroids
+	sk.buf = buf
+	return nil
+}

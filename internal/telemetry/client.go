@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"edgescope/internal/rng"
+)
+
+// RetryConfig tunes a RetryClient. The zero value gets the documented
+// defaults.
+type RetryConfig struct {
+	// MaxAttempts bounds sends per event, first try included. Default 8.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each later retry
+	// doubles it up to MaxDelay. Default 5ms / 500ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep replaces time.Sleep, letting tests (and the chaos harness,
+	// whose faults are event-counted, not timed) run backoff at full speed
+	// with the delay sequence still computed — and still drawn from the
+	// jitter stream — exactly as in production.
+	Sleep func(time.Duration)
+}
+
+func (c *RetryConfig) fill() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 5 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 500 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// ClientStats counts a RetryClient's work.
+type ClientStats struct {
+	Sent    uint64 `json:"sent"`    // events handed to Send
+	Retries uint64 `json:"retries"` // extra attempts beyond the first
+	Failed  uint64 `json:"failed"`  // events abandoned after MaxAttempts
+}
+
+// RetryClient is the loss-surviving ingest producer: it numbers each
+// envelope with a per-(key, user) sequence and resends refused envelopes
+// under bounded exponential backoff with jitter. Sequencing makes retries
+// idempotent — a resend whose original actually landed is folded once, by
+// the shard's (key, user, seq) dedup — so the client can safely treat every
+// false from the transport as "maybe lost" and hammer until acknowledged.
+//
+// Sequences are assigned contiguously per (key, user) stream. That
+// contiguity is load-bearing for the server's memory: the shard tracker
+// keeps only a floor plus out-of-order arrivals above it, so a client that
+// skipped numbers would pin sparse entries forever.
+//
+// A RetryClient is not safe for concurrent use; run one per producer
+// goroutine (each with its own rng fork), like any rng.Source consumer.
+type RetryClient struct {
+	send  func(Envelope) bool
+	cfg   RetryConfig
+	src   *rng.Source
+	next  map[dedupKey]uint64
+	stats ClientStats
+}
+
+// NewRetryClient wraps a transport — any "offer one envelope, true if
+// acknowledged" function: Ingestor.Offer directly, an HTTP POST to
+// /ingest (HTTPSender), or a fault injector standing in front of either.
+// src drives retry jitter; it is drawn from only when a retry actually
+// happens, so a fault-free run consumes no randomness.
+func NewRetryClient(send func(Envelope) bool, src *rng.Source, cfg RetryConfig) *RetryClient {
+	cfg.fill()
+	return &RetryClient{send: send, cfg: cfg, src: src, next: map[dedupKey]uint64{}}
+}
+
+// Send delivers one envelope, retrying refusals, and reports whether it was
+// ever acknowledged. An envelope with Seq == 0 is assigned the next
+// sequence of its (key, user) stream; a pre-sequenced envelope (an
+// application-level resend) keeps its number.
+func (c *RetryClient) Send(e Envelope) bool {
+	if e.Seq == 0 {
+		k := dedupKey{Key: e.Key(), User: e.User}
+		c.next[k]++
+		e.Seq = c.next[k]
+	}
+	c.stats.Sent++
+	if c.send(e) {
+		return true
+	}
+	d := c.cfg.BaseDelay
+	for attempt := 1; attempt < c.cfg.MaxAttempts; attempt++ {
+		// Jittered backoff: uniform in [d/2, d). Decorrelates producers
+		// that fail together without ever collapsing the delay to zero.
+		c.cfg.Sleep(d/2 + time.Duration(c.src.Float64()*float64(d/2)))
+		c.stats.Retries++
+		if c.send(e) {
+			return true
+		}
+		if d *= 2; d > c.cfg.MaxDelay {
+			d = c.cfg.MaxDelay
+		}
+	}
+	c.stats.Failed++
+	return false
+}
+
+// SendAll delivers a batch, returning how many were acknowledged.
+func (c *RetryClient) SendAll(events []Envelope) int {
+	n := 0
+	for _, e := range events {
+		if c.Send(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the client's counters.
+func (c *RetryClient) Stats() ClientStats { return c.stats }
+
+// HTTPSender adapts telemetryd's POST /ingest endpoint to the RetryClient
+// transport shape: one envelope per request, acknowledged only when the
+// daemon reports it accepted — an HTTP error, a transport error, or a
+// "decoded but dropped" response all return false and so get retried.
+// client == nil uses http.DefaultClient.
+func HTTPSender(client *http.Client, url string) func(Envelope) bool {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var buf []byte
+	return func(e Envelope) bool {
+		var err error
+		if buf, err = AppendJSONL(buf[:0], e); err != nil {
+			return false
+		}
+		resp, err := client.Post(url, "application/jsonl", bytes.NewReader(buf))
+		if err != nil {
+			return false
+		}
+		defer func() {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		var body struct {
+			Accepted int `json:"accepted"`
+		}
+		if err := decodeJSONBody(resp.Body, &body); err != nil {
+			return false
+		}
+		return body.Accepted == 1
+	}
+}
+
+// decodeJSONBody reads and decodes one JSON response body.
+func decodeJSONBody(r io.Reader, v any) error {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("telemetry: bad ingest response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+// Idempotent-ingest state. A retrying client cannot distinguish "my send
+// was lost" from "my send landed but the ack was lost", so retries may
+// deliver the same event twice; the fault plan's duplicate injection does
+// the same on purpose. The shard therefore folds each sequenced envelope at
+// most once, keyed by (rollup Key, source user, sequence number), and the
+// WAL records only the folded (first) copy, so recovery rebuilds exactly
+// this dedup state by replaying it.
+
+// dedupKey scopes sequence numbers: each source user numbers its envelopes
+// independently per rollup key, so distinct sources sharing a dimension
+// tuple never collide.
+type dedupKey struct {
+	Key
+	User int
+}
+
+// seqTracker records which sequence numbers of one (key, user) stream have
+// been folded. It is a receive-window: floor covers the contiguous prefix
+// [1..floor] and sparse holds the out-of-order arrivals above it, so memory
+// stays O(reorder depth) for a mostly-in-order stream — duplicates and the
+// fault plan's bounded reordering, not arbitrary gaps, are the workload.
+type seqTracker struct {
+	floor  uint64
+	sparse map[uint64]struct{}
+}
+
+// seen reports whether seq was already recorded, recording it when new.
+func (t *seqTracker) seen(seq uint64) bool {
+	if seq <= t.floor {
+		return true
+	}
+	if _, ok := t.sparse[seq]; ok {
+		return true
+	}
+	if seq == t.floor+1 {
+		t.floor++
+		// Compact: fold any sparse entries that are now contiguous.
+		for len(t.sparse) > 0 {
+			if _, ok := t.sparse[t.floor+1]; !ok {
+				break
+			}
+			delete(t.sparse, t.floor+1)
+			t.floor++
+		}
+		return false
+	}
+	if t.sparse == nil {
+		t.sparse = make(map[uint64]struct{})
+	}
+	t.sparse[seq] = struct{}{}
+	return false
+}

@@ -44,6 +44,13 @@ type Envelope struct {
 	Net    string `json:"net"`              // access-network dimension
 	Target string `json:"target,omitempty"` // probe target class (informational)
 
+	// Seq is an optional per-source sequence number for idempotent ingest:
+	// a retrying client numbers the envelopes it sends (scoped per source
+	// user and rollup key, starting at 1), and the ingest shard folds each
+	// (key, user, seq) at most once, so retries and network duplicates
+	// cannot double-count. 0 means unsequenced — no dedup.
+	Seq uint64 `json:"seq,omitempty"`
+
 	Value float64 `json:"value"` // the observation
 }
 
@@ -132,24 +139,72 @@ type DecodeStats struct {
 	Malformed int // lines rejected (bad JSON, bad version, bad fields)
 }
 
+// ReadOptions tune a JSONL read pass.
+type ReadOptions struct {
+	// MaxConsecutiveMalformed aborts the pass with a positioned error once
+	// this many malformed lines arrive back to back. 0 means unlimited —
+	// every malformed line is counted and skipped, the historical behaviour.
+	// A corrupt or truncated file tail otherwise degrades into a silent
+	// skip-to-EOF: every remaining "line" is garbage, each one is counted,
+	// and the pass ends looking merely lossy instead of broken.
+	MaxConsecutiveMalformed int
+}
+
+// ErrMalformedRun is wrapped by the abort error ReadJSONLOpts returns when
+// MaxConsecutiveMalformed is exceeded; errors.Is distinguishes it from I/O
+// errors.
+var ErrMalformedRun = errors.New("telemetry: too many consecutive malformed lines")
+
 // ReadJSONL streams JSONL from r, calling fn for every valid envelope.
 // Malformed lines are counted, not fatal — one corrupt line must not take
 // down an ingest batch — but an I/O error ends the pass. Blank lines are
-// skipped.
+// skipped. For a bounded-tolerance pass (fail fast on a corrupt tail), use
+// ReadJSONLOpts.
 func ReadJSONL(r io.Reader, fn func(Envelope)) (DecodeStats, error) {
+	return ReadJSONLOpts(r, ReadOptions{}, fn)
+}
+
+// ReadJSONLOpts is ReadJSONL with explicit options. With a
+// MaxConsecutiveMalformed cap, a run of that many malformed lines aborts
+// the pass with an error wrapping ErrMalformedRun that positions the run —
+// first bad line number and its byte offset — so a corrupt or torn WAL/data
+// file fails fast and names where, instead of silently skipping to EOF. The
+// stats cover everything consumed up to the abort.
+func ReadJSONLOpts(r io.Reader, opts ReadOptions, fn func(Envelope)) (DecodeStats, error) {
 	var st DecodeStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		lineNo     int   // 1-based line number
+		offset     int64 // byte offset of the current line's start
+		runLen     int   // consecutive malformed lines so far
+		runLine    int   // line number of the run's first bad line
+		runOffset  int64 // byte offset of the run's first bad line
+		runLastErr error
+	)
 	for sc.Scan() {
 		line := sc.Bytes()
+		lineNo++
+		lineStart := offset
+		offset += int64(len(line)) + 1 // +1 for the newline Scan consumed
 		if len(line) == 0 {
 			continue
 		}
 		e, err := DecodeLine(line)
 		if err != nil {
 			st.Malformed++
+			if runLen == 0 {
+				runLine, runOffset = lineNo, lineStart
+			}
+			runLen++
+			runLastErr = err
+			if opts.MaxConsecutiveMalformed > 0 && runLen >= opts.MaxConsecutiveMalformed {
+				return st, fmt.Errorf("%w: %d starting at line %d (byte offset %d): last: %v",
+					ErrMalformedRun, runLen, runLine, runOffset, runLastErr)
+			}
 			continue
 		}
+		runLen = 0
 		st.Decoded++
 		fn(e)
 	}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -50,6 +51,26 @@ func (k Key) ShardOf(shards int) int {
 	return int(h % uint64(shards))
 }
 
+// WALConfig enables and tunes durability. The zero value disables it
+// entirely (process-lifetime state, the historical behaviour).
+type WALConfig struct {
+	// Dir is the data directory root. Setting it turns on the write-ahead
+	// log and snapshots: accepted envelopes are logged per shard (segment
+	// per rollup window) before folding, snapshots checkpoint the sketch
+	// state, and Open/NewIngestor recover snapshot+WAL on startup.
+	Dir string
+	// SyncEvery is the fsync cadence in appended records per shard; the
+	// durability floor is "everything up to the last fsync". Default 256.
+	SyncEvery int
+	// SnapshotEvery checkpoints a shard after this many folded records,
+	// bounding recovery replay work. 0 snapshots only at Close.
+	SnapshotEvery int
+	// WrapWriter, when set, wraps every WAL segment writer — the
+	// fault-injection seam (internal/faultinject short writes). Production
+	// leaves it nil.
+	WrapWriter func(shard int, w io.Writer) io.Writer
+}
+
 // Config sizes an Ingestor. The zero value is usable: every field has a
 // documented default.
 type Config struct {
@@ -70,11 +91,21 @@ type Config struct {
 	// MaxWindows caps the distinct time windows retained per shard
 	// (independent of how many dimension keys each window holds); when a
 	// new window start would exceed it, the shard's oldest window is
-	// evicted whole — all its per-key rollups — and counted once in
-	// ShardStats.EvictedWindows. 0 retains everything — right for replay
-	// and tests, unbounded for a daemon on an endless stream, so
-	// cmd/telemetryd sets a cap.
+	// evicted whole — all its per-key rollups and its WAL segment — and
+	// counted once in ShardStats.EvictedWindows. 0 retains everything —
+	// right for replay and tests, unbounded for a daemon on an endless
+	// stream, so cmd/telemetryd sets a cap.
 	MaxWindows int
+	// ShedPriority enables drop-priority load shedding on a non-Block
+	// ingestor: when a shard queue passes its high-water mark (3/4 full),
+	// envelopes whose priority is <= 0 are shed — counted in
+	// ShardStats.Shed, Offer returns false — so saturation sacrifices the
+	// least important traffic first instead of whatever arrives when the
+	// queue finally fills. Higher values survive until the queue is hard
+	// full. nil sheds nothing early (historical behaviour).
+	ShedPriority func(Envelope) int
+	// WAL configures durability; see WALConfig.
+	WAL WALConfig
 }
 
 func (c *Config) fill() {
@@ -90,6 +121,9 @@ func (c *Config) fill() {
 	if c.Compression <= 0 {
 		c.Compression = stats.DefaultCompression
 	}
+	if c.WAL.Dir != "" && c.WAL.SyncEvery <= 0 {
+		c.WAL.SyncEvery = 256
+	}
 }
 
 // windowKey identifies one rollup: a window start (Unix ms, aligned to the
@@ -100,9 +134,10 @@ type windowKey struct {
 }
 
 // shard is one single-writer ingest worker: a bounded queue, the rollup map
-// it alone writes, and its accounting. The mutex guards the rollup map only
-// against query-time readers; the hot path contends on it solely while a
-// query merge is in flight.
+// it alone writes, the idempotency trackers, its WAL, and its accounting.
+// The mutex guards the rollup/dedup/WAL state against query-time readers
+// and SyncWAL/snapshot callers; the hot path contends on it solely while
+// one of those is in flight.
 type shard struct {
 	ch      chan Envelope
 	mu      sync.Mutex
@@ -112,61 +147,135 @@ type shard struct {
 	// starts), never individual (window, key) entries, so a cap smaller
 	// than the key cardinality still retains MaxWindows whole windows.
 	starts map[int64]int
+	// seen dedups sequenced envelopes per (key, user); see dedup.go.
+	seen map[dedupKey]*seqTracker
+	// wal is the shard's write-ahead log, nil when durability is off.
+	wal *shardWAL
+	// sinceSnapshot counts folds since the last checkpoint (worker-only).
+	sinceSnapshot int
 
 	accepted  atomic.Uint64 // enqueued into this shard
-	dropped   atomic.Uint64 // rejected at the queue (only when !Block)
-	processed atomic.Uint64 // folded into a rollup
+	dropped   atomic.Uint64 // rejected at a hard-full queue (only when !Block)
+	shed      atomic.Uint64 // rejected by priority shedding at high water
+	processed atomic.Uint64 // consumed from the queue (folded or deduped)
+	deduped   atomic.Uint64 // sequenced duplicates folded zero times
 	evicted   atomic.Uint64 // time windows evicted under MaxWindows retention
 }
 
 // ShardStats is one shard's accounting snapshot. Windows counts distinct
 // time windows (what MaxWindows caps); Rollups counts (window, key)
-// sketches (memory is proportional to this × sketch compression).
+// sketches (memory is proportional to this × sketch compression). The WAL
+// fields are zero when durability is off; WALLag is the records appended
+// but not yet fsynced — what a crash right now would lose.
 type ShardStats struct {
 	Accepted       uint64 `json:"accepted"`
 	Dropped        uint64 `json:"dropped"`
+	Shed           uint64 `json:"shed,omitempty"`
 	Processed      uint64 `json:"processed"`
+	Deduped        uint64 `json:"deduped,omitempty"`
 	EvictedWindows uint64 `json:"evicted_windows"`
 	Queued         int    `json:"queued"`
 	Windows        int    `json:"windows"`
 	Rollups        int    `json:"rollups"`
+	WALAppended    uint64 `json:"wal_appended,omitempty"`
+	WALLag         uint64 `json:"wal_lag,omitempty"`
+	WALError       string `json:"wal_error,omitempty"`
 }
 
 // Ingestor is the sharded ingest stage. Producers call Offer (or OfferAll);
 // each envelope hashes by its dimension Key to one shard, whose worker
-// goroutine folds it into the (window, key) quantile sketch. Close drains
-// and stops the workers; Query (query.go) answers over the accumulated
-// rollups at any time.
+// goroutine folds it into the (window, key) quantile sketch — after logging
+// it to the shard WAL when durability is on. Close drains and stops the
+// workers (then fsyncs and snapshots); Query (query.go) answers over the
+// accumulated rollups at any time, including after Close.
 type Ingestor struct {
 	cfg    Config
 	shards []*shard
 	wg     sync.WaitGroup
 
+	// offerMu serialises Offer against Close: Offer holds the read side
+	// across its queue send, Close takes the write side to flip closed and
+	// close the queues, so an Offer racing Close returns false instead of
+	// panicking on a closed channel.
+	offerMu sync.RWMutex
+	closed  bool
+
+	recovery  *RecoveryStats
 	closeOnce sync.Once
+	closeErr  error
 }
 
-// NewIngestor starts the shard workers.
+// NewIngestor starts the shard workers, recovering from Config.WAL.Dir
+// first when durability is configured. It panics if recovery fails (corrupt
+// mid-WAL data, unreadable directory, mismatched shard layout); use Open to
+// handle those errors.
 func NewIngestor(cfg Config) *Ingestor {
+	ing, _, err := Open(cfg)
+	if err != nil {
+		panic("telemetry: " + err.Error())
+	}
+	return ing
+}
+
+// Open builds an Ingestor and, when Config.WAL.Dir is set, first recovers
+// the rollup state a previous process persisted there: each shard loads its
+// snapshot (if any, and falling back to full WAL replay if it is corrupt),
+// replays the WAL records the snapshot does not cover, truncates torn
+// tails, and reopens its log for appending. The returned stats describe
+// that pass; a recovered ingestor answers queries byte-for-byte as the
+// previous process would have, for everything durable at its last fsync.
+func Open(cfg Config) (*Ingestor, RecoveryStats, error) {
 	cfg.fill()
+	began := time.Now()
 	ing := &Ingestor{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	var rst RecoveryStats
 	for i := range ing.shards {
 		s := &shard{
 			ch:      make(chan Envelope, cfg.QueueLen),
 			windows: make(map[windowKey]*stats.Sketch),
 			starts:  make(map[int64]int),
+			seen:    make(map[dedupKey]*seqTracker),
 		}
 		ing.shards[i] = s
+		if cfg.WAL.Dir != "" {
+			wrap := func(w io.Writer) io.Writer { return w }
+			if cfg.WAL.WrapWriter != nil {
+				shardIdx := i
+				wrap = func(w io.Writer) io.Writer { return cfg.WAL.WrapWriter(shardIdx, w) }
+			}
+			wal, err := newShardWAL(shardDir(cfg.WAL.Dir, i), cfg.WAL.SyncEvery, wrap)
+			if err != nil {
+				return nil, rst, err
+			}
+			s.wal = wal
+			if err := ing.recoverShard(s, &rst); err != nil {
+				return nil, rst, err
+			}
+		}
+	}
+	if cfg.WAL.Dir != "" {
+		for _, s := range ing.shards {
+			rst.Windows += len(s.starts)
+		}
+		rst.DurationMs = time.Since(began).Milliseconds()
+		ing.recovery = &rst
+	}
+	for i := range ing.shards {
+		s := ing.shards[i]
 		ing.wg.Add(1)
 		go func() {
 			defer ing.wg.Done()
 			ing.run(s)
 		}()
 	}
-	return ing
+	return ing, rst, nil
 }
 
 // Config returns the ingestor's effective (default-filled) configuration.
 func (ing *Ingestor) Config() Config { return ing.cfg }
+
+// Recovery returns the startup recovery stats, nil when durability is off.
+func (ing *Ingestor) Recovery() *RecoveryStats { return ing.recovery }
 
 // windowStart aligns a Unix-ms timestamp down to its window.
 func (ing *Ingestor) windowStart(ts int64) int64 {
@@ -177,30 +286,70 @@ func (ing *Ingestor) windowStart(ts int64) int64 {
 // run is one shard worker: the sole writer of s.windows.
 func (ing *Ingestor) run(s *shard) {
 	for e := range s.ch {
-		wk := windowKey{Start: ing.windowStart(e.TS), Key: e.Key()}
-		s.mu.Lock()
-		sk := s.windows[wk]
-		if sk == nil {
-			sk = stats.NewSketch(ing.cfg.Compression)
-			s.windows[wk] = sk
-			if s.starts[wk.Start]++; s.starts[wk.Start] == 1 {
-				ing.enforceRetention(s)
+		ing.fold(s, e, foldLive)
+		s.processed.Add(1)
+		if s.wal != nil && ing.cfg.WAL.SnapshotEvery > 0 {
+			if s.sinceSnapshot++; s.sinceSnapshot >= ing.cfg.WAL.SnapshotEvery {
+				s.sinceSnapshot = 0
+				ing.snapshotShard(s)
 			}
 		}
-		// Add cannot fail here: Offer validated the envelope, and a finite
-		// value is the only thing the sketch requires.
-		_ = sk.Add(e.Value)
-		s.mu.Unlock()
-		s.processed.Add(1)
 	}
 }
 
+// foldMode distinguishes live ingest from recovery replay: replay must not
+// re-log events (they came from the WAL) and defers retention to the end of
+// the pass (recover.go) so segment replays see every window.
+type foldMode int
+
+const (
+	foldLive foldMode = iota
+	foldReplay
+)
+
+// fold applies one envelope to the shard state: dedup sequenced duplicates,
+// log to the WAL (live mode), then fold into the (window, key) sketch. WAL
+// append precedes the fold and shares its lock hold, so per-segment record
+// order is exactly fold order — the invariant recovery replay relies on.
+func (ing *Ingestor) fold(s *shard, e Envelope, mode foldMode) {
+	wk := windowKey{Start: ing.windowStart(e.TS), Key: e.Key()}
+	s.mu.Lock()
+	if e.Seq > 0 {
+		t := s.seen[dedupKey{Key: wk.Key, User: e.User}]
+		if t == nil {
+			t = &seqTracker{}
+			s.seen[dedupKey{Key: wk.Key, User: e.User}] = t
+		}
+		if t.seen(e.Seq) {
+			s.mu.Unlock()
+			s.deduped.Add(1)
+			return
+		}
+	}
+	if mode == foldLive && s.wal != nil {
+		s.wal.append(e, wk.Start)
+	}
+	sk := s.windows[wk]
+	if sk == nil {
+		sk = stats.NewSketch(ing.cfg.Compression)
+		s.windows[wk] = sk
+		if s.starts[wk.Start]++; s.starts[wk.Start] == 1 && mode == foldLive {
+			ing.enforceRetention(s)
+		}
+	}
+	// Add cannot fail here: Offer validated the envelope, and a finite
+	// value is the only thing the sketch requires.
+	_ = sk.Add(e.Value)
+	s.mu.Unlock()
+}
+
 // enforceRetention evicts whole oldest time windows while the shard holds
-// more distinct window starts than MaxWindows. Called with s.mu held, only
-// when a new *start* appears (not per rollup entry or event), so the
-// eviction scans are paid once per window rollover. A late event older
-// than the retention horizon opens a window that is immediately the
-// eviction victim — its data is discarded, the standard retention trade.
+// more distinct window starts than MaxWindows, unlinking their WAL segments
+// with them. Called with s.mu held, only when a new *start* appears (not
+// per rollup entry or event), so the eviction scans are paid once per
+// window rollover. A late event older than the retention horizon opens a
+// window that is immediately the eviction victim — its data is discarded,
+// the standard retention trade.
 func (ing *Ingestor) enforceRetention(s *shard) {
 	for ing.cfg.MaxWindows > 0 && len(s.starts) > ing.cfg.MaxWindows {
 		oldest := int64(math.MaxInt64)
@@ -215,16 +364,26 @@ func (ing *Ingestor) enforceRetention(s *shard) {
 			}
 		}
 		delete(s.starts, oldest)
+		if s.wal != nil {
+			s.wal.dropSegment(oldest)
+		}
 		s.evicted.Add(1)
 	}
 }
 
-// Offer submits one envelope. It returns false — and counts the event as
-// dropped on its shard — when the shard queue is full and the ingestor is
-// not configured to Block. Invalid envelopes are rejected (false) without
-// reaching a queue; use Validate/DecodeLine upstream to distinguish.
+// Offer submits one envelope. It returns false — with the reason counted on
+// its shard — when the shard queue is hard full (Dropped) or past its
+// high-water mark with a sheddable (priority <= 0) envelope (Shed), both
+// only when the ingestor is not configured to Block, or when the ingestor
+// is closed. Invalid envelopes are rejected (false) without reaching a
+// queue; use Validate/DecodeLine upstream to distinguish.
 func (ing *Ingestor) Offer(e Envelope) bool {
 	if e.Validate() != nil {
+		return false
+	}
+	ing.offerMu.RLock()
+	defer ing.offerMu.RUnlock()
+	if ing.closed {
 		return false
 	}
 	s := ing.shards[e.Key().ShardOf(len(ing.shards))]
@@ -232,6 +391,10 @@ func (ing *Ingestor) Offer(e Envelope) bool {
 		s.ch <- e
 		s.accepted.Add(1)
 		return true
+	}
+	if ing.cfg.ShedPriority != nil && len(s.ch) >= ing.shedWater() && ing.cfg.ShedPriority(e) <= 0 {
+		s.shed.Add(1)
+		return false
 	}
 	select {
 	case s.ch <- e:
@@ -241,6 +404,12 @@ func (ing *Ingestor) Offer(e Envelope) bool {
 		s.dropped.Add(1)
 		return false
 	}
+}
+
+// shedWater is the queue depth at which priority shedding starts: 3/4 of
+// capacity, leaving headroom for priority traffic while the queue drains.
+func (ing *Ingestor) shedWater() int {
+	return ing.cfg.QueueLen - ing.cfg.QueueLen/4
 }
 
 // OfferAll submits a batch, returning how many were accepted.
@@ -267,15 +436,100 @@ func (ing *Ingestor) Flush() {
 	}
 }
 
-// Close drains the queues, stops the workers and waits for them. Offers
-// after Close panic (send on closed channel), matching the pipeline's
-// lifecycle: producers stop first.
-func (ing *Ingestor) Close() {
+// SyncWAL flushes and fsyncs every shard's WAL, advancing the durability
+// floor to everything folded so far. A no-op (nil) without durability.
+func (ing *Ingestor) SyncWAL() error {
+	var first error
+	for _, s := range ing.shards {
+		if s.wal == nil {
+			continue
+		}
+		s.mu.Lock()
+		err := s.wal.sync()
+		s.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// snapshotShard checkpoints one shard: state is encoded under the shard
+// lock (one consistent cut of sketches, dedup trackers and WAL positions),
+// then written and atomically renamed outside it.
+func (ing *Ingestor) snapshotShard(s *shard) error {
+	s.mu.Lock()
+	payload := encodeSnapshot(s, ing.cfg)
+	dir := s.wal.dir
+	s.mu.Unlock()
+	return writeSnapshot(dir, payload)
+}
+
+// Snapshot checkpoints every shard now (Close does this automatically).
+func (ing *Ingestor) Snapshot() error {
+	var first error
+	for _, s := range ing.shards {
+		if s.wal == nil {
+			continue
+		}
+		if err := ing.snapshotShard(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close is idempotent: the first call drains the queues, stops and waits
+// for the workers, then — with durability on — fsyncs every WAL and writes
+// a final snapshot, so a clean shutdown loses nothing and restarts
+// instantly from the checkpoint. Offers during and after Close return
+// false; queries keep answering over the final state. Later calls return
+// the first call's error.
+func (ing *Ingestor) Close() error {
 	ing.closeOnce.Do(func() {
+		ing.offerMu.Lock()
+		ing.closed = true
 		for _, s := range ing.shards {
 			close(s.ch)
 		}
+		ing.offerMu.Unlock()
 		ing.wg.Wait()
+		for _, s := range ing.shards {
+			if s.wal == nil {
+				continue
+			}
+			if err := ing.snapshotShard(s); err != nil && ing.closeErr == nil {
+				ing.closeErr = err
+			}
+			s.mu.Lock()
+			if err := s.wal.closeFiles(); err != nil && ing.closeErr == nil {
+				ing.closeErr = err
+			}
+			s.mu.Unlock()
+		}
+	})
+	return ing.closeErr
+}
+
+// crash is the test double for SIGKILL: it stops the workers and closes the
+// WAL file handles without flushing buffered writes, final fsync or a
+// snapshot, so the on-disk state is exactly what the durability contract
+// promises after a hard crash — everything up to the last fsync, plus
+// whatever later bytes the OS already had (possibly ending in a torn line).
+func (ing *Ingestor) crash() {
+	ing.closeOnce.Do(func() {
+		ing.offerMu.Lock()
+		ing.closed = true
+		for _, s := range ing.shards {
+			close(s.ch)
+		}
+		ing.offerMu.Unlock()
+		ing.wg.Wait()
+		for _, s := range ing.shards {
+			if s.wal != nil {
+				s.wal.abort()
+			}
+		}
 	})
 }
 
@@ -285,15 +539,28 @@ func (ing *Ingestor) Stats() []ShardStats {
 	for i, s := range ing.shards {
 		s.mu.Lock()
 		rollups, wins := len(s.windows), len(s.starts)
+		var walAppended, walLag uint64
+		var walErr string
+		if s.wal != nil {
+			walAppended, walLag = s.wal.appended, s.wal.lag()
+			if s.wal.err != nil {
+				walErr = s.wal.err.Error()
+			}
+		}
 		s.mu.Unlock()
 		out[i] = ShardStats{
 			Accepted:       s.accepted.Load(),
 			Dropped:        s.dropped.Load(),
+			Shed:           s.shed.Load(),
 			Processed:      s.processed.Load(),
+			Deduped:        s.deduped.Load(),
 			EvictedWindows: s.evicted.Load(),
 			Queued:         len(s.ch),
 			Windows:        wins,
 			Rollups:        rollups,
+			WALAppended:    walAppended,
+			WALLag:         walLag,
+			WALError:       walErr,
 		}
 	}
 	return out
@@ -305,13 +572,56 @@ func (ing *Ingestor) TotalStats() ShardStats {
 	for _, s := range ing.Stats() {
 		t.Accepted += s.Accepted
 		t.Dropped += s.Dropped
+		t.Shed += s.Shed
 		t.Processed += s.Processed
+		t.Deduped += s.Deduped
 		t.EvictedWindows += s.EvictedWindows
 		t.Queued += s.Queued
 		t.Windows += s.Windows
 		t.Rollups += s.Rollups
+		t.WALAppended += s.WALAppended
+		t.WALLag += s.WALLag
 	}
 	return t
+}
+
+// HealthState is the pipeline's liveness/degradation report, served by
+// cmd/telemetryd's /healthz.
+type HealthState struct {
+	// Status is "ok", or "degraded" when any shard has lost durability (a
+	// sticky WAL error) or sits at a hard-full queue.
+	Status string `json:"status"`
+	// Reasons names each degradation, per shard.
+	Reasons []string `json:"reasons,omitempty"`
+	// Durable reports whether a WAL is configured at all.
+	Durable bool         `json:"durable"`
+	Shards  []ShardStats `json:"shards"`
+	Total   ShardStats   `json:"total"`
+	// Recovery is the startup recovery pass, when durability is on.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+}
+
+// Health assembles the current HealthState.
+func (ing *Ingestor) Health() HealthState {
+	h := HealthState{
+		Status:   "ok",
+		Durable:  ing.cfg.WAL.Dir != "",
+		Shards:   ing.Stats(),
+		Recovery: ing.recovery,
+	}
+	for i, s := range h.Shards {
+		if s.WALError != "" {
+			h.Reasons = append(h.Reasons, fmt.Sprintf("shard %d: wal degraded to memory-only: %s", i, s.WALError))
+		}
+		if s.Queued >= ing.cfg.QueueLen {
+			h.Reasons = append(h.Reasons, fmt.Sprintf("shard %d: queue saturated (%d/%d)", i, s.Queued, ing.cfg.QueueLen))
+		}
+	}
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
+	}
+	h.Total = ing.TotalStats()
+	return h
 }
 
 // String summarises the ingestor for logs.

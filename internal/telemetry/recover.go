@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Recovery. Open (and NewIngestor, when Config.WAL.Dir is set) rebuilds
+// each shard's rollup state from its snapshot plus the WAL suffix the
+// snapshot does not cover, before the shard workers start. Because WAL
+// order per segment is fold order and sketch deserialization is exact, a
+// recovered ingestor answers every /query byte-for-byte as the crashed
+// process would have, for all state up to the last fsync.
+
+// RecoveryStats reports one recovery pass, aggregated over shards.
+type RecoveryStats struct {
+	// Snapshots counts shards restored from a valid snapshot;
+	// SnapshotErrors counts snapshots rejected (corrupt/incompatible) and
+	// recovered by full WAL replay instead.
+	Snapshots      int `json:"snapshots"`
+	SnapshotErrors int `json:"snapshot_errors,omitempty"`
+	// SegmentsScanned / RecordsReplayed / RecordsSkipped count WAL work:
+	// skipped records were already folded into a snapshot.
+	SegmentsScanned int    `json:"segments_scanned"`
+	RecordsReplayed uint64 `json:"records_replayed"`
+	RecordsSkipped  uint64 `json:"records_skipped"`
+	// TornTails counts segments that ended in a truncated (torn) write and
+	// were trimmed back to their last durable record.
+	TornTails int `json:"torn_tails,omitempty"`
+	// Windows is the rollup count after recovery (and after retention).
+	Windows int `json:"windows"`
+	// DurationMs is the wall time of the whole recovery pass.
+	DurationMs int64 `json:"duration_ms"`
+}
+
+// shardDir names one shard's data directory under the WAL root. The shard
+// count is part of the layout: recovering with a different Shards value
+// would scatter keys to the wrong logs, so Open refuses a mismatched
+// snapshot rather than mixing placements.
+func shardDir(root string, shard int) string {
+	return filepath.Join(root, "shard-"+strconv.Itoa(shard))
+}
+
+// recoverShard rebuilds one shard from its directory (s.wal must already be
+// open on it). Seeds s.wal.records with what each segment holds so future
+// snapshots record correct applied counts and appends continue in place.
+func (ing *Ingestor) recoverShard(s *shard, st *RecoveryStats) error {
+	dir := s.wal.dir
+	snap, err := loadSnapshot(dir)
+	if err != nil {
+		// A corrupt snapshot is recoverable: the WAL retains every record
+		// of every live window (segments are only unlinked on eviction), so
+		// full replay reconstructs the same state the snapshot summarised.
+		st.SnapshotErrors++
+		snap = nil
+	}
+	applied := map[int64]uint64{}
+	if snap != nil {
+		if snap.shards != ing.cfg.Shards || snap.windowMs != ing.cfg.Window.Milliseconds() {
+			return fmt.Errorf("telemetry: %s: snapshot is for %d shards / %dms windows, ingestor configured %d / %dms",
+				dir, snap.shards, snap.windowMs, ing.cfg.Shards, ing.cfg.Window.Milliseconds())
+		}
+		for wk, sk := range snap.windows {
+			s.windows[wk] = sk
+			s.starts[wk.Start]++
+		}
+		s.seen = snap.seen
+		applied = snap.applied
+		st.Snapshots++
+	}
+
+	starts, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, start := range starts {
+		path := filepath.Join(dir, walPrefix+strconv.FormatInt(start, 10)+walSuffix)
+		skip := applied[start]
+		var idx uint64
+		n, validEnd, torn, err := readWALSegment(path, func(e Envelope) {
+			if idx < skip {
+				idx++
+				st.RecordsSkipped++
+				return
+			}
+			idx++
+			st.RecordsReplayed++
+			ing.fold(s, e, foldReplay)
+		})
+		if err != nil {
+			return err
+		}
+		st.SegmentsScanned++
+		if torn {
+			// Trim the torn write so future appends start on a clean line.
+			if err := os.Truncate(path, validEnd); err != nil {
+				return fmt.Errorf("telemetry: wal %s: truncate torn tail: %w", path, err)
+			}
+			st.TornTails++
+		}
+		s.wal.records[start] = n
+	}
+
+	// Retention is applied once, after every segment is in: replay visits
+	// windows in ascending start order, so evicting past the cap here keeps
+	// exactly the newest MaxWindows windows — the same set the live path
+	// retains for an in-order stream — and unlinks the evicted segments.
+	s.mu.Lock()
+	ing.enforceRetention(s)
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,300 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"edgescope/internal/stats"
+)
+
+// Window snapshots. A snapshot is one shard's complete rollup state —
+// every (window, key) sketch in exact binary form (stats.Sketch
+// MarshalBinary, unflushed buffer included), the idempotency trackers, and
+// a per-WAL-segment applied count recording how many of each segment's
+// records are already folded into those sketches. Recovery loads the
+// snapshot and replays only each segment's suffix past its applied count,
+// so snapshot+WAL reconstructs the same state as replaying the WAL alone —
+// the snapshot is purely a replay accelerator, never a second source of
+// truth (pinned by TestRecoverSnapshotEquivalentToWALOnly).
+//
+// The file is written whole to a temp name, fsynced and renamed, so a crash
+// mid-snapshot leaves the previous snapshot intact; a CRC32 over the
+// payload rejects bitrot, and a rejected snapshot simply falls back to full
+// WAL replay.
+
+// snapshotFile is the per-shard snapshot name (atomic-replace target).
+const snapshotFile = "snapshot.bin"
+
+// snapMagic versions the snapshot format; loaders accept exactly this.
+var snapMagic = [8]byte{'e', 's', 's', 'n', 'a', 'p', '0', 1}
+
+// snapState is a decoded snapshot.
+type snapState struct {
+	shards   int
+	windowMs int64
+	windows  map[windowKey]*stats.Sketch
+	seen     map[dedupKey]*seqTracker
+	applied  map[int64]uint64
+}
+
+type snapWriter struct{ b []byte }
+
+func (w *snapWriter) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *snapWriter) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *snapWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *snapWriter) str(s string) { w.u32(uint32(len(s))); w.b = append(w.b, s...) }
+func (w *snapWriter) key(k Key)    { w.str(k.Metric); w.str(k.Region); w.str(k.Net) }
+
+// encodeSnapshot serializes a shard's state. Called with the shard mutex
+// held, so sketches, trackers and WAL record counts are one consistent cut.
+// Map iteration order is canonicalised by sorting, making snapshot bytes
+// deterministic for a given state.
+func encodeSnapshot(s *shard, cfg Config) []byte {
+	w := &snapWriter{b: make([]byte, 0, 4096)}
+	w.b = append(w.b, snapMagic[:]...)
+	w.u32(uint32(cfg.Shards))
+	w.i64(cfg.Window.Milliseconds())
+
+	wks := make([]windowKey, 0, len(s.windows))
+	for wk := range s.windows {
+		wks = append(wks, wk)
+	}
+	sort.Slice(wks, func(i, j int) bool {
+		a, b := wks[i], wks[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Net < b.Net
+	})
+	w.u32(uint32(len(wks)))
+	var skBuf []byte
+	for _, wk := range wks {
+		w.i64(wk.Start)
+		w.key(wk.Key)
+		skBuf, _ = s.windows[wk].AppendBinary(skBuf[:0])
+		w.u32(uint32(len(skBuf)))
+		w.b = append(w.b, skBuf...)
+	}
+
+	var segs []int64
+	if s.wal != nil {
+		for start := range s.wal.records {
+			segs = append(segs, start)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	w.u32(uint32(len(segs)))
+	for _, start := range segs {
+		w.i64(start)
+		w.u64(s.wal.records[start])
+	}
+
+	dks := make([]dedupKey, 0, len(s.seen))
+	for dk := range s.seen {
+		dks = append(dks, dk)
+	}
+	sort.Slice(dks, func(i, j int) bool {
+		a, b := dks[i], dks[j]
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.User < b.User
+	})
+	w.u32(uint32(len(dks)))
+	for _, dk := range dks {
+		w.key(dk.Key)
+		w.i64(int64(dk.User))
+		t := s.seen[dk]
+		w.u64(t.floor)
+		sparse := make([]uint64, 0, len(t.sparse))
+		for seq := range t.sparse {
+			sparse = append(sparse, seq)
+		}
+		sort.Slice(sparse, func(i, j int) bool { return sparse[i] < sparse[j] })
+		w.u32(uint32(len(sparse)))
+		for _, seq := range sparse {
+			w.u64(seq)
+		}
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.b))
+	return w.b
+}
+
+// writeSnapshot atomically replaces the shard's snapshot file.
+func writeSnapshot(dir string, payload []byte) error {
+	path := filepath.Join(dir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+type snapReader struct {
+	b   []byte
+	off int
+}
+
+func (r *snapReader) fail() bool { return r.off < 0 }
+func (r *snapReader) need(n int) bool {
+	if r.fail() || n < 0 || len(r.b)-r.off < n {
+		r.off = -1
+		return false
+	}
+	return true
+}
+func (r *snapReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+func (r *snapReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+func (r *snapReader) i64() int64 { return int64(r.u64()) }
+func (r *snapReader) str() string {
+	n := int(r.u32())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+func (r *snapReader) key() Key {
+	return Key{Metric: r.str(), Region: r.str(), Net: r.str()}
+}
+func (r *snapReader) bytes() []byte {
+	n := int(r.u32())
+	if !r.need(n) {
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// decodeSnapshot parses and validates a snapshot payload. Corrupt input of
+// any shape errors — never panics, never partially applies.
+func decodeSnapshot(data []byte) (*snapState, error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("telemetry: snapshot: %d bytes, too short", len(data))
+	}
+	if [8]byte(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("telemetry: snapshot: bad magic/version %q", data[:8])
+	}
+	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("telemetry: snapshot: checksum mismatch")
+	}
+	r := &snapReader{b: payload, off: 8}
+	st := &snapState{
+		windows: map[windowKey]*stats.Sketch{},
+		seen:    map[dedupKey]*seqTracker{},
+		applied: map[int64]uint64{},
+	}
+	st.shards = int(r.u32())
+	st.windowMs = r.i64()
+
+	nWindows := int(r.u32())
+	for i := 0; i < nWindows && !r.fail(); i++ {
+		start := r.i64()
+		key := r.key()
+		raw := r.bytes()
+		if r.fail() {
+			break
+		}
+		sk := &stats.Sketch{}
+		if err := sk.UnmarshalBinary(raw); err != nil {
+			return nil, fmt.Errorf("telemetry: snapshot window %d/%s: %w", start, key, err)
+		}
+		st.windows[windowKey{Start: start, Key: key}] = sk
+	}
+
+	nSegs := int(r.u32())
+	for i := 0; i < nSegs && !r.fail(); i++ {
+		start := r.i64()
+		st.applied[start] = r.u64()
+	}
+
+	nTrackers := int(r.u32())
+	for i := 0; i < nTrackers && !r.fail(); i++ {
+		dk := dedupKey{Key: r.key(), User: int(r.i64())}
+		t := &seqTracker{floor: r.u64()}
+		nSparse := int(r.u32())
+		// Bound the allocation by the remaining payload (8 bytes/entry).
+		if !r.need(0) || nSparse < 0 || nSparse*8 > len(r.b)-r.off {
+			r.off = -1
+			break
+		}
+		if nSparse > 0 {
+			t.sparse = make(map[uint64]struct{}, nSparse)
+			for j := 0; j < nSparse; j++ {
+				t.sparse[r.u64()] = struct{}{}
+			}
+		}
+		st.seen[dk] = t
+	}
+
+	if r.fail() || r.off != len(payload) {
+		return nil, fmt.Errorf("telemetry: snapshot: truncated or trailing payload")
+	}
+	if st.shards <= 0 || st.windowMs <= 0 {
+		return nil, fmt.Errorf("telemetry: snapshot: invalid config header (%d shards, %dms window)",
+			st.shards, st.windowMs)
+	}
+	return st, nil
+}
+
+// loadSnapshot reads a shard directory's snapshot. A missing file returns
+// (nil, nil): cold start or WAL-only recovery.
+func loadSnapshot(dir string) (*snapState, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return decodeSnapshot(data)
+}

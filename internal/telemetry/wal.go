@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Write-ahead log. Each ingest shard owns an append-only JSONL log of the
+// envelopes it folded (the Envelope wire codec, reused verbatim), split into
+// one segment file per rollup window — wal-<windowStartMs>.jsonl under
+// <dir>/shard-<i>/ — so retention eviction can unlink a whole window's
+// durability in one operation and recovery can replay windows independently.
+// The worker appends under the shard lock immediately before folding, so
+// per-segment record order IS fold order, which is what makes replay
+// reconstruct every sketch bit-for-bit.
+//
+// Durability contract: a record is durable once the shard has fsynced past
+// it (every SyncEvery appends, on SyncWAL, and on Close). A crash loses at
+// most the unsynced suffix; a torn final record (a write cut mid-line) is
+// detected and truncated on recovery, never replayed and never allowed to
+// corrupt subsequent appends.
+
+// walSuffix and walPrefix name segment files.
+const (
+	walPrefix = "wal-"
+	walSuffix = ".jsonl"
+)
+
+// maxOpenSegments bounds per-shard file handles. Appends target the current
+// window almost always; a late event reopens its older segment on demand.
+const maxOpenSegments = 8
+
+// walBufSize is the per-segment write buffer. Large enough that the fsync
+// cadence, not buffer pressure, decides when bytes reach the OS.
+const walBufSize = 64 * 1024
+
+type walSeg struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// shardWAL is one shard's log. All methods are called with the owning
+// shard's mutex held (or before the shard's worker starts), so there is no
+// internal locking.
+type shardWAL struct {
+	dir       string
+	syncEvery int
+	wrap      func(io.Writer) io.Writer // fault-injection hook; nil = identity
+
+	open    map[int64]*walSeg // open segment handles by window start
+	records map[int64]uint64  // valid records per segment (disk + buffered)
+	line    []byte            // encode scratch
+
+	appended uint64 // records appended this process
+	synced   uint64 // value of appended at the last successful fsync
+	unsynced int    // appends since the last fsync (drives syncEvery)
+	err      error  // sticky write/sync error: shard degrades to memory-only
+}
+
+func newShardWAL(dir string, syncEvery int, wrap func(io.Writer) io.Writer) (*shardWAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: wal: %w", err)
+	}
+	return &shardWAL{
+		dir:       dir,
+		syncEvery: syncEvery,
+		wrap:      wrap,
+		open:      map[int64]*walSeg{},
+		records:   map[int64]uint64{},
+	}, nil
+}
+
+func (w *shardWAL) segPath(start int64) string {
+	return filepath.Join(w.dir, walPrefix+strconv.FormatInt(start, 10)+walSuffix)
+}
+
+// openSeg returns the segment for a window start, opening (append mode) or
+// creating it, and closing the least-recent segment past the handle cap.
+func (w *shardWAL) openSeg(start int64) (*walSeg, error) {
+	if seg, ok := w.open[start]; ok {
+		return seg, nil
+	}
+	if len(w.open) >= maxOpenSegments {
+		oldest := int64(0)
+		first := true
+		for s := range w.open {
+			if first || s < oldest {
+				oldest = s
+			}
+			first = false
+		}
+		// Flush and fsync before closing so a closed segment is never
+		// dirty; sync() then only needs to visit open handles.
+		seg := w.open[oldest]
+		if err := seg.bw.Flush(); err != nil {
+			w.err = err
+		} else if err := seg.f.Sync(); err != nil {
+			w.err = err
+		}
+		seg.f.Close()
+		delete(w.open, oldest)
+	}
+	f, err := os.OpenFile(w.segPath(start), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var out io.Writer = f
+	if w.wrap != nil {
+		out = w.wrap(f)
+	}
+	seg := &walSeg{f: f, bw: bufio.NewWriterSize(out, walBufSize)}
+	w.open[start] = seg
+	return seg, nil
+}
+
+// append logs one envelope to its window's segment. Errors are sticky: the
+// first failure degrades the shard to memory-only ingest (reported via
+// Health) rather than stalling the pipeline, and every later append is a
+// cheap no-op.
+func (w *shardWAL) append(e Envelope, start int64) {
+	if w.err != nil {
+		return
+	}
+	seg, err := w.openSeg(start)
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.line, err = AppendJSONL(w.line[:0], e)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if _, err := seg.bw.Write(w.line); err != nil {
+		w.err = err
+		return
+	}
+	w.records[start]++
+	w.appended++
+	w.unsynced++
+	if w.syncEvery > 0 && w.unsynced >= w.syncEvery {
+		w.sync()
+	}
+}
+
+// sync flushes every open segment to the OS and fsyncs it. On success the
+// durability watermark advances to everything appended so far.
+func (w *shardWAL) sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	for _, seg := range w.open {
+		if err := seg.bw.Flush(); err != nil {
+			w.err = err
+			return err
+		}
+		if err := seg.f.Sync(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.synced = w.appended
+	w.unsynced = 0
+	return nil
+}
+
+// dropSegment removes a window's durability when retention evicts it: the
+// handle is closed unflushed (the data is being discarded) and the file
+// unlinked.
+func (w *shardWAL) dropSegment(start int64) {
+	if seg, ok := w.open[start]; ok {
+		seg.f.Close()
+		delete(w.open, start)
+	}
+	delete(w.records, start)
+	if err := os.Remove(w.segPath(start)); err != nil && !errors.Is(err, os.ErrNotExist) && w.err == nil {
+		w.err = err
+	}
+}
+
+// closeFiles syncs and closes every open handle (graceful shutdown).
+func (w *shardWAL) closeFiles() error {
+	err := w.sync()
+	for _, seg := range w.open {
+		seg.f.Close()
+	}
+	w.open = map[int64]*walSeg{}
+	return err
+}
+
+// abort closes handles WITHOUT flushing buffered writes — the test double
+// for a process crash: bytes not yet pushed to the OS are lost, exactly the
+// unsynced suffix the durability contract allows to disappear.
+func (w *shardWAL) abort() {
+	for _, seg := range w.open {
+		seg.f.Close()
+	}
+	w.open = map[int64]*walSeg{}
+}
+
+// lag reports records appended but not yet fsynced — the data a crash right
+// now would lose.
+func (w *shardWAL) lag() uint64 { return w.appended - w.synced }
+
+// listSegments returns the window starts of every segment file in the
+// shard's directory, ascending. Unparseable names are ignored (they are not
+// WAL segments).
+func listSegments(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var starts []int64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+			continue
+		}
+		start, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// errWALCorrupt marks mid-segment corruption (vs a tolerable torn tail).
+var errWALCorrupt = errors.New("telemetry: wal segment corrupt")
+
+// readWALSegment replays one segment, calling fn for every valid record in
+// append order. Two failure shapes are distinguished:
+//
+//   - A torn tail — trailing bytes with no final newline, the footprint of a
+//     write cut by a crash — is tolerated: replay stops at the last durable
+//     record and returns torn=true with validEnd positioned after it, so the
+//     caller can truncate before appending again. A record is only ever
+//     acknowledged as durable after its newline reached the OS, so nothing
+//     acknowledged is ever dropped here.
+//   - A malformed line that IS newline-terminated, or any decode failure
+//     before the tail, is real corruption: a positioned error wrapping
+//     errWALCorrupt, never a silent skip — durable data that cannot be
+//     replayed must fail recovery loudly.
+func readWALSegment(path string, fn func(Envelope)) (records uint64, validEnd int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, walBufSize)
+	var offset int64
+	lineNo := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return records, validEnd, false, fmt.Errorf("telemetry: wal %s: %w", path, rerr)
+		}
+		if rerr == io.EOF {
+			if len(line) > 0 {
+				// No trailing newline: a torn final write. Never durable
+				// (acks follow the newline), so truncating it is loss-free.
+				return records, validEnd, true, nil
+			}
+			return records, validEnd, false, nil
+		}
+		lineNo++
+		lineLen := int64(len(line))
+		body := line[:len(line)-1] // strip newline
+		if len(body) > 0 {
+			e, derr := DecodeLine(body)
+			if derr != nil {
+				return records, validEnd, false, fmt.Errorf("%w: %s line %d (byte offset %d): %v",
+					errWALCorrupt, path, lineNo, offset, derr)
+			}
+			fn(e)
+			records++
+		}
+		offset += lineLen
+		validEnd = offset
+	}
+}

@@ -3,7 +3,12 @@
 #
 #   gofmt cleanliness  → build  → vet  → full tests
 #   → race tests (concurrency-bearing packages)
-#   → short fuzz pass (decoder hardening)
+#   → short fuzz passes (wire decoder + the durability surfaces: WAL
+#     segment replay, snapshot decode, sketch codec)
+#   → chaos smoke: a seeded drop+duplicate+reorder fault plan on the small
+#     scenario through the retrying client must answer byte-identically to
+#     a clean run, and a killed durable ingestor must recover to the same
+#     answers
 #   → scenario smoke: small built-in scenarios through reproall, with the
 #     -parallel invariance diff (stdout must be byte-identical at any
 #     worker count)
@@ -47,6 +52,20 @@ go test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/tele
 
 echo "== fuzz (telemetry decoder, 5s) =="
 go test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
+
+echo "== fuzz (durability surfaces: WAL replay, snapshot, sketch codec; 3s each) =="
+go test -run xxx -fuzz FuzzWALSegmentReplay -fuzztime 3s ./internal/telemetry/
+go test -run xxx -fuzz FuzzSnapshotDecode -fuzztime 3s ./internal/telemetry/
+go test -run xxx -fuzz FuzzSketchUnmarshalBinary -fuzztime 3s ./internal/stats/
+
+echo "== chaos smoke (seeded drop+dup+reorder on small, retrying client) =="
+# The chaos acceptance pin: >=1% drops, duplicates and reorders injected
+# into the small scenario's stream through the retrying client must deliver
+# exactly once and answer every quantile/CDF query byte-identically to a
+# clean run, with the fault trace reproducible from the seed. The kill-and-
+# recover pin rides along: a crashed durable ingestor reopens to the same
+# answers.
+go test -count=1 -run 'TestChaosEquivalenceAcrossScenarios/small|TestKillAndRecoverByteIdentical' ./internal/telemetry/
 
 echo "== scenario smoke (reproall, parallel-invariance diff) =="
 smoke=$(mktemp -d .ci-smoke.XXXXXX)
