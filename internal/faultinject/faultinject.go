@@ -67,6 +67,11 @@ type Stats struct {
 	Delayed     uint64 `json:"delayed"`
 	Stalled     uint64 `json:"stalled"` // offers refused inside stall windows
 	ShortWrites uint64 `json:"short_writes"`
+	// HeldLost counts held-back (reorder/delay) events whose redelivery the
+	// receiver refused (hard-full queue, shed). Offer already answered true
+	// for these, so a nonzero count is real silent loss the hold-back path
+	// caused — harnesses should assert it stays zero.
+	HeldLost uint64 `json:"held_lost,omitempty"`
 }
 
 // held is an event in flight: taken out of order, re-delivered once the
@@ -200,7 +205,9 @@ func (inj *Injector[E]) Offer(e E, shard int, deliver func(E) bool) bool {
 	return deliver(e)
 }
 
-// flushHeld re-delivers held-back events whose span has elapsed.
+// flushHeld re-delivers held-back events whose span has elapsed. The
+// original Offer already answered true for these, so a refused redelivery
+// is silent loss — counted in Stats.HeldLost, never ignored.
 func (inj *Injector[E]) flushHeld(deliver func(E) bool) {
 	if len(inj.held) == 0 {
 		return
@@ -208,7 +215,7 @@ func (inj *Injector[E]) flushHeld(deliver func(E) bool) {
 	kept := inj.held[:0]
 	for _, h := range inj.held {
 		if h.release <= inj.idx {
-			deliver(h.e)
+			inj.redeliver(h.e, deliver)
 		} else {
 			kept = append(kept, h)
 		}
@@ -216,12 +223,22 @@ func (inj *Injector[E]) flushHeld(deliver func(E) bool) {
 	inj.held = kept
 }
 
+// redeliver hands a held event back to the receiver, counting a refusal.
+func (inj *Injector[E]) redeliver(e E, deliver func(E) bool) {
+	if !deliver(e) {
+		inj.mu.Lock()
+		inj.stats.HeldLost++
+		inj.mu.Unlock()
+	}
+}
+
 // Drain delivers every still-held event, in hold order. Call after the last
 // Offer so no event is lost to an expiring test: hold-back faults delay,
-// they never drop.
+// they never drop — but the receiver can still refuse a redelivery, and
+// those refusals surface in Stats.HeldLost rather than vanishing.
 func (inj *Injector[E]) Drain(deliver func(E) bool) {
 	for _, h := range inj.held {
-		deliver(h.e)
+		inj.redeliver(h.e, deliver)
 	}
 	inj.held = inj.held[:0]
 }

@@ -119,6 +119,35 @@ func TestShardStallRefusesShard(t *testing.T) {
 	}
 }
 
+// TestHeldRedeliveryRefusedCounted: Offer already answered true for a
+// held-back event, so a refused redelivery (hard-full queue, shed) is real
+// loss — it must surface in Stats.HeldLost, never vanish.
+func TestHeldRedeliveryRefusedCounted(t *testing.T) {
+	inj := New[int](&scenario.FaultSpec{Reorder: 1, ReorderSpan: 2}, 1)
+	refuse := func(int) bool { return false }
+	for i := 0; i < 10; i++ {
+		if !inj.Offer(i, 0, refuse) {
+			t.Fatalf("hold-back offer %d not acknowledged", i)
+		}
+	}
+	inj.Drain(refuse)
+	st := inj.Stats()
+	if st.Reordered != 10 {
+		t.Fatalf("stats = %+v, want 10 reordered", st)
+	}
+	if st.HeldLost != 10 {
+		t.Fatalf("HeldLost = %d, want 10 (every redelivery refused)", st.HeldLost)
+	}
+	// Accepted redeliveries count nothing.
+	ok := New[int](&scenario.FaultSpec{Reorder: 1, ReorderSpan: 2}, 1)
+	if got := run(ok, 10); len(got) != 10 {
+		t.Fatalf("lossless redelivery delivered %d of 10", len(got))
+	}
+	if st := ok.Stats(); st.HeldLost != 0 {
+		t.Fatalf("HeldLost = %d on an accepting receiver", st.HeldLost)
+	}
+}
+
 func TestShortWriteCutsAndErrors(t *testing.T) {
 	inj := New[int](&scenario.FaultSpec{ShortWrite: 1}, 1)
 	var sink bytes.Buffer

@@ -46,6 +46,9 @@ func chaosRun(t *testing.T, events []Envelope, fault *scenario.FaultSpec, seed u
 		}
 	}
 	inj.Drain(ing.Offer)
+	if lost := inj.Stats().HeldLost; lost != 0 {
+		t.Fatalf("%d held-back events refused on redelivery (silent loss)", lost)
+	}
 	ing.Flush()
 	return queryFingerprint(t, ing), inj.Trace(), inj.Stats()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"edgescope/internal/rng"
@@ -61,6 +62,16 @@ type ClientStats struct {
 // keeps only a floor plus out-of-order arrivals above it, so a client that
 // skipped numbers would pin sparse entries forever.
 //
+// OWNERSHIP CONTRACT: each (key, user) stream must be owned by exactly one
+// client incarnation at a time. The server's trackers live for the process
+// and are durably recovered (snapshot+WAL), but this client's cursors are
+// in-memory only — a restarted or second producer reusing a stream would
+// restart at Seq=1 and have its first events silently folded zero times
+// (counted as Deduped server-side, with no error anywhere). A producer that
+// restarts against the same durable server must carry its cursors forward:
+// persist SeqState on shutdown (or periodically) and RestoreSeqState before
+// the first Send — or take over under fresh User ids.
+//
 // A RetryClient is not safe for concurrent use; run one per producer
 // goroutine (each with its own rng fork), like any rng.Source consumer.
 type RetryClient struct {
@@ -110,6 +121,56 @@ func (c *RetryClient) Send(e Envelope) bool {
 	}
 	c.stats.Failed++
 	return false
+}
+
+// SeqRecord is one (key, user) stream's persisted sequence cursor. LastSeq
+// is the highest sequence the client has assigned to that stream; the next
+// event gets LastSeq+1.
+type SeqRecord struct {
+	Metric  string `json:"metric"`
+	Region  string `json:"region"`
+	Net     string `json:"net"`
+	User    int    `json:"user"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// SeqState exports the client's per-stream sequence cursors in a stable
+// (sorted) order, ready to persist (e.g. as JSON) across client restarts.
+// Restoring them into the next incarnation (RestoreSeqState) is what keeps
+// a restarted producer's events from colliding with the server's durable
+// dedup trackers — see the ownership contract on RetryClient.
+func (c *RetryClient) SeqState() []SeqRecord {
+	out := make([]SeqRecord, 0, len(c.next))
+	for k, last := range c.next {
+		out = append(out, SeqRecord{Metric: k.Metric, Region: k.Region, Net: k.Net, User: k.User, LastSeq: last})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.User < b.User
+	})
+	return out
+}
+
+// RestoreSeqState merges persisted cursors into the client, keeping the
+// higher cursor where both sides know a stream. Call it before the first
+// Send of a restarted producer; restoring afterwards could rewind a cursor
+// the current incarnation already advanced past.
+func (c *RetryClient) RestoreSeqState(recs []SeqRecord) {
+	for _, r := range recs {
+		k := dedupKey{Key: Key{Metric: r.Metric, Region: r.Region, Net: r.Net}, User: r.User}
+		if r.LastSeq > c.next[k] {
+			c.next[k] = r.LastSeq
+		}
+	}
 }
 
 // SendAll delivers a batch, returning how many were acknowledged.

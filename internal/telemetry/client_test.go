@@ -102,6 +102,60 @@ func TestRetryClientSequencesPerStream(t *testing.T) {
 	}
 }
 
+// TestRetryClientSeqStatePersistsAcrossRestart pins the ownership contract:
+// a restarted producer that restores its sequence cursors continues its
+// streams seamlessly, while one that skips the restore restarts at Seq=1
+// and loses its first sends to the server's durable dedup state — the
+// documented hazard SeqState exists to prevent.
+func TestRetryClientSeqStatePersistsAcrossRestart(t *testing.T) {
+	ing := NewIngestor(Config{Shards: 2, QueueLen: 64, Block: true})
+	defer ing.Close()
+	ts := time.Date(2021, 10, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	mk := func(i int) Envelope {
+		e := ev(ts+int64(i), MetricRTT, "Beijing", "WiFi", float64(i))
+		e.User = 3
+		return e
+	}
+
+	c1 := NewRetryClient(ing.Offer, rng.New(1), RetryConfig{})
+	for i := 0; i < 5; i++ {
+		if !c1.Send(mk(i)) {
+			t.Fatal("send failed")
+		}
+	}
+	saved := c1.SeqState() // what a producer persists at shutdown
+	if len(saved) != 1 || saved[0].LastSeq != 5 || saved[0].User != 3 {
+		t.Fatalf("SeqState = %+v, want one stream cursor at 5", saved)
+	}
+
+	c2 := NewRetryClient(ing.Offer, rng.New(2), RetryConfig{})
+	c2.RestoreSeqState(saved)
+	for i := 5; i < 10; i++ {
+		if !c2.Send(mk(i)) {
+			t.Fatal("send failed")
+		}
+	}
+	ing.Flush()
+	if tot := ing.TotalStats(); tot.Deduped != 0 {
+		t.Fatalf("restored client had %d events deduped away", tot.Deduped)
+	}
+	res, err := ing.Query(QuerySpec{Metric: MetricRTT})
+	if err != nil || res.Count != 10 {
+		t.Fatalf("count = %v err = %v, want 10 (both incarnations folded)", res.Count, err)
+	}
+
+	// The hazard itself: a third incarnation without the restore collides
+	// with the durable trackers and its sends fold zero times.
+	c3 := NewRetryClient(ing.Offer, rng.New(3), RetryConfig{})
+	for i := 10; i < 15; i++ {
+		c3.Send(mk(i))
+	}
+	ing.Flush()
+	if tot := ing.TotalStats(); tot.Deduped != 5 {
+		t.Fatalf("unrestored client deduped %d, want 5 (the ownership hazard)", tot.Deduped)
+	}
+}
+
 // TestHTTPSenderEndToEnd drives a RetryClient through a real HTTP hop into
 // an Ingestor — the telemetryd /ingest shape — with the first request of
 // each pair refused at the HTTP layer to force retries.

@@ -16,6 +16,16 @@ type dedupKey struct {
 	User int
 }
 
+// maxTrackerSparse caps one tracker's out-of-order window. The designed
+// workload is duplicates plus the fault plan's bounded reordering (spans of
+// 4–32 events), so a sparse set orders of magnitude wider than any real
+// reorder depth marks a permanent gap — an abandoned send whose sequence
+// will never arrive. Past the cap the tracker advances its floor over the
+// oldest gap (deterministically, smallest entry first), trading "a very late
+// straggler from before the gap could be folded twice" for bounded memory —
+// without the cap a single gap pins every later sparse entry forever.
+const maxTrackerSparse = 1024
+
 // seqTracker records which sequence numbers of one (key, user) stream have
 // been folded. It is a receive-window: floor covers the contiguous prefix
 // [1..floor] and sparse holds the out-of-order arrivals above it, so memory
@@ -24,6 +34,12 @@ type dedupKey struct {
 type seqTracker struct {
 	floor  uint64
 	sparse map[uint64]struct{}
+	// last is the window start (Unix ms) of the stream's most recent folded
+	// event — the retention clock that ages idle trackers out alongside
+	// window eviction (ingest.go enforceRetention). Only folds advance it:
+	// duplicates are not WAL-logged, and recovery replay must rebuild the
+	// identical tracker state from folds alone.
+	last int64
 }
 
 // seen reports whether seq was already recorded, recording it when new.
@@ -50,5 +66,35 @@ func (t *seqTracker) seen(seq uint64) bool {
 		t.sparse = make(map[uint64]struct{})
 	}
 	t.sparse[seq] = struct{}{}
+	if len(t.sparse) > maxTrackerSparse {
+		t.compact()
+	}
 	return false
+}
+
+// compact bounds the sparse set by advancing the floor over the oldest gap:
+// the smallest sparse entry becomes the new floor (its gap below is written
+// off as seen), then any now-contiguous run folds in. Deterministic — always
+// the minimum, never map order — so live ingest and WAL replay converge on
+// identical tracker state.
+func (t *seqTracker) compact() {
+	for len(t.sparse) > maxTrackerSparse {
+		min := uint64(0)
+		first := true
+		for seq := range t.sparse {
+			if first || seq < min {
+				min = seq
+			}
+			first = false
+		}
+		t.floor = min
+		delete(t.sparse, min)
+		for {
+			if _, ok := t.sparse[t.floor+1]; !ok {
+				break
+			}
+			t.floor++
+			delete(t.sparse, t.floor)
+		}
+	}
 }

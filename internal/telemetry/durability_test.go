@@ -327,8 +327,14 @@ func TestRecoveredIngestorContinuesStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ing3.Close()
-	if rec.RecordsReplayed != uint64(len(events)) {
-		t.Fatalf("replayed %d, want %d", rec.RecordsReplayed, len(events))
+	// Recovery #1 rewrote a checkpoint covering the first half, so recovery
+	// #2 skips those records and replays only generation 2's appends —
+	// together they must cover the whole stream.
+	if total := rec.RecordsReplayed + rec.RecordsSkipped; total != uint64(len(events)) {
+		t.Fatalf("replayed %d + skipped %d, want %d total", rec.RecordsReplayed, rec.RecordsSkipped, len(events))
+	}
+	if rec.RecordsReplayed != uint64(len(events)-half) {
+		t.Fatalf("replayed %d, want %d (second generation's appends)", rec.RecordsReplayed, len(events)-half)
 	}
 	if got := queryFingerprint(t, ing3); !bytes.Equal(got, want) {
 		t.Fatal("two-generation recovery diverges")
@@ -391,6 +397,100 @@ func TestRetentionUnlinksWALSegments(t *testing.T) {
 	}
 }
 
+// TestSnapshotNeverClaimsUnsyncedRecords is the stale-applied-counts pin: a
+// snapshot's applied counts must cover only fsynced records. Generation 1
+// buffers its WAL (huge SyncEvery) while snapshotting frequently — each
+// checkpoint must fsync first, or it claims records that never reached
+// disk. If it over-claimed, generation 2 (which appends and fsyncs new
+// records at the segment's true disk offsets, then crashes before its own
+// snapshot) would be recovered by generation 3 skipping past those durable
+// records — silent loss of fsynced data.
+func TestSnapshotNeverClaimsUnsyncedRecords(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2021, 10, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	mk := func(i int) Envelope {
+		return ev(base+int64(i), MetricRTT, "Beijing", "WiFi", float64(i%17))
+	}
+
+	cfg1 := Config{Shards: 1, QueueLen: 64, Block: true,
+		WAL: WALConfig{Dir: dir, SyncEvery: 1 << 30, SnapshotEvery: 25}}
+	ing1 := NewIngestor(cfg1)
+	for i := 0; i < 100; i++ {
+		if !ing1.Offer(mk(i)) {
+			t.Fatal("offer refused")
+		}
+	}
+	ing1.Flush()
+	ing1.crash() // buffered WAL bytes beyond the last checkpoint are lost
+
+	cfg2 := Config{Shards: 1, QueueLen: 64, Block: true,
+		WAL: WALConfig{Dir: dir, SyncEvery: 1}}
+	ing2, _, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		if !ing2.Offer(mk(i)) {
+			t.Fatal("offer refused")
+		}
+	}
+	ing2.Flush() // SyncEvery 1: every generation-2 record is fsynced
+	want := queryFingerprint(t, ing2)
+	ing2.crash() // before any generation-2 snapshot
+
+	ing3, _, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing3.Close()
+	if got := queryFingerprint(t, ing3); !bytes.Equal(got, want) {
+		t.Fatal("recovery lost fsynced records: snapshot applied counts covered unsynced appends")
+	}
+}
+
+// TestConcurrentSnapshotSafe: the public Snapshot and the worker's periodic
+// checkpoint share one tmp path per shard, so concurrent checkpointers must
+// serialise — no interleaved write may ever rename a corrupt snapshot into
+// place. Run under -race; the surviving snapshot must decode cleanly.
+func TestConcurrentSnapshotSafe(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, QueueLen: 256, Block: true,
+		WAL: WALConfig{Dir: dir, SyncEvery: 8, SnapshotEvery: 7}}
+	ing := NewIngestor(cfg)
+	base := time.Date(2021, 10, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ing.Snapshot()
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if !ing.Offer(ev(base+int64(i), MetricRTT, "Beijing", "WiFi", float64(i%13))) {
+			t.Fatal("offer refused")
+		}
+	}
+	wg.Wait()
+	ing.Flush()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(shardDir(dir, 0)); err != nil {
+		t.Fatalf("snapshot corrupt after concurrent checkpoints: %v", err)
+	}
+	ing2, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer ing2.Close()
+	if rec.SnapshotErrors != 0 {
+		t.Fatalf("recovery rejected %d snapshots written under contention", rec.SnapshotErrors)
+	}
+}
+
 // TestDedupFoldsOnce: sequenced duplicates fold exactly once, are counted,
 // and never deadlock Flush.
 func TestDedupFoldsOnce(t *testing.T) {
@@ -438,6 +538,63 @@ func TestDedupTrackerCompacts(t *testing.T) {
 	}
 	if !tr.seen(500) || !tr.seen(1000) {
 		t.Fatal("replayed seq not recognised")
+	}
+}
+
+// TestDedupTrackerSparseCapped: a permanent gap (an abandoned send whose
+// sequence never arrives) must not pin sparse entries forever — past the
+// cap the tracker advances its floor over the gap and stays bounded, while
+// in-order traffic above it still dedups.
+func TestDedupTrackerSparseCapped(t *testing.T) {
+	var tr seqTracker
+	// Seq 1 never arrives; everything above it does.
+	for seq := uint64(2); seq <= maxTrackerSparse+100; seq++ {
+		if tr.seen(seq) {
+			t.Fatalf("fresh seq %d reported seen", seq)
+		}
+	}
+	if len(tr.sparse) > maxTrackerSparse {
+		t.Fatalf("sparse grew to %d entries past the cap %d", len(tr.sparse), maxTrackerSparse)
+	}
+	if tr.floor == 0 {
+		t.Fatal("cap did not advance the floor over the permanent gap")
+	}
+	next := uint64(maxTrackerSparse + 101)
+	if tr.seen(next) {
+		t.Fatal("new seq reported seen after compaction")
+	}
+	if !tr.seen(next) {
+		t.Fatal("duplicate not recognised after compaction")
+	}
+}
+
+// TestDedupTrackerAgedOutByRetention: trackers for streams idle past the
+// retention horizon are pruned with the windows they fed, so the per-shard
+// seen map (and every snapshot) stays bounded alongside MaxWindows.
+func TestDedupTrackerAgedOutByRetention(t *testing.T) {
+	ing := NewIngestor(Config{Shards: 1, QueueLen: 64, Block: true,
+		MaxWindows: 2, Window: time.Minute})
+	defer ing.Close()
+	base := time.Date(2021, 10, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	// Each window is fed by its own (key, user) stream: user w sends only
+	// inside window w, then goes idle forever.
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 5; i++ {
+			e := ev(base+int64(w)*60_000+int64(i), MetricRTT, "Beijing", "WiFi", float64(i))
+			e.User = w
+			e.Seq = uint64(i + 1)
+			if !ing.Offer(e) {
+				t.Fatal("offer refused")
+			}
+		}
+	}
+	ing.Flush()
+	s := ing.shards[0]
+	s.mu.Lock()
+	trackers := len(s.seen)
+	s.mu.Unlock()
+	if trackers > 2 {
+		t.Fatalf("%d trackers retained with MaxWindows=2, want <=2 (idle streams not aged out)", trackers)
 	}
 }
 

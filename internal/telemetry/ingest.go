@@ -151,6 +151,11 @@ type shard struct {
 	seen map[dedupKey]*seqTracker
 	// wal is the shard's write-ahead log, nil when durability is off.
 	wal *shardWAL
+	// snapMu serialises whole snapshot writes (encode + tmp file + rename):
+	// the worker's periodic checkpoint and the public Snapshot may run
+	// concurrently, and two writers on the same tmp path would interleave
+	// bytes and rename a corrupt (wasted) checkpoint into place.
+	snapMu sync.Mutex
 	// sinceSnapshot counts folds since the last checkpoint (worker-only).
 	sinceSnapshot int
 
@@ -315,15 +320,21 @@ func (ing *Ingestor) fold(s *shard, e Envelope, mode foldMode) {
 	wk := windowKey{Start: ing.windowStart(e.TS), Key: e.Key()}
 	s.mu.Lock()
 	if e.Seq > 0 {
-		t := s.seen[dedupKey{Key: wk.Key, User: e.User}]
+		dk := dedupKey{Key: wk.Key, User: e.User}
+		t := s.seen[dk]
 		if t == nil {
 			t = &seqTracker{}
-			s.seen[dedupKey{Key: wk.Key, User: e.User}] = t
+			s.seen[dk] = t
 		}
 		if t.seen(e.Seq) {
 			s.mu.Unlock()
 			s.deduped.Add(1)
 			return
+		}
+		// Advance the tracker's retention clock only on folds (duplicates
+		// are not WAL-logged; replay must rebuild identical state).
+		if wk.Start > t.last {
+			t.last = wk.Start
 		}
 	}
 	if mode == foldLive && s.wal != nil {
@@ -364,6 +375,17 @@ func (ing *Ingestor) enforceRetention(s *shard) {
 			}
 		}
 		delete(s.starts, oldest)
+		// Age out dedup trackers whose streams went idle at or before the
+		// evicted window: their folds all landed in discarded windows, so
+		// keeping their receive state would grow s.seen (and every snapshot)
+		// without bound on a long-running daemon. A stream outliving the
+		// retention horizon restarts with a fresh tracker — its dedup memory
+		// is scoped to the data the pipeline still holds.
+		for dk, t := range s.seen {
+			if t.last <= oldest {
+				delete(s.seen, dk)
+			}
+		}
 		if s.wal != nil {
 			s.wal.dropSegment(oldest)
 		}
@@ -454,11 +476,23 @@ func (ing *Ingestor) SyncWAL() error {
 	return first
 }
 
-// snapshotShard checkpoints one shard: state is encoded under the shard
-// lock (one consistent cut of sketches, dedup trackers and WAL positions),
-// then written and atomically renamed outside it.
+// snapshotShard checkpoints one shard: the WAL is fsynced and the state
+// encoded under the shard lock (one consistent cut of sketches, dedup
+// trackers and WAL positions), then written and atomically renamed outside
+// it; snapMu serialises concurrent checkpointers on the shared tmp path.
 func (ing *Ingestor) snapshotShard(s *shard) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	s.mu.Lock()
+	// A snapshot may only describe fsynced state: its applied counts promise
+	// that many records are on disk, and recovery skips exactly that many.
+	// Encoding buffered-but-unsynced appends would, across two crashes,
+	// make replay skip past records that ARE durable — silent loss. So sync
+	// first, and fail the checkpoint if the WAL cannot.
+	if err := s.wal.sync(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	payload := encodeSnapshot(s, ing.cfg)
 	dir := s.wal.dir
 	s.mu.Unlock()

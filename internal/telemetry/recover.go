@@ -110,5 +110,21 @@ func (ing *Ingestor) recoverShard(s *shard, st *RecoveryStats) error {
 	s.mu.Lock()
 	ing.enforceRetention(s)
 	s.mu.Unlock()
+
+	// Rewrite the checkpoint so on-disk applied counts describe what
+	// recovery actually found — torn tails trimmed, evicted segments gone,
+	// any counts a prior-format snapshot over-claimed reset. Without this, a
+	// second crash before the next periodic snapshot would replay against
+	// the stale snapshot and skip records this generation durably appended
+	// below its applied counts. Skipped on a pure cold start (nothing to
+	// describe yet).
+	if snap != nil || len(starts) > 0 {
+		s.mu.Lock()
+		payload := encodeSnapshot(s, ing.cfg)
+		s.mu.Unlock()
+		if err := writeSnapshot(dir, payload); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -15,11 +15,13 @@ import (
 // every (window, key) sketch in exact binary form (stats.Sketch
 // MarshalBinary, unflushed buffer included), the idempotency trackers, and
 // a per-WAL-segment applied count recording how many of each segment's
-// records are already folded into those sketches. Recovery loads the
-// snapshot and replays only each segment's suffix past its applied count,
-// so snapshot+WAL reconstructs the same state as replaying the WAL alone —
-// the snapshot is purely a replay accelerator, never a second source of
-// truth (pinned by TestRecoverSnapshotEquivalentToWALOnly).
+// records are already folded into those sketches. Applied counts are only
+// ever encoded after an fsync (snapshotShard syncs under the shard lock
+// first), so they never exceed what is actually on disk — recovery loads
+// the snapshot and replays only each segment's suffix past its applied
+// count, and snapshot+WAL reconstructs the same state as replaying the WAL
+// alone — the snapshot is purely a replay accelerator, never a second
+// source of truth (pinned by TestRecoverSnapshotEquivalentToWALOnly).
 //
 // The file is written whole to a temp name, fsynced and renamed, so a crash
 // mid-snapshot leaves the previous snapshot intact; a CRC32 over the
@@ -30,7 +32,8 @@ import (
 const snapshotFile = "snapshot.bin"
 
 // snapMagic versions the snapshot format; loaders accept exactly this.
-var snapMagic = [8]byte{'e', 's', 's', 'n', 'a', 'p', '0', 1}
+// Version 2 added the per-tracker last-activity window (tracker aging).
+var snapMagic = [8]byte{'e', 's', 's', 'n', 'a', 'p', '0', 2}
 
 // snapState is a decoded snapshot.
 type snapState struct {
@@ -122,6 +125,7 @@ func encodeSnapshot(s *shard, cfg Config) []byte {
 		w.i64(int64(dk.User))
 		t := s.seen[dk]
 		w.u64(t.floor)
+		w.i64(t.last)
 		sparse := make([]uint64, 0, len(t.sparse))
 		for seq := range t.sparse {
 			sparse = append(sparse, seq)
@@ -260,7 +264,9 @@ func decodeSnapshot(data []byte) (*snapState, error) {
 	nTrackers := int(r.u32())
 	for i := 0; i < nTrackers && !r.fail(); i++ {
 		dk := dedupKey{Key: r.key(), User: int(r.i64())}
-		t := &seqTracker{floor: r.u64()}
+		t := &seqTracker{}
+		t.floor = r.u64()
+		t.last = r.i64()
 		nSparse := int(r.u32())
 		// Bound the allocation by the remaining payload (8 bytes/entry).
 		if !r.need(0) || nSparse < 0 || nSparse*8 > len(r.b)-r.off {

@@ -54,9 +54,12 @@ type shardWAL struct {
 	syncEvery int
 	wrap      func(io.Writer) io.Writer // fault-injection hook; nil = identity
 
-	open    map[int64]*walSeg // open segment handles by window start
-	records map[int64]uint64  // valid records per segment (disk + buffered)
-	line    []byte            // encode scratch
+	open map[int64]*walSeg // open segment handles by window start
+	// records counts valid records per segment, disk + buffered. Snapshots
+	// fsync before encoding these as applied counts, so a snapshot never
+	// claims more records on disk than are actually there.
+	records map[int64]uint64
+	line    []byte // encode scratch
 
 	appended uint64 // records appended this process
 	synced   uint64 // value of appended at the last successful fsync
