@@ -18,6 +18,7 @@ import (
 	"edgescope/internal/crowd"
 	"edgescope/internal/emunet"
 	"edgescope/internal/netmodel"
+	"edgescope/internal/obs"
 	"edgescope/internal/placement"
 	"edgescope/internal/predict"
 	"edgescope/internal/probe"
@@ -740,5 +741,35 @@ func BenchmarkTable2TraceSurvey(b *testing.B) {
 		if tbl := s.Table2(); len(tbl.Rows) != 5 {
 			b.Fatal("bad table")
 		}
+	}
+}
+
+// BenchmarkObsCounterInc pins the hot-path cost of the self-observability
+// counters: one atomic add, zero allocations. Every ingest-path event pays
+// exactly this, so the allocation gate (scripts/bench_gate) holds it at 0.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().CounterVec("bench_events_total", "bench", "shard").With("0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("count lost")
+	}
+}
+
+// BenchmarkObsSpan pins a Begin/End span pair over reserved capacity at zero
+// allocations — the per-node cost the execution engine pays when traced.
+func BenchmarkObsSpan(b *testing.B) {
+	tr := obs.NewTracer(nil)
+	tr.Reserve(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.End(tr.Begin("node", 0))
+	}
+	if tr.Len() != b.N {
+		b.Fatal("spans lost")
 	}
 }

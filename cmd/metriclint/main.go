@@ -1,0 +1,83 @@
+// Command metriclint validates Prometheus text exposition format 0.0.4: each
+// sample line must parse, follow a # TYPE declaration for its family, and use
+// a known type. It reads a file (or stdin with no argument), or scrapes a
+// URL with -url — the shape CI uses to smoke-test a live /metrics endpoint
+// without curl. With -require it additionally fails unless the named metric
+// families are present.
+//
+// Usage:
+//
+//	metriclint [file]
+//	metriclint -url http://localhost:8355/metrics -require telemetry_ingest_accepted_total
+//
+// Exit status: 0 valid, 1 malformed or missing a required family, 2 usage or
+// I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"edgescope/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading a file or stdin")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	timeout := flag.Duration("timeout", 10*time.Second, "HTTP scrape timeout with -url")
+	flag.Parse()
+
+	body, err := read(*url, flag.Arg(0), *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(2)
+	}
+	if err := obs.LintExposition(strings.NewReader(body)); err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(1)
+	}
+	var missing []string
+	for _, fam := range strings.Split(*require, ",") {
+		if fam = strings.TrimSpace(fam); fam == "" {
+			continue
+		}
+		if !strings.Contains(body, "\n"+fam) && !strings.HasPrefix(body, fam) {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: exposition valid but missing required families: %s\n",
+			strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	fmt.Println("metriclint: ok")
+}
+
+// read fetches the exposition body from -url, a file argument, or stdin.
+func read(url, path string, timeout time.Duration) (string, error) {
+	switch {
+	case url != "":
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("scrape %s: status %s", url, resp.Status)
+		}
+		b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		return string(b), err
+	case path != "":
+		b, err := os.ReadFile(path)
+		return string(b), err
+	default:
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+}

@@ -17,16 +17,26 @@
 // inuse/alloc spaces show where the churn was). This is the profile-first
 // workflow the README's Performance section documents.
 //
+// Observability of the run itself: -trace writes a Chrome trace-event JSON
+// timeline of the scheduled DAG — one span per substrate and artifact on the
+// track of the worker that ran it, plus the campaign's chunked observation
+// fan-out — viewable at ui.perfetto.dev or chrome://tracing. -times-json
+// writes the per-artifact wall-time report as machine-readable JSON
+// ({"id","kind","wall_ns","worker"} records). Both are observation-only:
+// stdout stays byte-identical with or without them.
+//
 // Usage:
 //
 //	reproall [-seed N] [-scenario NAME|file.json] [-scale small|paper]
 //	         [-parallel N] [-csvdir DIR] [-only id,id,...] [-ext]
 //	         [-quiet-times] [-list] [-dump-scenario NAME]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-trace FILE] [-times-json FILE]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"edgescope/internal/core"
+	"edgescope/internal/obs"
 	"edgescope/internal/scenario"
 )
 
@@ -53,6 +64,8 @@ func main() {
 	quietTimes := flag.Bool("quiet-times", false, "suppress the per-artifact wall-time report (stderr)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the artifact run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file after the run")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto)")
+	timesJSON := flag.String("times-json", "", "write the per-artifact wall-time report as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -102,6 +115,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer pf.Close()
+	}
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil)
+		suite.SetTracer(tracer)
 	}
 
 	start := time.Now()
@@ -154,6 +173,20 @@ func main() {
 			sum.Round(time.Millisecond), float64(sum)/float64(wall))
 	}
 
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: trace: %v (results above are complete)\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "reproall: trace written to %s (open at ui.perfetto.dev)\n", *traceFile)
+	}
+	if *timesJSON != "" {
+		if err := writeTimesJSON(*timesJSON, results); err != nil {
+			fmt.Fprintf(os.Stderr, "reproall: times-json: %v (results above are complete)\n", err)
+			os.Exit(1)
+		}
+	}
+
 	// The heap profile is written last, after every artifact and CSV is out:
 	// the profile is a diagnostic side-channel and must never discard a
 	// completed run's results. A write failure still exits non-zero so
@@ -166,6 +199,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "reproall: heap profile written to %s (go tool pprof -alloc_space %s)\n",
 			*memprofile, *memprofile)
 	}
+}
+
+// writeTrace serializes the recorded span timeline as Chrome trace JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// timeRecord is one -times-json entry: where one scheduled unit's wall time
+// went and which pool slot ran it.
+type timeRecord struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // "substrate" or "artifact"
+	WallNS int64  `json:"wall_ns"`
+	Worker int    `json:"worker"`
+}
+
+// writeTimesJSON exports the wall-time report machine-readably, in the same
+// order as the stderr table (substrates first, then paper order).
+func writeTimesJSON(path string, results []core.ArtifactResult) error {
+	recs := make([]timeRecord, 0, len(results))
+	for _, a := range results {
+		kind := "artifact"
+		if a.Artifact == nil {
+			kind = "substrate"
+		}
+		recs = append(recs, timeRecord{ID: a.ID, Kind: kind, WallNS: a.Elapsed.Nanoseconds(), Worker: a.Worker})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeHeapProfile snapshots the heap after a final GC, so the profile

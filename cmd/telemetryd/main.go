@@ -11,6 +11,12 @@
 //	GET  /keys     every queryable dimension tuple with its event count
 //	GET  /healthz  liveness ("ok" or "degraded", with reasons), per-shard
 //	               ingest + WAL accounting, and the startup recovery report
+//	GET  /metrics  Prometheus text exposition: ingest, dedup, shedding, WAL,
+//	               recovery and query-latency instrument families
+//
+// With -pprof the daemon additionally mounts Go's net/http/pprof profiling
+// endpoints under /debug/pprof/ (opt-in: CPU profiles and heap dumps are not
+// free, so the default surface stays read-only-cheap).
 //
 // With -data the daemon is durable: accepted events are written to a
 // per-shard write-ahead log and periodic snapshots under the directory, and
@@ -36,7 +42,10 @@
 //	           [-compression 100] [-retain 10000] [-drop]
 //	           [-data DIR] [-sync-every 256] [-snapshot-every 4096]
 //	           [-replay] [-seed 1] [-scenario NAME|file.json]
-//	           [-scale small|paper]
+//	           [-scale small|paper] [-pprof] [-log-format text|json]
+//
+// Logs are structured (log/slog) with stable event names and keys, -log-format
+// selects human-readable text (default) or one JSON object per line.
 //
 // Ingest applies backpressure by default (a full shard queue slows the
 // producer); -drop sheds load instead, with every drop counted in
@@ -46,20 +55,18 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"edgescope/internal/core"
+	"edgescope/internal/obs"
 	"edgescope/internal/rng"
 	"edgescope/internal/telemetry"
 )
@@ -79,14 +86,24 @@ func main() {
 	seed := flag.Uint64("seed", 1, "replay seed override (default: the scenario's)")
 	scale := flag.String("scale", "small", "legacy replay scale: small or paper (alias for the matching -scenario)")
 	scn := flag.String("scenario", "", "replay scenario name from the registry, or path to a JSON spec (overrides -scale)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetryd: %v\n", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
 	ing, rec, err := telemetry.Open(telemetry.Config{
 		Shards:      *shards,
 		QueueLen:    *queue,
 		Window:      *window,
 		Compression: *compression,
 		MaxWindows:  *retain,
+		Metrics:     reg,
 		// Default to backpressure (a full queue slows the HTTP client) so
 		// the dropped counters in /healthz only ever mean real, chosen
 		// loss; -drop opts into load shedding instead.
@@ -98,23 +115,29 @@ func main() {
 		},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetryd: recover %s: %v\n", *dataDir, err)
+		log.Error("recovery failed", "dir", *dataDir, "err", err)
 		os.Exit(1)
 	}
 	if *dataDir != "" {
-		log.Printf("recovered %s: %d snapshots, %d segments, %d records replayed (+%d from snapshots), %d torn tails, %d rollup windows, %dms",
-			*dataDir, rec.Snapshots, rec.SegmentsScanned, rec.RecordsReplayed, rec.RecordsSkipped,
-			rec.TornTails, rec.Windows, rec.DurationMs)
+		log.Info("recovered",
+			"dir", *dataDir,
+			"snapshots", rec.Snapshots,
+			"segments", rec.SegmentsScanned,
+			"records_replayed", rec.RecordsReplayed,
+			"records_skipped", rec.RecordsSkipped,
+			"torn_tails", rec.TornTails,
+			"windows", rec.Windows,
+			"duration_ms", rec.DurationMs)
 	}
 	start := time.Now()
 
 	if *replay {
 		suite, err := core.SuiteFromFlags(flag.CommandLine, *scn, *scale, "seed", *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "telemetryd: %v\n", err)
+			log.Error("replay setup failed", "err", err)
 			os.Exit(2)
 		}
-		log.Printf("replaying crowd campaign (scenario=%s seed=%d)...", suite.Name(), suite.Seed)
+		log.Info("replay starting", "scenario", suite.Name(), "seed", suite.Seed)
 		// Latency streams event-at-a-time through the crowd.StreamLatency
 		// emission hook (a thin sink over the one crowd.Observe walk); the
 		// rng fork mirrors Suite.LatencyObs, so the streamed observations
@@ -127,58 +150,13 @@ func main() {
 		st.Accepted += thr.Accepted
 		st.Dropped += thr.Dropped
 		if st.Dropped > 0 {
-			log.Printf("replay dropped %d events (use a larger -queue or omit -drop for lossless replay)", st.Dropped)
+			log.Warn("replay shed events", "dropped", st.Dropped,
+				"hint", "use a larger -queue or omit -drop for lossless replay")
 		}
-		log.Printf("replay done: %+v", st)
+		log.Info("replay done", "events", st.Events, "accepted", st.Accepted, "dropped", st.Dropped)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
-		accepted := 0
-		st, err := telemetry.ReadJSONL(r.Body, func(e telemetry.Envelope) {
-			if ing.Offer(e) {
-				accepted++
-			}
-		})
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, map[string]int{
-			"decoded":   st.Decoded,
-			"malformed": st.Malformed,
-			"accepted":  accepted,
-			"dropped":   st.Decoded - accepted,
-		})
-	})
-	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
-		spec, err := specFromURL(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := ing.Query(spec)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, res)
-	})
-	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, ing.Keys())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := ing.Health()
-		writeJSON(w, map[string]any{
-			"status":         h.Status,
-			"reasons":        h.Reasons,
-			"durable":        h.Durable,
-			"uptime_seconds": int(time.Since(start).Seconds()),
-			"shards":         h.Shards,
-			"total":          h.Total,
-			"recovery":       h.Recovery,
-		})
-	})
+	mux := buildMux(muxConfig{ing: ing, reg: reg, pprof: *pprofOn, start: start, log: log})
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting HTTP, drain the
 	// shard queues, fsync every WAL and write final snapshots (Close), then
@@ -189,76 +167,40 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("telemetryd listening on %s (%d shards, %v windows)", *addr, *shards, *window)
+		log.Info("listening", "addr", *addr, "shards", *shards, "window", window.String(), "pprof", *pprofOn)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			log.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("shutdown signal: draining...")
+		log.Info("shutdown signal", "action", "draining")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			log.Error("http shutdown failed", "err", err)
 		}
 	}
 	if err := ing.Close(); err != nil {
-		log.Fatalf("close: %v", err)
+		log.Error("close failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("telemetryd: clean shutdown: %s", ing)
+	t := ing.TotalStats()
+	log.Info("clean shutdown", "accepted", t.Accepted, "processed", t.Processed,
+		"dropped", t.Dropped, "windows", t.Windows)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("telemetryd: write response: %v", err)
+// newLogger builds the daemon's structured logger: text (human) or json
+// (machine), both to stderr with stable event names and keys.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
 	}
-}
-
-// specFromURL parses /query parameters into a QuerySpec.
-func specFromURL(r *http.Request) (telemetry.QuerySpec, error) {
-	q := r.URL.Query()
-	spec := telemetry.QuerySpec{
-		Metric: q.Get("metric"),
-		Region: q.Get("region"),
-		Net:    q.Get("net"),
-	}
-	var err error
-	if spec.Quantiles, err = parseFloats(q.Get("q")); err != nil {
-		return spec, fmt.Errorf("bad q: %w", err)
-	}
-	if spec.CDFAt, err = parseFloats(q.Get("cdf")); err != nil {
-		return spec, fmt.Errorf("bad cdf: %w", err)
-	}
-	if v := q.Get("from"); v != "" {
-		if spec.From, err = time.Parse(time.RFC3339, v); err != nil {
-			return spec, fmt.Errorf("bad from: %w", err)
-		}
-	}
-	if v := q.Get("to"); v != "" {
-		if spec.To, err = time.Parse(time.RFC3339, v); err != nil {
-			return spec, fmt.Errorf("bad to: %w", err)
-		}
-	}
-	return spec, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	return nil, fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"edgescope/internal/obs"
+	"edgescope/internal/telemetry"
+)
+
+// muxConfig assembles the daemon's HTTP surface; split from main so tests
+// can stand the exact production mux up against httptest.
+type muxConfig struct {
+	ing *telemetry.Ingestor
+	// reg, when set, serves Prometheus text exposition on GET /metrics.
+	reg *obs.Registry
+	// pprof mounts net/http/pprof under /debug/pprof/ — opt-in because the
+	// profile endpoints can pause the process (heap dumps, CPU profiles) and
+	// a telemetry daemon's default surface should be read-only-cheap.
+	pprof bool
+	start time.Time
+	log   *slog.Logger
+}
+
+// buildMux wires every endpoint of the daemon onto a fresh mux.
+func buildMux(cfg muxConfig) *http.ServeMux {
+	if cfg.log == nil {
+		cfg.log = slog.Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		accepted := 0
+		st, err := telemetry.ReadJSONL(r.Body, func(e telemetry.Envelope) {
+			if cfg.ing.Offer(e) {
+				accepted++
+			}
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, map[string]int{
+			"decoded":   st.Decoded,
+			"malformed": st.Malformed,
+			"accepted":  accepted,
+			"dropped":   st.Decoded - accepted,
+		})
+	})
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := specFromURL(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := cfg.ing.Query(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, res)
+	})
+	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(cfg.log, w, cfg.ing.Keys())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := cfg.ing.Health()
+		writeJSON(cfg.log, w, map[string]any{
+			"status":         h.Status,
+			"reasons":        h.Reasons,
+			"durable":        h.Durable,
+			"uptime_seconds": int(time.Since(cfg.start).Seconds()),
+			"shards":         h.Shards,
+			"total":          h.Total,
+			"recovery":       h.Recovery,
+		})
+	})
+	if cfg.reg != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", obs.ExpositionContentType)
+			if err := cfg.reg.WritePrometheus(w); err != nil {
+				cfg.log.Error("metrics write failed", "err", err)
+			}
+		})
+	}
+	if cfg.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(log *slog.Logger, w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Error("write response failed", "err", err)
+	}
+}
+
+// specFromURL parses /query parameters into a QuerySpec.
+func specFromURL(r *http.Request) (telemetry.QuerySpec, error) {
+	q := r.URL.Query()
+	spec := telemetry.QuerySpec{
+		Metric: q.Get("metric"),
+		Region: q.Get("region"),
+		Net:    q.Get("net"),
+	}
+	var err error
+	if spec.Quantiles, err = parseFloats(q.Get("q")); err != nil {
+		return spec, fmt.Errorf("bad q: %w", err)
+	}
+	if spec.CDFAt, err = parseFloats(q.Get("cdf")); err != nil {
+		return spec, fmt.Errorf("bad cdf: %w", err)
+	}
+	if v := q.Get("from"); v != "" {
+		if spec.From, err = time.Parse(time.RFC3339, v); err != nil {
+			return spec, fmt.Errorf("bad from: %w", err)
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if spec.To, err = time.Parse(time.RFC3339, v); err != nil {
+			return spec, fmt.Errorf("bad to: %w", err)
+		}
+	}
+	return spec, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"edgescope/internal/obs"
+	"edgescope/internal/telemetry"
+)
+
+func newTestServer(t *testing.T, cfg telemetry.Config, pprofOn bool) (*telemetry.Ingestor, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	ing, _, err := telemetry.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ing.Close() })
+	srv := httptest.NewServer(buildMux(muxConfig{ing: ing, reg: reg, pprof: pprofOn, start: time.Now()}))
+	t.Cleanup(srv.Close)
+	return ing, reg, srv
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHealthzOK(t *testing.T) {
+	_, _, srv := newTestServer(t, telemetry.Config{Shards: 1, Block: true}, false)
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Durable bool   `json:"durable"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Durable {
+		t.Fatalf("healthz = %+v, want ok and non-durable", h)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestHealthzDegraded(t *testing.T) {
+	ing, _, srv := newTestServer(t, telemetry.Config{
+		Shards: 1,
+		Block:  true,
+		WAL: telemetry.WALConfig{
+			Dir:        t.TempDir(),
+			SyncEvery:  1,
+			WrapWriter: func(int, io.Writer) io.Writer { return failingWriter{} },
+		},
+	}, false)
+	e := telemetry.Envelope{V: telemetry.SchemaVersion, TS: time.Now().UnixMilli(),
+		Metric: telemetry.MetricRTT, Region: "Beijing", Net: "WiFi", Value: 12}
+	if !ing.Offer(e) {
+		t.Fatal("offer refused")
+	}
+	ing.Flush()
+	ing.SyncWAL()
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var h struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || len(h.Reasons) == 0 {
+		t.Fatalf("healthz = %+v, want degraded with reasons", h)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, srv := newTestServer(t, telemetry.Config{Shards: 2, Block: true}, false)
+
+	code, before, hdr := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Fatalf("content-type = %q, want %q", ct, obs.ExpositionContentType)
+	}
+	if err := obs.LintExposition(strings.NewReader(before)); err != nil {
+		t.Fatalf("exposition malformed: %v", err)
+	}
+	if !strings.Contains(before, "telemetry_ingest_accepted_total") {
+		t.Fatal("exposition missing the ingest family")
+	}
+
+	// Counters move after an ingest through the HTTP surface.
+	line := `{"v":1,"ts":1633046400000,"metric":"rtt_ms","region":"Beijing","net":"WiFi","value":34.5}` + "\n"
+	resp, err := http.Post(srv.URL+"/ingest", "application/jsonl", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Accepted != 1 {
+		t.Fatalf("ingest accepted = %d, want 1", ack.Accepted)
+	}
+
+	_, after, _ := get(t, srv.URL+"/metrics")
+	if err := obs.LintExposition(strings.NewReader(after)); err != nil {
+		t.Fatalf("post-ingest exposition malformed: %v", err)
+	}
+	sum := func(text, family string) float64 {
+		var total float64
+		for _, l := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(l, family) {
+				continue
+			}
+			var v float64
+			if _, err := fmt.Sscanf(l[strings.LastIndex(l, " ")+1:], "%g", &v); err == nil {
+				total += v
+			}
+		}
+		return total
+	}
+	b, a := sum(before, "telemetry_ingest_accepted_total"), sum(after, "telemetry_ingest_accepted_total")
+	if a != b+1 {
+		t.Fatalf("accepted counter %v -> %v, want +1", b, a)
+	}
+}
+
+func TestPprofWiring(t *testing.T) {
+	_, _, on := newTestServer(t, telemetry.Config{Shards: 1, Block: true}, true)
+	code, body, _ := get(t, on.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index with -pprof: status=%d", code)
+	}
+	if code, _, _ := get(t, on.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline with -pprof: status=%d", code)
+	}
+
+	_, _, off := newTestServer(t, telemetry.Config{Shards: 1, Block: true}, false)
+	if code, _, _ := get(t, off.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof: status=%d, want 404", code)
+	}
+}
+
+func TestLogFormatFlag(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Errorf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Error("newLogger accepted an unknown format")
+	}
+}

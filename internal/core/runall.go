@@ -137,12 +137,15 @@ func ArtifactIDs() []string {
 
 // ArtifactResult is one scheduled unit's outcome: a paper artifact with its
 // rendered table/figure, or a substrate build (Artifact == nil) timed on its
-// own so callers can see where the wall time went.
+// own so callers can see where the wall time went. Worker is the pool slot
+// that ran the node — attribution for traces and timing reports, never an
+// input to the computation.
 type ArtifactResult struct {
 	ID       string
 	Desc     string
 	Artifact report.Artifact // nil for substrate builds
 	Elapsed  time.Duration
+	Worker   int
 }
 
 // RunAll builds every paper artifact over a worker pool of the given
@@ -212,8 +215,9 @@ func (s *Suite) RunArtifacts(ctx context.Context, parallelism int, only []string
 
 	type node struct {
 		id   string
+		kind string // span annotation: "substrate" or "artifact"
 		deps []string
-		run  func()
+		run  func(worker int)
 	}
 	var nodes []node
 	subOrder := []string{subCampaign, subLatency, subThroughput, subNEPTrace, subCloudTrace}
@@ -225,19 +229,20 @@ func (s *Suite) RunArtifacts(ctx context.Context, parallelism int, only []string
 		id := id
 		res := &ArtifactResult{ID: id, Desc: "substrate build"}
 		subResults[id] = res
-		nodes = append(nodes, node{id: id, deps: substrateDeps[id], run: func() {
+		nodes = append(nodes, node{id: id, kind: "substrate", deps: substrateDeps[id], run: func(worker int) {
 			start := time.Now()
 			s.buildSubstrate(id)
 			res.Elapsed = time.Since(start)
+			res.Worker = worker
 		}})
 	}
 	artResults := make([]ArtifactResult, len(selected))
 	for i, sp := range selected {
 		i, sp := i, sp
-		nodes = append(nodes, node{id: sp.id, deps: sp.deps, run: func() {
+		nodes = append(nodes, node{id: sp.id, kind: "artifact", deps: sp.deps, run: func(worker int) {
 			start := time.Now()
 			a := sp.build(s)
-			artResults[i] = ArtifactResult{ID: sp.id, Desc: sp.desc, Artifact: a, Elapsed: time.Since(start)}
+			artResults[i] = ArtifactResult{ID: sp.id, Desc: sp.desc, Artifact: a, Elapsed: time.Since(start), Worker: worker}
 		}})
 	}
 
@@ -283,9 +288,14 @@ func (s *Suite) RunArtifacts(ctx context.Context, parallelism int, only []string
 	if workers > len(nodes) {
 		workers = len(nodes)
 	}
+	// One span per scheduled node under a run root, attributed to the pool
+	// slot that ran it — on a nil tracer every call below is a no-op branch.
+	s.tracer.Reserve(len(nodes) + 1)
+	rootSpan := s.tracer.Begin("runall", 0)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for {
@@ -299,7 +309,11 @@ func (s *Suite) RunArtifacts(ctx context.Context, parallelism int, only []string
 					if !ok {
 						return
 					}
-					err := runNode(nodes[i].run)
+					span := s.tracer.Begin(nodes[i].id, rootSpan)
+					s.tracer.SetWorker(span, w)
+					s.tracer.Annotate(span, "kind", nodes[i].kind)
+					err := runNode(func() { nodes[i].run(w) })
+					s.tracer.End(span)
 					mu.Lock()
 					if err != nil {
 						stop(err)
@@ -322,6 +336,7 @@ func (s *Suite) RunArtifacts(ctx context.Context, parallelism int, only []string
 		}()
 	}
 	wg.Wait()
+	s.tracer.End(rootSpan)
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"edgescope/internal/crowd"
+	"edgescope/internal/obs"
 	"edgescope/internal/rng"
 	"edgescope/internal/scenario"
 	"edgescope/internal/topology"
@@ -116,7 +117,22 @@ type Suite struct {
 	thrObs       func() []crowd.ThroughputObs
 	nepTrace     func() *vm.Dataset
 	cloudTrace   func() *vm.Dataset
+
+	// tracer records execution spans (RunArtifacts nodes, crowd chunk
+	// fan-outs). nil — the default — records nothing; see SetTracer.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches a span tracer to the suite. Call it before the first
+// substrate builds: the campaign propagates the tracer to its own chunked
+// observation walk when constructed, so a tracer set later sees the
+// scheduler's spans but not the already-built substrates' internals. Tracing
+// never changes what is computed — artifacts stay byte-identical with and
+// without it.
+func (s *Suite) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Tracer returns the attached span tracer, nil (record nothing) by default.
+func (s *Suite) Tracer() *obs.Tracer { return s.tracer }
 
 // NewSuiteFromSpec builds an experiment suite from a declarative scenario.
 // The spec is validated and copied, so later caller mutations cannot leak
@@ -131,7 +147,9 @@ func NewSuiteFromSpec(sp *scenario.Spec) (*Suite, error) {
 	}
 	s := &Suite{Seed: cp.Seed, Spec: cp}
 	s.campaign = sync.OnceValue(func() *crowd.Campaign {
-		return crowd.NewCampaign(s.root().Fork("campaign"), cp.Crowd)
+		c := crowd.NewCampaign(s.root().Fork("campaign"), cp.Crowd)
+		c.Tracer = s.tracer
+		return c
 	})
 	s.latencyStore = sync.OnceValue(func() *crowd.ObservationStore {
 		return crowd.NewObservationStore(s.Campaign(), s.root().Fork("latency"))

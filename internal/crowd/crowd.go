@@ -14,9 +14,11 @@ package crowd
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"edgescope/internal/geo"
 	"edgescope/internal/netmodel"
+	"edgescope/internal/obs"
 	"edgescope/internal/par"
 	"edgescope/internal/probe"
 	"edgescope/internal/rng"
@@ -137,6 +139,10 @@ type Campaign struct {
 	// the campaign was built from; it schedules both the ping and the iperf
 	// studies.
 	Spec scenario.CrowdSpec
+	// Tracer, when set, records one span per Observe chunk fan-out. It never
+	// affects the observations themselves — the emitted sequence stays
+	// byte-identical with and without it.
+	Tracer *obs.Tracer
 }
 
 // NewCampaign assembles the campaign a scenario declares. Unset spec fields
@@ -193,12 +199,15 @@ func (c *Campaign) Observe(r *rng.Source, sink func(Observation)) {
 			end = len(c.Users)
 		}
 		chunk := buf[:end-start]
+		span := c.Tracer.Begin("observe-chunk", 0)
+		c.Tracer.Annotate(span, "users", strconv.Itoa(start)+"-"+strconv.Itoa(end-1))
 		par.ForEach(end-start, 0, func(j int) {
 			chunk[j] = c.observeUser(seeds[start+j], c.Users[start+j], chunk[j][:0], &scratch[j])
 		})
-		for _, obs := range chunk {
-			for _, o := range obs {
-				sink(o)
+		c.Tracer.End(span)
+		for _, o := range chunk {
+			for _, ob := range o {
+				sink(ob)
 			}
 		}
 	}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates Prometheus text-format exposition data line by
+// line: comments must be well-formed # HELP/# TYPE headers with known types,
+// sample lines must parse as <name>[{labels}] <value>, every sample's base
+// family must have been TYPE-declared first, and a family must not be
+// declared twice. It returns a positioned error on the first malformed line
+// — the contract ci.sh's /metrics smoke-scrape enforces.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := lintSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("no metric families in exposition")
+	}
+	return nil
+}
+
+func lintComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		if !validName(fields[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE %s missing type", fields[2])
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", fields[2], fields[3])
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return fmt.Errorf("metric %s TYPE-declared twice", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	default:
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	return nil
+}
+
+func lintSample(line string, typed map[string]string) error {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name := rest[:i]
+	if !validName(name) {
+		return fmt.Errorf("invalid metric name in sample %q", line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := lintLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("missing value separator in %q", line)
+	}
+	val := strings.TrimPrefix(rest, " ")
+	// The grammar allows an optional trailing timestamp; this registry never
+	// emits one, but tolerate it for generality.
+	if sp := strings.IndexByte(val, ' '); sp >= 0 {
+		ts := val[sp+1:]
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q in %q", ts, line)
+		}
+		val = val[:sp]
+	}
+	switch val {
+	case "+Inf", "-Inf", "NaN":
+	default:
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("bad value %q in %q", val, line)
+		}
+	}
+	// Samples must belong to a TYPE-declared family (histogram samples to
+	// their _bucket/_sum/_count base name).
+	base := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if t := typed[strings.TrimSuffix(name, suffix)]; t == "histogram" || t == "summary" {
+			base = strings.TrimSuffix(name, suffix)
+			break
+		}
+	}
+	if _, ok := typed[base]; !ok {
+		return fmt.Errorf("sample %q precedes its TYPE declaration", name)
+	}
+	return nil
+}
+
+func lintLabels(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty label set")
+	}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 || !validName(s[:eq]) {
+			return fmt.Errorf("bad label name")
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted label value")
+		}
+		s = s[1:]
+		// Scan to the closing quote, honouring escapes.
+		i := 0
+		for i < len(s) {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return fmt.Errorf("dangling escape in label value")
+				}
+				if c := s[i+1]; c != '\\' && c != '"' && c != 'n' {
+					return fmt.Errorf("bad escape \\%c in label value", c)
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if s == "" {
+			return nil
+		}
+		if !strings.HasPrefix(s, ",") {
+			return fmt.Errorf("missing comma between labels")
+		}
+		s = s[1:]
+	}
+	return fmt.Errorf("trailing comma in label set")
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"edgescope/internal/obs"
 	"edgescope/internal/rng"
 )
 
@@ -26,6 +27,10 @@ type RetryConfig struct {
 	// with the delay sequence still computed — and still drawn from the
 	// jitter stream — exactly as in production.
 	Sleep func(time.Duration)
+	// Metrics, when set, registers the client's instrument families there
+	// (telemetry_client_*): sends, retries, failures, and the computed
+	// backoff delay distribution. One client per registry.
+	Metrics *obs.Registry
 }
 
 func (c *RetryConfig) fill() {
@@ -48,6 +53,29 @@ type ClientStats struct {
 	Sent    uint64 `json:"sent"`    // events handed to Send
 	Retries uint64 `json:"retries"` // extra attempts beyond the first
 	Failed  uint64 `json:"failed"`  // events abandoned after MaxAttempts
+}
+
+// clientMetrics are the client's accounting cells. Always populated with
+// obs.Counters (registered series when RetryConfig.Metrics is set, standalone
+// otherwise) so Stats() reads atomics — safe to call while SendAll runs in
+// the producer goroutine. backoff is nil without a registry.
+type clientMetrics struct {
+	sent    *obs.Counter
+	retries *obs.Counter
+	failed  *obs.Counter
+	backoff *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	if reg == nil {
+		return clientMetrics{sent: &obs.Counter{}, retries: &obs.Counter{}, failed: &obs.Counter{}}
+	}
+	return clientMetrics{
+		sent:    reg.Counter("telemetry_client_sent_total", "events handed to Send"),
+		retries: reg.Counter("telemetry_client_retries_total", "extra send attempts beyond the first"),
+		failed:  reg.Counter("telemetry_client_failed_total", "events abandoned after MaxAttempts"),
+		backoff: reg.Histogram("telemetry_client_backoff_seconds", "computed jittered backoff delay before each retry", walLatencyBuckets),
+	}
 }
 
 // RetryClient is the loss-surviving ingest producer: it numbers each
@@ -75,11 +103,11 @@ type ClientStats struct {
 // A RetryClient is not safe for concurrent use; run one per producer
 // goroutine (each with its own rng fork), like any rng.Source consumer.
 type RetryClient struct {
-	send  func(Envelope) bool
-	cfg   RetryConfig
-	src   *rng.Source
-	next  map[dedupKey]uint64
-	stats ClientStats
+	send func(Envelope) bool
+	cfg  RetryConfig
+	src  *rng.Source
+	next map[dedupKey]uint64
+	m    clientMetrics
 }
 
 // NewRetryClient wraps a transport — any "offer one envelope, true if
@@ -89,7 +117,7 @@ type RetryClient struct {
 // happens, so a fault-free run consumes no randomness.
 func NewRetryClient(send func(Envelope) bool, src *rng.Source, cfg RetryConfig) *RetryClient {
 	cfg.fill()
-	return &RetryClient{send: send, cfg: cfg, src: src, next: map[dedupKey]uint64{}}
+	return &RetryClient{send: send, cfg: cfg, src: src, next: map[dedupKey]uint64{}, m: newClientMetrics(cfg.Metrics)}
 }
 
 // Send delivers one envelope, retrying refusals, and reports whether it was
@@ -102,7 +130,7 @@ func (c *RetryClient) Send(e Envelope) bool {
 		c.next[k]++
 		e.Seq = c.next[k]
 	}
-	c.stats.Sent++
+	c.m.sent.Inc()
 	if c.send(e) {
 		return true
 	}
@@ -110,8 +138,10 @@ func (c *RetryClient) Send(e Envelope) bool {
 	for attempt := 1; attempt < c.cfg.MaxAttempts; attempt++ {
 		// Jittered backoff: uniform in [d/2, d). Decorrelates producers
 		// that fail together without ever collapsing the delay to zero.
-		c.cfg.Sleep(d/2 + time.Duration(c.src.Float64()*float64(d/2)))
-		c.stats.Retries++
+		delay := d/2 + time.Duration(c.src.Float64()*float64(d/2))
+		c.m.backoff.ObserveDuration(delay)
+		c.cfg.Sleep(delay)
+		c.m.retries.Inc()
 		if c.send(e) {
 			return true
 		}
@@ -119,7 +149,7 @@ func (c *RetryClient) Send(e Envelope) bool {
 			d = c.cfg.MaxDelay
 		}
 	}
-	c.stats.Failed++
+	c.m.failed.Inc()
 	return false
 }
 
@@ -184,8 +214,16 @@ func (c *RetryClient) SendAll(events []Envelope) int {
 	return n
 }
 
-// Stats returns a copy of the client's counters.
-func (c *RetryClient) Stats() ClientStats { return c.stats }
+// Stats snapshots the client's counters. Unlike the client itself, Stats is
+// safe to call from another goroutine while a Send is in flight: the
+// counters are atomics, so a monitor can poll mid-batch without a race.
+func (c *RetryClient) Stats() ClientStats {
+	return ClientStats{
+		Sent:    c.m.sent.Value(),
+		Retries: c.m.retries.Value(),
+		Failed:  c.m.failed.Value(),
+	}
+}
 
 // HTTPSender adapts telemetryd's POST /ingest endpoint to the RetryClient
 // transport shape: one envelope per request, acknowledged only when the

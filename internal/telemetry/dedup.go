@@ -42,13 +42,15 @@ type seqTracker struct {
 	last int64
 }
 
-// seen reports whether seq was already recorded, recording it when new.
-func (t *seqTracker) seen(seq uint64) bool {
+// seen reports whether seq was already recorded, recording it when new, and
+// whether recording it forced a sparse-window compaction (a permanent gap
+// written off — the event ingest counts per shard).
+func (t *seqTracker) seen(seq uint64) (dup, compacted bool) {
 	if seq <= t.floor {
-		return true
+		return true, false
 	}
 	if _, ok := t.sparse[seq]; ok {
-		return true
+		return true, false
 	}
 	if seq == t.floor+1 {
 		t.floor++
@@ -60,7 +62,7 @@ func (t *seqTracker) seen(seq uint64) bool {
 			delete(t.sparse, t.floor+1)
 			t.floor++
 		}
-		return false
+		return false, false
 	}
 	if t.sparse == nil {
 		t.sparse = make(map[uint64]struct{})
@@ -68,8 +70,9 @@ func (t *seqTracker) seen(seq uint64) bool {
 	t.sparse[seq] = struct{}{}
 	if len(t.sparse) > maxTrackerSparse {
 		t.compact()
+		return false, true
 	}
-	return false
+	return false, false
 }
 
 // compact bounds the sparse set by advancing the floor over the oldest gap:

@@ -520,13 +520,19 @@ func TestDedupFoldsOnce(t *testing.T) {
 	}
 }
 
+// seenDup adapts seen for tests that only care about the duplicate verdict.
+func seenDup(tr *seqTracker, seq uint64) bool {
+	dup, _ := tr.seen(seq)
+	return dup
+}
+
 // TestDedupTrackerCompacts: contiguous sequences collapse into the floor —
 // the tracker must not grow with the stream.
 func TestDedupTrackerCompacts(t *testing.T) {
 	var tr seqTracker
 	// Deliver 1..1000 with local reordering (pairs swapped).
 	for i := uint64(1); i <= 1000; i += 2 {
-		if tr.seen(i+1) || tr.seen(i) {
+		if seenDup(&tr, i+1) || seenDup(&tr, i) {
 			t.Fatalf("fresh seq reported seen at %d", i)
 		}
 	}
@@ -536,7 +542,7 @@ func TestDedupTrackerCompacts(t *testing.T) {
 	if len(tr.sparse) != 0 {
 		t.Fatalf("sparse holds %d entries after contiguous delivery, want 0", len(tr.sparse))
 	}
-	if !tr.seen(500) || !tr.seen(1000) {
+	if !seenDup(&tr, 500) || !seenDup(&tr, 1000) {
 		t.Fatal("replayed seq not recognised")
 	}
 }
@@ -548,10 +554,18 @@ func TestDedupTrackerCompacts(t *testing.T) {
 func TestDedupTrackerSparseCapped(t *testing.T) {
 	var tr seqTracker
 	// Seq 1 never arrives; everything above it does.
+	compactions := 0
 	for seq := uint64(2); seq <= maxTrackerSparse+100; seq++ {
-		if tr.seen(seq) {
+		dup, compacted := tr.seen(seq)
+		if dup {
 			t.Fatalf("fresh seq %d reported seen", seq)
 		}
+		if compacted {
+			compactions++
+		}
+	}
+	if compactions == 0 {
+		t.Fatal("compaction not reported past the sparse cap")
 	}
 	if len(tr.sparse) > maxTrackerSparse {
 		t.Fatalf("sparse grew to %d entries past the cap %d", len(tr.sparse), maxTrackerSparse)
@@ -560,10 +574,10 @@ func TestDedupTrackerSparseCapped(t *testing.T) {
 		t.Fatal("cap did not advance the floor over the permanent gap")
 	}
 	next := uint64(maxTrackerSparse + 101)
-	if tr.seen(next) {
+	if seenDup(&tr, next) {
 		t.Fatal("new seq reported seen after compaction")
 	}
-	if !tr.seen(next) {
+	if !seenDup(&tr, next) {
 		t.Fatal("duplicate not recognised after compaction")
 	}
 }
@@ -688,14 +702,14 @@ func TestLoadShedding(t *testing.T) {
 			break // queue hard full
 		}
 	}
-	// Read the atomics directly: Stats() takes s.mu, which this test holds.
-	if s.dropped.Load() == 0 {
+	// Read the counters directly: Stats() takes s.mu, which this test holds.
+	if s.dropped.Value() == 0 {
 		t.Fatal("expected hard-full drop")
 	}
 	if ing.Offer(lo(0)) {
 		t.Fatal("sheddable envelope accepted past high water")
 	}
-	if s.shed.Load() == 0 {
+	if s.shed.Value() == 0 {
 		t.Fatal("shed not counted")
 	}
 	s.mu.Unlock()

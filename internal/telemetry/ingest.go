@@ -6,9 +6,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"edgescope/internal/obs"
 	"edgescope/internal/stats"
 )
 
@@ -96,6 +96,13 @@ type Config struct {
 	// right for replay and tests, unbounded for a daemon on an endless
 	// stream, so cmd/telemetryd sets a cap.
 	MaxWindows int
+	// Metrics, when set, registers the pipeline's instrument families on
+	// the registry (see metrics.go for the catalogue) and binds every
+	// shard's accounting to registered series, so a /metrics scrape and
+	// Stats()/Health() read the same cells. At most one Ingestor may use a
+	// given registry (families register once). nil keeps the accounting in
+	// standalone cells: same hot-path cost, no exposition.
+	Metrics *obs.Registry
 	// ShedPriority enables drop-priority load shedding on a non-Block
 	// ingestor: when a shard queue passes its high-water mark (3/4 full),
 	// envelopes whose priority is <= 0 are shed — counted in
@@ -159,12 +166,21 @@ type shard struct {
 	// sinceSnapshot counts folds since the last checkpoint (worker-only).
 	sinceSnapshot int
 
-	accepted  atomic.Uint64 // enqueued into this shard
-	dropped   atomic.Uint64 // rejected at a hard-full queue (only when !Block)
-	shed      atomic.Uint64 // rejected by priority shedding at high water
-	processed atomic.Uint64 // consumed from the queue (folded or deduped)
-	deduped   atomic.Uint64 // sequenced duplicates folded zero times
-	evicted   atomic.Uint64 // time windows evicted under MaxWindows retention
+	// Accounting cells (metrics.go): registered series when Config.Metrics
+	// is set, standalone obs.Counters otherwise — either way one atomic op
+	// on the hot path, and the single source Stats() and /metrics share.
+	accepted    *obs.Counter // enqueued into this shard
+	dropped     *obs.Counter // rejected at a hard-full queue (only when !Block)
+	shed        *obs.Counter // rejected by priority shedding at high water
+	processed   *obs.Counter // consumed from the queue (folded or deduped)
+	deduped     *obs.Counter // sequenced duplicates folded zero times
+	compactions *obs.Counter // dedup tracker sparse-window compactions
+	evicted     *obs.Counter // time windows evicted under MaxWindows retention
+
+	// Latency instruments, nil without a registry — fold skips the clock
+	// reads entirely then.
+	walAppendHist *obs.Histogram
+	snapshotHist  *obs.Histogram
 }
 
 // ShardStats is one shard's accounting snapshot. Windows counts distinct
@@ -173,18 +189,19 @@ type shard struct {
 // fields are zero when durability is off; WALLag is the records appended
 // but not yet fsynced — what a crash right now would lose.
 type ShardStats struct {
-	Accepted       uint64 `json:"accepted"`
-	Dropped        uint64 `json:"dropped"`
-	Shed           uint64 `json:"shed,omitempty"`
-	Processed      uint64 `json:"processed"`
-	Deduped        uint64 `json:"deduped,omitempty"`
-	EvictedWindows uint64 `json:"evicted_windows"`
-	Queued         int    `json:"queued"`
-	Windows        int    `json:"windows"`
-	Rollups        int    `json:"rollups"`
-	WALAppended    uint64 `json:"wal_appended,omitempty"`
-	WALLag         uint64 `json:"wal_lag,omitempty"`
-	WALError       string `json:"wal_error,omitempty"`
+	Accepted         uint64 `json:"accepted"`
+	Dropped          uint64 `json:"dropped"`
+	Shed             uint64 `json:"shed,omitempty"`
+	Processed        uint64 `json:"processed"`
+	Deduped          uint64 `json:"deduped,omitempty"`
+	DedupCompactions uint64 `json:"dedup_compactions,omitempty"`
+	EvictedWindows   uint64 `json:"evicted_windows"`
+	Queued           int    `json:"queued"`
+	Windows          int    `json:"windows"`
+	Rollups          int    `json:"rollups"`
+	WALAppended      uint64 `json:"wal_appended,omitempty"`
+	WALLag           uint64 `json:"wal_lag,omitempty"`
+	WALError         string `json:"wal_error,omitempty"`
 }
 
 // Ingestor is the sharded ingest stage. Producers call Offer (or OfferAll);
@@ -208,6 +225,9 @@ type Ingestor struct {
 	recovery  *RecoveryStats
 	closeOnce sync.Once
 	closeErr  error
+
+	// m holds the registered instrument families, nil without Config.Metrics.
+	m *ingestMetrics
 }
 
 // NewIngestor starts the shard workers, recovering from Config.WAL.Dir
@@ -233,6 +253,10 @@ func Open(cfg Config) (*Ingestor, RecoveryStats, error) {
 	cfg.fill()
 	began := time.Now()
 	ing := &Ingestor{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	var im *ingestMetrics
+	if cfg.Metrics != nil {
+		im = newIngestMetrics(cfg.Metrics)
+	}
 	var rst RecoveryStats
 	for i := range ing.shards {
 		s := &shard{
@@ -240,6 +264,12 @@ func Open(cfg Config) (*Ingestor, RecoveryStats, error) {
 			windows: make(map[windowKey]*stats.Sketch),
 			starts:  make(map[int64]int),
 			seen:    make(map[dedupKey]*seqTracker),
+		}
+		// Bind the accounting cells before recovery: replayed folds count.
+		if im != nil {
+			im.bind(s, i)
+		} else {
+			bindStandalone(s)
 		}
 		ing.shards[i] = s
 		if cfg.WAL.Dir != "" {
@@ -253,6 +283,9 @@ func Open(cfg Config) (*Ingestor, RecoveryStats, error) {
 				return nil, rst, err
 			}
 			s.wal = wal
+			if im != nil {
+				im.bindWAL(wal, i)
+			}
 			if err := ing.recoverShard(s, &rst); err != nil {
 				return nil, rst, err
 			}
@@ -264,6 +297,15 @@ func Open(cfg Config) (*Ingestor, RecoveryStats, error) {
 		}
 		rst.DurationMs = time.Since(began).Milliseconds()
 		ing.recovery = &rst
+	}
+	if im != nil {
+		ing.m = im
+		ing.installCollectHook(cfg.Metrics, im)
+		if ing.recovery != nil {
+			im.recoveryReplayed.Set(float64(rst.RecordsReplayed))
+			im.recoverySkipped.Set(float64(rst.RecordsSkipped))
+			im.recoveryDuration.Set(float64(rst.DurationMs) / 1e3)
+		}
 	}
 	for i := range ing.shards {
 		s := ing.shards[i]
@@ -292,7 +334,7 @@ func (ing *Ingestor) windowStart(ts int64) int64 {
 func (ing *Ingestor) run(s *shard) {
 	for e := range s.ch {
 		ing.fold(s, e, foldLive)
-		s.processed.Add(1)
+		s.processed.Inc()
 		if s.wal != nil && ing.cfg.WAL.SnapshotEvery > 0 {
 			if s.sinceSnapshot++; s.sinceSnapshot >= ing.cfg.WAL.SnapshotEvery {
 				s.sinceSnapshot = 0
@@ -326,9 +368,13 @@ func (ing *Ingestor) fold(s *shard, e Envelope, mode foldMode) {
 			t = &seqTracker{}
 			s.seen[dk] = t
 		}
-		if t.seen(e.Seq) {
+		dup, compacted := t.seen(e.Seq)
+		if compacted {
+			s.compactions.Inc()
+		}
+		if dup {
 			s.mu.Unlock()
-			s.deduped.Add(1)
+			s.deduped.Inc()
 			return
 		}
 		// Advance the tracker's retention clock only on folds (duplicates
@@ -338,7 +384,13 @@ func (ing *Ingestor) fold(s *shard, e Envelope, mode foldMode) {
 		}
 	}
 	if mode == foldLive && s.wal != nil {
-		s.wal.append(e, wk.Start)
+		if s.walAppendHist != nil {
+			began := time.Now()
+			s.wal.append(e, wk.Start)
+			s.walAppendHist.ObserveDuration(time.Since(began))
+		} else {
+			s.wal.append(e, wk.Start)
+		}
 	}
 	sk := s.windows[wk]
 	if sk == nil {
@@ -389,7 +441,7 @@ func (ing *Ingestor) enforceRetention(s *shard) {
 		if s.wal != nil {
 			s.wal.dropSegment(oldest)
 		}
-		s.evicted.Add(1)
+		s.evicted.Inc()
 	}
 }
 
@@ -411,19 +463,19 @@ func (ing *Ingestor) Offer(e Envelope) bool {
 	s := ing.shards[e.Key().ShardOf(len(ing.shards))]
 	if ing.cfg.Block {
 		s.ch <- e
-		s.accepted.Add(1)
+		s.accepted.Inc()
 		return true
 	}
 	if ing.cfg.ShedPriority != nil && len(s.ch) >= ing.shedWater() && ing.cfg.ShedPriority(e) <= 0 {
-		s.shed.Add(1)
+		s.shed.Inc()
 		return false
 	}
 	select {
 	case s.ch <- e:
-		s.accepted.Add(1)
+		s.accepted.Inc()
 		return true
 	default:
-		s.dropped.Add(1)
+		s.dropped.Inc()
 		return false
 	}
 }
@@ -452,7 +504,7 @@ func (ing *Ingestor) OfferAll(events []Envelope) int {
 // writers.
 func (ing *Ingestor) Flush() {
 	for _, s := range ing.shards {
-		for s.processed.Load() < s.accepted.Load() {
+		for s.processed.Value() < s.accepted.Value() {
 			runtime.Gosched()
 		}
 	}
@@ -481,6 +533,10 @@ func (ing *Ingestor) SyncWAL() error {
 // trackers and WAL positions), then written and atomically renamed outside
 // it; snapMu serialises concurrent checkpointers on the shared tmp path.
 func (ing *Ingestor) snapshotShard(s *shard) error {
+	var began time.Time
+	if s.snapshotHist != nil {
+		began = time.Now()
+	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	s.mu.Lock()
@@ -496,7 +552,11 @@ func (ing *Ingestor) snapshotShard(s *shard) error {
 	payload := encodeSnapshot(s, ing.cfg)
 	dir := s.wal.dir
 	s.mu.Unlock()
-	return writeSnapshot(dir, payload)
+	err := writeSnapshot(dir, payload)
+	if err == nil && s.snapshotHist != nil {
+		s.snapshotHist.ObserveDuration(time.Since(began))
+	}
+	return err
 }
 
 // Snapshot checkpoints every shard now (Close does this automatically).
@@ -583,18 +643,19 @@ func (ing *Ingestor) Stats() []ShardStats {
 		}
 		s.mu.Unlock()
 		out[i] = ShardStats{
-			Accepted:       s.accepted.Load(),
-			Dropped:        s.dropped.Load(),
-			Shed:           s.shed.Load(),
-			Processed:      s.processed.Load(),
-			Deduped:        s.deduped.Load(),
-			EvictedWindows: s.evicted.Load(),
-			Queued:         len(s.ch),
-			Windows:        wins,
-			Rollups:        rollups,
-			WALAppended:    walAppended,
-			WALLag:         walLag,
-			WALError:       walErr,
+			Accepted:         s.accepted.Value(),
+			Dropped:          s.dropped.Value(),
+			Shed:             s.shed.Value(),
+			Processed:        s.processed.Value(),
+			Deduped:          s.deduped.Value(),
+			DedupCompactions: s.compactions.Value(),
+			EvictedWindows:   s.evicted.Value(),
+			Queued:           len(s.ch),
+			Windows:          wins,
+			Rollups:          rollups,
+			WALAppended:      walAppended,
+			WALLag:           walLag,
+			WALError:         walErr,
 		}
 	}
 	return out
@@ -609,6 +670,7 @@ func (ing *Ingestor) TotalStats() ShardStats {
 		t.Shed += s.Shed
 		t.Processed += s.Processed
 		t.Deduped += s.Deduped
+		t.DedupCompactions += s.DedupCompactions
 		t.EvictedWindows += s.EvictedWindows
 		t.Queued += s.Queued
 		t.Windows += s.Windows

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"edgescope/internal/obs"
+)
+
+// Self-observability wiring. When Config.Metrics names an obs.Registry, the
+// ingestor registers its instrument families there and binds every shard's
+// accounting cells to registered series — the same cells Stats()/Health()
+// read, so /metrics and /healthz can never disagree. Without a registry each
+// shard gets standalone obs.Counter cells: identical hot-path cost (one
+// atomic add), no exposition.
+//
+// Hot-path discipline: counters are pre-resolved at Open (no label lookup
+// per event), gauges that mirror live state (queue depth, WAL lag, rollup
+// counts) are refreshed by an OnCollect hook only when something scrapes,
+// and latency histograms are nil — skipping their clock reads entirely —
+// unless a registry is configured.
+
+// ingestMetrics holds the registered families and per-ingestor instruments.
+type ingestMetrics struct {
+	accepted, dropped, shed, processed, deduped, compactions, evicted *obs.CounterVec
+	walAppended, walFsyncs                                            *obs.CounterVec
+	queueDepth, walLag, windows, rollups                              *obs.GaugeVec
+	walAppend, walFsync, snapshot                                     *obs.HistogramVec
+	query                                                             *obs.Histogram
+
+	recoveryReplayed, recoverySkipped, recoveryDuration *obs.Gauge
+}
+
+// walLatencyBuckets resolve microsecond-scale buffered appends and
+// millisecond-scale fsyncs: 1µs..~4s, ×4 per step.
+var walLatencyBuckets = obs.ExpBuckets(1e-6, 4, 12)
+
+// newIngestMetrics registers the telemetry families on reg. One Ingestor
+// per registry: families are registered once, so a second Ingestor sharing
+// the registry would panic on the duplicate.
+func newIngestMetrics(reg *obs.Registry) *ingestMetrics {
+	return &ingestMetrics{
+		accepted:    reg.CounterVec("telemetry_ingest_accepted_total", "envelopes enqueued into the shard", "shard"),
+		dropped:     reg.CounterVec("telemetry_ingest_dropped_total", "envelopes rejected at a hard-full queue", "shard"),
+		shed:        reg.CounterVec("telemetry_ingest_shed_total", "sheddable envelopes rejected past the queue high-water mark", "shard"),
+		processed:   reg.CounterVec("telemetry_ingest_processed_total", "envelopes consumed from the queue (folded or deduped)", "shard"),
+		deduped:     reg.CounterVec("telemetry_ingest_deduped_total", "sequenced duplicates folded zero times", "shard"),
+		compactions: reg.CounterVec("telemetry_dedup_compactions_total", "dedup tracker sparse-window compactions (floor advanced over a gap)", "shard"),
+		evicted:     reg.CounterVec("telemetry_windows_evicted_total", "time windows evicted under MaxWindows retention", "shard"),
+		walAppended: reg.CounterVec("telemetry_wal_appended_total", "records appended to the write-ahead log", "shard"),
+		walFsyncs:   reg.CounterVec("telemetry_wal_fsyncs_total", "WAL fsync batches completed", "shard"),
+		queueDepth:  reg.GaugeVec("telemetry_shard_queue_depth", "envelopes waiting in the shard's bounded queue", "shard"),
+		walLag:      reg.GaugeVec("telemetry_wal_lag_records", "records appended but not yet fsynced (lost if the process crashes now)", "shard"),
+		windows:     reg.GaugeVec("telemetry_shard_rollup_windows", "distinct time windows held by the shard", "shard"),
+		rollups:     reg.GaugeVec("telemetry_shard_rollups", "(window, key) sketches held by the shard", "shard"),
+		walAppend:   reg.HistogramVec("telemetry_wal_append_seconds", "WAL append latency (includes the fsync when the append crosses the SyncEvery cadence)", walLatencyBuckets, "shard"),
+		walFsync:    reg.HistogramVec("telemetry_wal_fsync_seconds", "WAL fsync batch latency", walLatencyBuckets, "shard"),
+		snapshot:    reg.HistogramVec("telemetry_snapshot_seconds", "shard checkpoint latency (WAL fsync + encode + atomic rename)", nil, "shard"),
+		query:       reg.Histogram("telemetry_query_seconds", "Query latency: match scan, sketch clone and merge", nil),
+
+		recoveryReplayed: reg.Gauge("telemetry_recovery_records_replayed", "WAL records replayed by the startup recovery pass"),
+		recoverySkipped:  reg.Gauge("telemetry_recovery_records_skipped", "WAL records skipped at recovery (already in the snapshot)"),
+		recoveryDuration: reg.Gauge("telemetry_recovery_duration_seconds", "wall time of the startup recovery pass"),
+	}
+}
+
+// bind points one shard's accounting cells at the registered series.
+func (m *ingestMetrics) bind(s *shard, i int) {
+	l := strconv.Itoa(i)
+	s.accepted = m.accepted.With(l)
+	s.dropped = m.dropped.With(l)
+	s.shed = m.shed.With(l)
+	s.processed = m.processed.With(l)
+	s.deduped = m.deduped.With(l)
+	s.compactions = m.compactions.With(l)
+	s.evicted = m.evicted.With(l)
+	s.walAppendHist = m.walAppend.With(l)
+	s.snapshotHist = m.snapshot.With(l)
+}
+
+// bindWAL points one shard WAL's instruments at the registered series.
+func (m *ingestMetrics) bindWAL(w *shardWAL, i int) {
+	l := strconv.Itoa(i)
+	w.appendedC = m.walAppended.With(l)
+	w.fsyncsC = m.walFsyncs.With(l)
+	w.fsyncHist = m.walFsync.With(l)
+}
+
+// bindStandalone gives a shard unregistered accounting cells — the
+// no-registry configuration. Gauges and histograms stay nil (their methods
+// are no-ops), so the hot path never times anything.
+func bindStandalone(s *shard) {
+	s.accepted = &obs.Counter{}
+	s.dropped = &obs.Counter{}
+	s.shed = &obs.Counter{}
+	s.processed = &obs.Counter{}
+	s.deduped = &obs.Counter{}
+	s.compactions = &obs.Counter{}
+	s.evicted = &obs.Counter{}
+}
+
+// installCollectHook registers the scrape-time gauge refresh: queue depth,
+// WAL lag and rollup population per shard, read under each shard's lock only
+// when something actually collects.
+func (ing *Ingestor) installCollectHook(reg *obs.Registry, m *ingestMetrics) {
+	gauges := make([]struct{ queue, lag, windows, rollups *obs.Gauge }, len(ing.shards))
+	for i := range ing.shards {
+		l := strconv.Itoa(i)
+		gauges[i].queue = m.queueDepth.With(l)
+		gauges[i].lag = m.walLag.With(l)
+		gauges[i].windows = m.windows.With(l)
+		gauges[i].rollups = m.rollups.With(l)
+	}
+	reg.OnCollect(func() {
+		for i, s := range ing.shards {
+			gauges[i].queue.Set(float64(len(s.ch)))
+			s.mu.Lock()
+			gauges[i].windows.Set(float64(len(s.starts)))
+			gauges[i].rollups.Set(float64(len(s.windows)))
+			if s.wal != nil {
+				gauges[i].lag.Set(float64(s.wal.lag()))
+			}
+			s.mu.Unlock()
+		}
+	})
+}

@@ -64,6 +64,10 @@ func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
 	if spec.Metric == "" {
 		return QueryResult{}, fmt.Errorf("telemetry: query needs a metric")
 	}
+	if ing.m != nil {
+		began := time.Now()
+		defer func() { ing.m.query.ObserveDuration(time.Since(began)) }()
+	}
 	qs := spec.Quantiles
 	if len(qs) == 0 {
 		qs = DefaultQuantiles

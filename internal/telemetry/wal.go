@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"edgescope/internal/obs"
 )
 
 // Write-ahead log. Each ingest shard owns an append-only JSONL log of the
@@ -65,6 +68,12 @@ type shardWAL struct {
 	synced   uint64 // value of appended at the last successful fsync
 	unsynced int    // appends since the last fsync (drives syncEvery)
 	err      error  // sticky write/sync error: shard degrades to memory-only
+
+	// Observability instruments (metrics.go bindWAL), nil without a registry.
+	// Updated under the shard lock like everything else here.
+	appendedC *obs.Counter
+	fsyncsC   *obs.Counter
+	fsyncHist *obs.Histogram
 }
 
 func newShardWAL(dir string, syncEvery int, wrap func(io.Writer) io.Writer) (*shardWAL, error) {
@@ -147,6 +156,7 @@ func (w *shardWAL) append(e Envelope, start int64) {
 	}
 	w.records[start]++
 	w.appended++
+	w.appendedC.Inc()
 	w.unsynced++
 	if w.syncEvery > 0 && w.unsynced >= w.syncEvery {
 		w.sync()
@@ -158,6 +168,10 @@ func (w *shardWAL) append(e Envelope, start int64) {
 func (w *shardWAL) sync() error {
 	if w.err != nil {
 		return w.err
+	}
+	var began time.Time
+	if w.fsyncHist != nil {
+		began = time.Now()
 	}
 	for _, seg := range w.open {
 		if err := seg.bw.Flush(); err != nil {
@@ -171,6 +185,10 @@ func (w *shardWAL) sync() error {
 	}
 	w.synced = w.appended
 	w.unsynced = 0
+	w.fsyncsC.Inc()
+	if w.fsyncHist != nil {
+		w.fsyncHist.ObserveDuration(time.Since(began))
+	}
 	return nil
 }
 

@@ -9,6 +9,9 @@
 #     scenario through the retrying client must answer byte-identically to
 #     a clean run, and a killed durable ingestor must recover to the same
 #     answers
+#   → metrics smoke: a live telemetryd (replaying the small scenario, with
+#     -pprof) must serve /metrics as well-formed Prometheus exposition
+#     carrying the ingest families — scraped and linted by cmd/metriclint
 #   → scenario smoke: small built-in scenarios through reproall, with the
 #     -parallel invariance diff (stdout must be byte-identical at any
 #     worker count)
@@ -67,9 +70,39 @@ echo "== chaos smoke (seeded drop+dup+reorder on small, retrying client) =="
 # answers.
 go test -count=1 -run 'TestChaosEquivalenceAcrossScenarios/small|TestKillAndRecoverByteIdentical' ./internal/telemetry/
 
-echo "== scenario smoke (reproall, parallel-invariance diff) =="
 smoke=$(mktemp -d .ci-smoke.XXXXXX)
 trap 'rm -rf "$smoke"' EXIT
+
+echo "== metrics smoke (live telemetryd /metrics through metriclint) =="
+go build -o "$smoke/telemetryd" ./cmd/telemetryd
+go build -o "$smoke/metriclint" ./cmd/metriclint
+METRICS_PORT="${METRICS_PORT:-18355}"
+"$smoke/telemetryd" -addr "127.0.0.1:$METRICS_PORT" -replay -scenario small \
+  -pprof -log-format json 2> "$smoke/telemetryd.log" &
+TELEMETRYD_PID=$!
+trap 'kill "$TELEMETRYD_PID" 2>/dev/null; rm -rf "$smoke"' EXIT
+scrape_ok=""
+for _ in $(seq 1 60); do
+  if "$smoke/metriclint" -url "http://127.0.0.1:$METRICS_PORT/metrics" \
+      -require telemetry_ingest_accepted_total,telemetry_ingest_processed_total,telemetry_shard_queue_depth \
+      2> "$smoke/metriclint.err"; then
+    scrape_ok=1
+    break
+  fi
+  sleep 0.5
+done
+if [[ -z "$scrape_ok" ]]; then
+  echo "metrics smoke failed:" >&2
+  cat "$smoke/metriclint.err" >&2
+  cat "$smoke/telemetryd.log" >&2
+  exit 1
+fi
+kill "$TELEMETRYD_PID" 2>/dev/null
+wait "$TELEMETRYD_PID" 2>/dev/null || true
+trap 'rm -rf "$smoke"' EXIT
+echo "  /metrics well-formed, ingest families present"
+
+echo "== scenario smoke (reproall, parallel-invariance diff) =="
 go build -o "$smoke/reproall" ./cmd/reproall
 "$smoke/reproall" -list > /dev/null
 for sc in small dense-metro rural-sparse flash-crowd; do
