@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz chaos bench bench-json bench-compare ci repro profile
+.PHONY: build vet test race fuzz chaos bench bench-json bench-compare bench-multicore ci repro profile
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,19 @@ bench-compare:
 	$(GO) run ./cmd/benchdump -compare \
 		-gate "$$(cat scripts/bench_gate)" -tolerance 0.15 \
 		BENCH.base.json BENCH.new.json; st=$$?; rm -f BENCH.new.json BENCH.base.json; exit $$st
+
+# Multi-core scaling pin (ROADMAP item 6): the RunAll pair at GOMAXPROCS>=4
+# (the host's core count when larger), recorded to BENCH_MULTICORE.json, then
+# the parallel/serial ratio check. benchdump gates the ratio only when the
+# snapshot's num_cpu is >=4 — on a 1-CPU box GOMAXPROCS=4 just time-slices,
+# so the committed reference numbers from such hosts are advisory, and the
+# check prints the verdict without failing the build.
+bench-multicore:
+	@procs=$$(nproc 2>/dev/null || echo 4); [ "$$procs" -ge 4 ] || procs=4; \
+	echo "bench-multicore: GOMAXPROCS=$$procs"; \
+	GOMAXPROCS=$$procs $(GO) test -bench '^BenchmarkRunAll(Serial|Parallel)$$' -benchmem -benchtime 2x -run xxx . \
+	  | $(GO) run ./cmd/benchdump -out BENCH_MULTICORE.json
+	$(GO) run ./cmd/benchdump -ratio-check BENCH_MULTICORE.json
 
 ci:
 	./scripts/ci.sh

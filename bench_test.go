@@ -9,6 +9,7 @@ package edgescope
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"edgescope/internal/core"
 	"edgescope/internal/crowd"
 	"edgescope/internal/emunet"
+	"edgescope/internal/mathx"
 	"edgescope/internal/netmodel"
 	"edgescope/internal/obs"
 	"edgescope/internal/placement"
@@ -26,6 +28,7 @@ import (
 	"edgescope/internal/scenario"
 	"edgescope/internal/stats"
 	"edgescope/internal/telemetry"
+	"edgescope/internal/timeseries"
 	"edgescope/internal/workload"
 
 	"time"
@@ -462,6 +465,87 @@ func BenchmarkFig2aFromColumns(b *testing.B) {
 		if sink == 0 {
 			b.Fatal("empty aggregation")
 		}
+	}
+}
+
+// BenchmarkExpBulk measures the batched exponential kernel: one
+// 4096-element fill per op over the argument range the samplers feed it
+// (standard normals scaled by a few sigma), zero allocations.
+func BenchmarkExpBulk(b *testing.B) {
+	r := rng.New(41)
+	src := make([]float64, 4096)
+	dst := make([]float64, len(src))
+	for i := range src {
+		src[i] = r.Normal(0, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mathx.ExpBulk(dst, src)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(src))/b.Elapsed().Seconds(), "elems/sec")
+}
+
+// BenchmarkUsageSeries measures one usage-trace synthesis through the
+// production kernel (bulk ziggurat fills + batched exponential + fused
+// scale pass): a week of 5-minute samples with weekly regime shifts, the
+// workload generator's per-VM hot path.
+func BenchmarkUsageSeries(b *testing.B) {
+	p := workload.UsageParams{
+		Level: 35, Amp: 0.5, PeakHour: 20, NoiseCV: 0.25,
+		Days: 7, Interval: 5 * time.Minute,
+		Start:   time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC),
+		ClampHi: 95, WeekendFactor: 1.15,
+		VolatileWeeks: true, VolatileSigma: 0.9,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := workload.SynthUsageSeries(rng.New(uint64(i)), p)
+		if s.Mean() <= 0 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// BenchmarkLSTMForward isolates the blocked LSTM forward kernel: 256 steps
+// through the paper-sized model (24 hidden units) per op.
+func BenchmarkLSTMForward(b *testing.B) {
+	r := rng.New(43)
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)/24) + r.Normal(0, 0.05)
+	}
+	l := predict.NewLSTM(3)
+	l.BenchForward(xs) // init weights outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = l.BenchForward(xs)
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("forward diverged")
+	}
+}
+
+// BenchmarkSeriesMean pins the running-mean cache: Mean() on a primed
+// series is O(1) and allocation-free regardless of length.
+func BenchmarkSeriesMean(b *testing.B) {
+	r := rng.New(47)
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = r.LogNormal(3, 0.6)
+	}
+	s := timeseries.New(time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC), time.Minute, vals).PrimeStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Mean()
+	}
+	if sink <= 0 {
+		b.Fatal("bad mean")
 	}
 }
 

@@ -37,6 +37,18 @@
 // either side are exempt from the ns/op gate and reported as advisory: a
 // single sample is not a statistic to fail a build on (B/op and allocs/op
 // stay hard-gated — allocation counts are exact even at 1 iteration).
+//
+// Ratio-check mode:
+//
+//	go run ./cmd/benchdump -ratio-check [-ratio-max 0.9] BENCH_MULTICORE.json
+//
+// verifies that the snapshot's RunAllParallel wall time is at most
+// -ratio-max of RunAllSerial's — the multi-core scaling pin behind `make
+// bench-multicore`. The verdict is gating only when the snapshot was
+// recorded on a host with >= 4 CPUs (the File carries num_cpu): with
+// fewer cores GOMAXPROCS=4 just time-slices one or two ways and the
+// ratio hovers around 1.0, so on 1-CPU CI the check prints its verdict
+// as advisory and exits 0.
 package main
 
 import (
@@ -83,7 +95,26 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional B/op regression for gated benchmarks (compare mode)")
 	gateNs := flag.Bool("gate-ns", false, "also gate ns/op of the -gate benchmarks (compare mode; 1-iteration entries stay advisory)")
 	nsTolerance := flag.Float64("ns-tolerance", 0.30, "allowed fractional ns/op regression for gated benchmarks when -gate-ns is set")
+	ratioCheck := flag.Bool("ratio-check", false, "check the RunAllParallel/RunAllSerial ns ratio of one snapshot (arg: FILE.json); gating only when recorded on >=4 CPUs")
+	ratioMax := flag.Float64("ratio-max", 0.9, "max allowed parallel/serial ns ratio for -ratio-check on >=4-CPU snapshots")
 	flag.Parse()
+
+	if *ratioCheck {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchdump: -ratio-check needs exactly one arg: FILE.json")
+			os.Exit(2)
+		}
+		f, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
+			os.Exit(2)
+		}
+		if err := checkRatio(os.Stdout, f, *ratioMax); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdump: RATIO FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -403,6 +434,46 @@ func compareFiles(w io.Writer, base, cur *File, gates []string, tolerance float6
 		}
 	}
 	return failures
+}
+
+// checkRatio verifies the multi-core scaling pin of a snapshot: the RunAll
+// reproduction at -parallel 0 must actually be faster than the serial run
+// when the recording host had cores to scale across. Below 4 recorded CPUs
+// the ratio carries no signal (GOMAXPROCS=4 on a 1-CPU box just time-slices,
+// and the parallel run's scheduling overhead can even push it past 1.0), so
+// the verdict is printed as advisory and nil is returned.
+func checkRatio(w io.Writer, f *File, maxRatio float64) error {
+	var serial, parallel *Result
+	for i := range f.Benchmarks {
+		switch f.Benchmarks[i].Name {
+		case "RunAllSerial":
+			serial = &f.Benchmarks[i]
+		case "RunAllParallel":
+			parallel = &f.Benchmarks[i]
+		}
+	}
+	if serial == nil || parallel == nil {
+		return fmt.Errorf("snapshot must contain both RunAllSerial and RunAllParallel (have serial=%v parallel=%v)",
+			serial != nil, parallel != nil)
+	}
+	if serial.NsPerOp <= 0 {
+		return fmt.Errorf("RunAllSerial ns/op is %v — not a usable denominator", serial.NsPerOp)
+	}
+	ratio := parallel.NsPerOp / serial.NsPerOp
+	fmt.Fprintf(w, "parallel/serial ratio: %.3f (RunAllParallel %.0f ns/op / RunAllSerial %.0f ns/op; recorded on %d CPUs, budget %.2f)\n",
+		ratio, parallel.NsPerOp, serial.NsPerOp, f.NumCPU, maxRatio)
+	if f.NumCPU < 4 {
+		if ratio > maxRatio {
+			fmt.Fprintf(w, "(advisory: ratio %.3f exceeds the %.2f budget, but the snapshot was recorded on %d CPU(s) — no parallelism to measure, not gated)\n",
+				ratio, maxRatio, f.NumCPU)
+		}
+		return nil
+	}
+	if ratio > maxRatio {
+		return fmt.Errorf("parallel/serial ratio %.3f exceeds the %.2f budget on a %d-CPU snapshot — parallel reproduction is not scaling",
+			ratio, maxRatio, f.NumCPU)
+	}
+	return nil
 }
 
 // regressed reports whether new exceeds old by more than the fractional

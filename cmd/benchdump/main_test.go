@@ -236,6 +236,54 @@ func TestGatedNewBenchmarkIsAdvisory(t *testing.T) {
 	}
 }
 
+// TestCheckRatio covers the multi-core scaling pin: gating only when the
+// snapshot was recorded on >=4 CPUs, advisory otherwise, and loud failure
+// when either half of the RunAll pair is missing.
+func TestCheckRatio(t *testing.T) {
+	pair := func(serialNs, parallelNs float64, cpus int) *File {
+		return &File{NumCPU: cpus, Benchmarks: []Result{
+			{Name: "RunAllSerial", Iterations: 2, NsPerOp: serialNs},
+			{Name: "RunAllParallel", Iterations: 2, NsPerOp: parallelNs},
+		}}
+	}
+
+	// Scaling snapshot on a multi-core host: passes.
+	var sb strings.Builder
+	if err := checkRatio(&sb, pair(1000, 400, 8), 0.9); err != nil {
+		t.Fatalf("scaling 8-CPU snapshot failed: %v", err)
+	}
+	if !strings.Contains(sb.String(), "0.400") {
+		t.Fatalf("ratio not reported:\n%s", sb.String())
+	}
+
+	// Non-scaling snapshot on a multi-core host: gates.
+	if err := checkRatio(&strings.Builder{}, pair(1000, 980, 8), 0.9); err == nil {
+		t.Fatal("non-scaling 8-CPU snapshot passed the gate")
+	}
+
+	// Same numbers recorded on 1 CPU: advisory only — GOMAXPROCS=4 on a
+	// single core time-slices, the ratio carries no signal.
+	sb.Reset()
+	if err := checkRatio(&sb, pair(1000, 1050, 1), 0.9); err != nil {
+		t.Fatalf("1-CPU snapshot gated: %v", err)
+	}
+	if !strings.Contains(sb.String(), "advisory") {
+		t.Fatalf("1-CPU over-budget ratio not noted as advisory:\n%s", sb.String())
+	}
+
+	// Missing half of the pair: fails loudly regardless of CPU count.
+	half := &File{NumCPU: 8, Benchmarks: []Result{
+		{Name: "RunAllSerial", Iterations: 2, NsPerOp: 1000},
+	}}
+	if err := checkRatio(&strings.Builder{}, half, 0.9); err == nil {
+		t.Fatal("snapshot missing RunAllParallel passed")
+	}
+	// Zero serial denominator: fails, no NaN/Inf verdicts.
+	if err := checkRatio(&strings.Builder{}, pair(0, 400, 8), 0.9); err == nil {
+		t.Fatal("zero-serial snapshot passed")
+	}
+}
+
 // TestDedupeKeepsMostIterations: ci.sh re-benches the RunAll pair at an
 // iteration-count -benchtime after the main sweep; the recorded snapshot
 // must carry one entry per name — the higher-iteration measurement.

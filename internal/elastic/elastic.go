@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"edgescope/internal/billing"
+	"edgescope/internal/mathx"
 	"edgescope/internal/stats"
 	"edgescope/internal/timeseries"
 )
@@ -120,12 +121,19 @@ func (p ServerlessPlan) Evaluate(w Workload) Outcome {
 	secs := w.RPS.Interval.Seconds()
 	var inv, gbs float64
 	lats := make([]float64, 0, len(w.RPS.Values))
+	// The per-slot cold-start probabilities are deterministic, so they
+	// batch cleanly: collect the exponents, one ExpBulk over the buffer,
+	// then finish the latency expression in place (bit-identical to the
+	// per-slot math.Exp it replaces).
 	for _, r := range w.RPS.Values {
 		n := r * secs
 		inv += n
 		gbs += n * p.MemGB * p.ExecMs / 1000
-		pCold := math.Exp(-r * p.KeepAliveSec)
-		lats = append(lats, p.ExecMs+pCold*p.ColdStartMs)
+		lats = append(lats, -r*p.KeepAliveSec)
+	}
+	mathx.ExpBulk(lats, lats)
+	for i, pCold := range lats {
+		lats[i] = p.ExecMs + pCold*p.ColdStartMs
 	}
 	// Scale the observed window to a 30-day month.
 	window := float64(w.RPS.Len()) * secs

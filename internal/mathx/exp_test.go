@@ -1,0 +1,249 @@
+package mathx
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// edgeInputs covers the full special-value surface plus the
+// range-reduction and ldexp boundaries.
+func edgeInputs() []float64 {
+	xs := []float64{
+		0, math.Copysign(0, -1),
+		1, -1, 0.5, -0.5, 2, -2,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		expOverflow, math.Nextafter(expOverflow, 710), math.Nextafter(expOverflow, 0),
+		709.782712893384, 709.7827128933841,
+		-expOverflow,
+		// underflow-to-zero and denormal-result band
+		-745.1332191019411, -745.1332191019412, -744.44007192138122,
+		-708.396418532264, -709, -710, -745, -746, -747, -1000, -1e6, -1e300,
+		708, 708.5, 709, -708.5,
+		// |x| just above/below the bulk fast gate
+		math.Nextafter(fastAbsBound, 1000), math.Nextafter(fastAbsBound, 0),
+		-math.Nextafter(fastAbsBound, 1000), -math.Nextafter(fastAbsBound, 0),
+		// denormal and tiny inputs
+		5e-324, -5e-324, 1e-308, -1e-308, 1e-17, -1e-17,
+		math.Ln2, -math.Ln2, math.Ln2 / 2, -math.Ln2 / 2,
+	}
+	for _, m := range []float64{0.5, 1.5, 2.5, 3.5, -0.5, -1.5, -2.5, 511.5, 512.5, -511.5, -1021.5} {
+		xs = append(xs, m*math.Ln2)
+	}
+	return xs
+}
+
+func TestExpBulkBitIdenticalDefault(t *testing.T) {
+	if CurrentMode() != ModeAuto {
+		t.Skip("EDGESCOPE_EXP_MODE overrides default mode")
+	}
+	r := rand.New(rand.NewPCG(7, 11))
+	xs := edgeInputs()
+	for i := 0; i < 200000; i++ {
+		xs = append(xs, (r.Float64()-0.5)*1500)
+	}
+	for i := 0; i < 50000; i++ {
+		xs = append(xs, (r.Float64()-0.5)*4) // noise-sized draws, the hot band
+	}
+	got := make([]float64, len(xs))
+	ExpBulk(got, xs)
+	for i, x := range xs {
+		want := math.Exp(x)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("ExpBulk(%g) = %x want %x (math.Exp bits)",
+				x, math.Float64bits(got[i]), math.Float64bits(want))
+		}
+	}
+	// Scalar wrapper obeys the same contract.
+	for _, x := range edgeInputs() {
+		if math.Float64bits(Exp(x)) != math.Float64bits(math.Exp(x)) {
+			t.Fatalf("Exp(%g) != math.Exp bits", x)
+		}
+	}
+}
+
+func TestExpBulkInPlaceAndAliasing(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 9))
+	xs := make([]float64, 1027) // odd length: exercises the tail loop
+	for i := range xs {
+		xs[i] = (r.Float64() - 0.5) * 20
+	}
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = math.Exp(x)
+	}
+	buf := append([]float64(nil), xs...)
+	ExpBulk(buf, buf) // in-place
+	for i := range buf {
+		if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("in-place ExpBulk[%d] mismatch", i)
+		}
+	}
+	// dst longer than src: only the prefix is written.
+	long := make([]float64, len(xs)+5)
+	for i := range long {
+		long[i] = -1
+	}
+	ExpBulk(long, xs)
+	for i := len(xs); i < len(long); i++ {
+		if long[i] != -1 {
+			t.Fatalf("ExpBulk wrote past len(src) at %d", i)
+		}
+	}
+}
+
+func TestExpBulkPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short dst")
+		}
+	}()
+	ExpBulk(make([]float64, 3), make([]float64, 4))
+}
+
+// TestExpKernelPortsExactOnVerifiedPlatforms pins the porting claim
+// itself: whenever the probe verified a core, both scalar cores' full
+// wrappers and both bulk loops must agree with math.Exp everywhere we
+// can cheaply check, including the specials that bypass the core.
+func TestExpKernelPortsExactOnVerifiedPlatforms(t *testing.T) {
+	if !KernelVerified() {
+		t.Skip("no polynomial core verified against math.Exp on this platform")
+	}
+	full := expFullSSE
+	bulk := bulkSSE
+	if kernelPick > 0 {
+		full = expFullFMA
+		bulk = bulkFMA
+	}
+	r := rand.New(rand.NewPCG(17, 29))
+	xs := edgeInputs()
+	for i := 0; i < 300000; i++ {
+		switch i % 3 {
+		case 0:
+			xs = append(xs, (r.Float64()-0.5)*1500)
+		case 1:
+			xs = append(xs, (r.Float64()-0.5)*2)
+		default: // denormal-result band
+			xs = append(xs, -745.2+r.Float64()*37)
+		}
+	}
+	dst := make([]float64, len(xs))
+	bulk(dst, xs)
+	for i, x := range xs {
+		want := math.Float64bits(math.Exp(x))
+		if got := math.Float64bits(full(x)); got != want {
+			t.Fatalf("scalar core(%g) = %x want %x", x, got, want)
+		}
+		if got := math.Float64bits(dst[i]); got != want {
+			t.Fatalf("bulk core(%g) = %x want %x", x, got, want)
+		}
+	}
+}
+
+// ulpDiff returns the distance in representable float64 steps, treating
+// the ±0 pair as adjacent. Infinite when only one side is NaN/Inf.
+func ulpDiff(a, b float64) uint64 {
+	if a == b {
+		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.MaxUint64
+	}
+	oa, ob := orderBits(a), orderBits(b)
+	if oa > ob {
+		return oa - ob
+	}
+	return ob - oa
+}
+
+func orderBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&signMask != 0 {
+		return signMask - (b &^ signMask)
+	}
+	return signMask + b
+}
+
+// TestExpFastULPBound is the documented accuracy budget for the opt-in
+// fast mode on platforms where the probe cannot verify bit-identity:
+// every result within 4 ULP of math.Exp, specials handled exactly.
+func TestExpFastULPBound(t *testing.T) {
+	const maxULP = 4
+	r := rand.New(rand.NewPCG(23, 41))
+	xs := edgeInputs()
+	for i := 0; i < 300000; i++ {
+		xs = append(xs, (r.Float64()-0.5)*1500)
+	}
+	for _, core := range []struct {
+		name string
+		f    func(float64) float64
+	}{{"fma", expFullFMA}, {"sse", expFullSSE}} {
+		worst := uint64(0)
+		for _, x := range xs {
+			want := math.Exp(x)
+			got := core.f(x)
+			if math.IsNaN(want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("%s(%g) = %g want NaN", core.name, x, got)
+				}
+				continue
+			}
+			if math.IsInf(want, 1) || want == 0 {
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s(%g) = %g want %g exactly", core.name, x, got, want)
+				}
+				continue
+			}
+			if d := ulpDiff(got, want); d > worst {
+				worst = d
+				if d > maxULP {
+					t.Fatalf("%s(%g): %d ULP from math.Exp (budget %d)", core.name, x, d, maxULP)
+				}
+			}
+		}
+		t.Logf("%s core: worst %d ULP over %d inputs", core.name, worst, len(xs))
+	}
+}
+
+// TestExpModeFastAndStdlib exercises the mode knob end to end.
+func TestExpModeFastAndStdlib(t *testing.T) {
+	orig := CurrentMode()
+	defer SetMode(orig)
+
+	xs := []float64{-1.5, 0, 0.25, 3, -300, 700, 709.9, -800, math.Inf(1), math.NaN()}
+	dst := make([]float64, len(xs))
+
+	SetMode(ModeStdlib)
+	ExpBulk(dst, xs)
+	for i, x := range xs {
+		if !sameFloatBits(dst[i], math.Exp(x)) {
+			t.Fatalf("stdlib mode mismatch at %g", x)
+		}
+	}
+
+	SetMode(ModeFast)
+	ExpBulk(dst, xs)
+	for i, x := range xs {
+		want := math.Exp(x)
+		if math.IsNaN(want) {
+			if !math.IsNaN(dst[i]) {
+				t.Fatalf("fast mode: Exp(NaN) = %g", dst[i])
+			}
+			continue
+		}
+		if math.IsInf(want, 1) || want == 0 {
+			if !sameFloatBits(dst[i], want) {
+				t.Fatalf("fast mode special mismatch at %g", x)
+			}
+			continue
+		}
+		if ulpDiff(dst[i], want) > 4 {
+			t.Fatalf("fast mode: %g is %d ULP from math.Exp", x, ulpDiff(dst[i], want))
+		}
+	}
+}
+
+func sameFloatBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}

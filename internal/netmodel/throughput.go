@@ -106,8 +106,10 @@ func (p *Path) SampleThroughput(r *rng.Source, dir Direction, serverMbps float64
 	if serverMbps > 0 && serverMbps < got {
 		got, bn = serverMbps, BottleneckServer
 	}
-	// Protocol efficiency and measurement noise.
-	got *= 0.94 * math.Exp(r.Normal(0, 0.05))
+	// Protocol efficiency and measurement noise: a log-normal around the
+	// 0.94 efficiency median via the shared helper (bit-identical to the
+	// inline 0.94 * exp(Normal(0, 0.05)) it replaces).
+	got *= r.LogNormalMeanMedian(0.94, 0.05)
 	return ThroughputSample{
 		Mbps:       got,
 		Bottleneck: bn,

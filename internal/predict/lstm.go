@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"edgescope/internal/mathx"
 	"edgescope/internal/rng"
 )
 
@@ -32,6 +33,12 @@ type LSTM struct {
 	b  []float64 // 4h
 	wo []float64 // h
 	bo float64
+
+	// Forward-pass scratch: zbuf holds the 4h pre-activations of one
+	// step, abuf the 3h sigmoid-gate arguments batched through one
+	// mathx.ExpBulk call (bit-identical to per-call math.Exp on the
+	// default path).
+	zbuf, abuf []float64
 
 	// Normalisation fitted on train.
 	lo, scale float64
@@ -69,9 +76,9 @@ func (l *LSTM) init() {
 	for i := range l.wo {
 		l.wo[i] = r.Uniform(-bound, bound)
 	}
+	l.zbuf = make([]float64, 4*l.h)
+	l.abuf = make([]float64, 3*l.h)
 }
-
-func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // cell state carried across steps.
 type cellState struct{ h, c []float64 }
@@ -141,38 +148,73 @@ func newLSTMScratch(h, steps, in int) *lstmScratch {
 
 // forward runs one step into rec (whose vectors are already sized h) and
 // updates st.
+//
+// The gate matvec is blocked over the flat 4h×(1+h) slab: the four gate
+// rows of unit u are hoisted into bounds-check-free row slices and their
+// dot products run fused in one pass over hPrev — four independent
+// accumulator chains per hPrev load, each accumulating in the original
+// k order so every sum is bit-identical to the scalar loop. The three
+// sigmoid gates' exponentials are then batched through one ExpBulk call.
+// TestLSTMFitPredictGolden pins the whole pass to hex goldens.
 func (l *LSTM) forward(x float64, st *cellState, rec *stepRecord) {
 	h := l.h
 	rec.x = x
 	copy(rec.hPrev, st.h)
 	copy(rec.cPrev, st.c)
 	in := 1 + h
+	wx := l.wx
+	hPrev := rec.hPrev
+	z := l.zbuf
 	for u := 0; u < h; u++ {
-		var zi, zf, zg, zo float64
 		// input column 0 is x; columns 1..h are hPrev.
-		zi = l.wx[(0*h+u)*in] * x
-		zf = l.wx[(1*h+u)*in] * x
-		zg = l.wx[(2*h+u)*in] * x
-		zo = l.wx[(3*h+u)*in] * x
-		for k := 0; k < h; k++ {
-			hp := rec.hPrev[k]
-			zi += l.wx[(0*h+u)*in+1+k] * hp
-			zf += l.wx[(1*h+u)*in+1+k] * hp
-			zg += l.wx[(2*h+u)*in+1+k] * hp
-			zo += l.wx[(3*h+u)*in+1+k] * hp
+		ri := wx[(0*h+u)*in : (0*h+u+1)*in]
+		rf := wx[(1*h+u)*in : (1*h+u+1)*in]
+		rg := wx[(2*h+u)*in : (2*h+u+1)*in]
+		ro := wx[(3*h+u)*in : (3*h+u+1)*in]
+		zi := ri[0] * x
+		zf := rf[0] * x
+		zg := rg[0] * x
+		zo := ro[0] * x
+		ri = ri[1:][:len(hPrev)]
+		rf = rf[1:][:len(hPrev)]
+		rg = rg[1:][:len(hPrev)]
+		ro = ro[1:][:len(hPrev)]
+		for k, hp := range hPrev {
+			zi += ri[k] * hp
+			zf += rf[k] * hp
+			zg += rg[k] * hp
+			zo += ro[k] * hp
 		}
-		rec.i[u] = sigmoid(zi + l.b[0*h+u])
-		rec.f[u] = sigmoid(zf + l.b[1*h+u])
-		rec.g[u] = math.Tanh(zg + l.b[2*h+u])
-		rec.o[u] = sigmoid(zo + l.b[3*h+u])
+		z[0*h+u] = zi
+		z[1*h+u] = zf
+		z[2*h+u] = zg
+		z[3*h+u] = zo
+	}
+	// Batched activations: sigmoid(v) = 1/(1+exp(-v)), with the three
+	// sigmoid gates' exp(-v) evaluated in one bulk call.
+	a := l.abuf
+	b := l.b
+	for u := 0; u < h; u++ {
+		a[0*h+u] = -(z[0*h+u] + b[0*h+u])
+		a[1*h+u] = -(z[1*h+u] + b[1*h+u])
+		a[2*h+u] = -(z[3*h+u] + b[3*h+u])
+	}
+	mathx.ExpBulk(a, a)
+	for u := 0; u < h; u++ {
+		rec.i[u] = 1 / (1 + a[0*h+u])
+		rec.f[u] = 1 / (1 + a[1*h+u])
+		rec.g[u] = math.Tanh(z[2*h+u] + b[2*h+u])
+		rec.o[u] = 1 / (1 + a[2*h+u])
 		rec.c[u] = rec.f[u]*rec.cPrev[u] + rec.i[u]*rec.g[u]
 		rec.tanhC[u] = math.Tanh(rec.c[u])
 		rec.h[u] = rec.o[u] * rec.tanhC[u]
 	}
-	rec.yhat = l.bo
-	for u := 0; u < h; u++ {
-		rec.yhat += l.wo[u] * rec.h[u]
+	yhat := l.bo
+	wo := l.wo[:h]
+	for u, hv := range rec.h {
+		yhat += wo[u] * hv
 	}
+	rec.yhat = yhat
 	copy(st.h, rec.h)
 	copy(st.c, rec.c)
 }
@@ -281,7 +323,16 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 				// dhPrev accumulates and must start from zero each step;
 				// dcPrev is fully assigned below and needs no clear.
 				clear(dhPrev)
-				for u := 0; u < l.h; u++ {
+				// Blocked BPTT kernel: the four gate rows of unit u are
+				// hoisted into bounds-check-free slices and the weight-
+				// gradient scatter and dhPrev gather run fused in one
+				// pass over k. Per dhPrev[kk] the four contributions add
+				// in the original i,f,g,o order (they were blk-outer,
+				// kk-inner before; per memory location the order is
+				// unchanged), and each gWx cell keeps its single
+				// accumulator, so the gradients are bit-identical.
+				hu := l.h
+				for u := 0; u < hu; u++ {
 					do := dh[u] * rec.tanhC[u]
 					dc := dh[u]*rec.o[u]*(1-rec.tanhC[u]*rec.tanhC[u]) + dcNext[u]
 					di := dc * rec.g[u]
@@ -294,15 +345,44 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 					dzg := dg * (1 - rec.g[u]*rec.g[u])
 					dzo := do * rec.o[u] * (1 - rec.o[u])
 
-					rows := [4]float64{dzi, dzf, dzg, dzo}
-					for blk := 0; blk < 4; blk++ {
-						base := (blk*l.h + u) * in
-						gB[blk*l.h+u] += rows[blk]
-						gWx[base] += rows[blk] * rec.x
-						for kk := 0; kk < l.h; kk++ {
-							gWx[base+1+kk] += rows[blk] * rec.hPrev[kk]
-							dhPrev[kk] += rows[blk] * l.wx[base+1+kk]
-						}
+					gB[0*hu+u] += dzi
+					gB[1*hu+u] += dzf
+					gB[2*hu+u] += dzg
+					gB[3*hu+u] += dzo
+					gi := gWx[(0*hu+u)*in : (0*hu+u+1)*in]
+					gf := gWx[(1*hu+u)*in : (1*hu+u+1)*in]
+					gg := gWx[(2*hu+u)*in : (2*hu+u+1)*in]
+
+					go_ := gWx[(3*hu+u)*in : (3*hu+u+1)*in]
+					gi[0] += dzi * rec.x
+					gf[0] += dzf * rec.x
+					gg[0] += dzg * rec.x
+					go_[0] += dzo * rec.x
+					wi := l.wx[(0*hu+u)*in : (0*hu+u+1)*in]
+					wf := l.wx[(1*hu+u)*in : (1*hu+u+1)*in]
+					wg := l.wx[(2*hu+u)*in : (2*hu+u+1)*in]
+					wo := l.wx[(3*hu+u)*in : (3*hu+u+1)*in]
+					hp := rec.hPrev
+					dhp := dhPrev[:len(hp)]
+					gi = gi[1:][:len(hp)]
+					gf = gf[1:][:len(hp)]
+					gg = gg[1:][:len(hp)]
+					go_ = go_[1:][:len(hp)]
+					wi = wi[1:][:len(hp)]
+					wf = wf[1:][:len(hp)]
+					wg = wg[1:][:len(hp)]
+					wo = wo[1:][:len(hp)]
+					for kk, hpk := range hp {
+						gi[kk] += dzi * hpk
+						gf[kk] += dzf * hpk
+						gg[kk] += dzg * hpk
+						go_[kk] += dzo * hpk
+						s := dhp[kk]
+						s += dzi * wi[kk]
+						s += dzf * wf[kk]
+						s += dzg * wg[kk]
+						s += dzo * wo[kk]
+						dhp[kk] = s
 					}
 				}
 				dhNext, dhPrev = dhPrev, dhNext
@@ -336,6 +416,26 @@ func (l *LSTM) FitPredict(train, test []float64) ([]float64, error) {
 		lastY = rec.yhat
 	}
 	return out, nil
+}
+
+// BenchForward exposes the forward kernel in isolation for benchmarks:
+// it initialises the model if needed, then runs one forward step per
+// element of xs through a single reused record, returning the final
+// prediction so the work cannot be optimised away.
+func (l *LSTM) BenchForward(xs []float64) float64 {
+	if l.h == 0 {
+		if l.Hidden <= 0 {
+			l.Hidden = 24
+		}
+		l.init()
+	}
+	sc := newLSTMScratch(l.h, 1, 1+l.h)
+	st := l.newState()
+	rec := &sc.recs[0]
+	for _, x := range xs {
+		l.forward(x, &st, rec)
+	}
+	return rec.yhat
 }
 
 // clip bounds the L2 norm of a gradient vector.

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 )
@@ -107,6 +108,35 @@ func TestBulkFillsMatchScalarDraws(t *testing.T) {
 			}
 			if got, want := a.Uint64(), b.Uint64(); got != want {
 				t.Fatalf("seed %d n %d: post-fill stream diverged: %v vs %v", seed, n, got, want)
+			}
+
+			// Normals: the fill must replay the exact scalar ziggurat
+			// stream, including slow-path (base strip / wedge) draws,
+			// which a 1024-element fill hits with near certainty.
+			a, b = New(seed), New(seed)
+			ns := make([]float64, n)
+			a.Normals(ns, 1.5, 2.25)
+			for i := range ns {
+				if want := b.Normal(1.5, 2.25); math.Float64bits(ns[i]) != math.Float64bits(want) {
+					t.Fatalf("seed %d n %d: Normals[%d] = %v, want %v", seed, n, i, ns[i], want)
+				}
+			}
+			if got, want := a.Normal(0, 1), b.Normal(0, 1); got != want {
+				t.Fatalf("seed %d n %d: post-Normals stream diverged: %v vs %v", seed, n, got, want)
+			}
+
+			// LogNormals: bulk normals + one ExpBulk must equal the
+			// scalar exp-of-normal stream bit-for-bit on the default path.
+			a, b = New(seed), New(seed)
+			ls := make([]float64, n)
+			a.LogNormals(ls, -0.25, 0.8)
+			for i := range ls {
+				if want := b.LogNormal(-0.25, 0.8); math.Float64bits(ls[i]) != math.Float64bits(want) {
+					t.Fatalf("seed %d n %d: LogNormals[%d] = %v, want %v", seed, n, i, ls[i], want)
+				}
+			}
+			if got, want := a.Normal(0, 1), b.Normal(0, 1); got != want {
+				t.Fatalf("seed %d n %d: post-LogNormals stream diverged: %v vs %v", seed, n, got, want)
 			}
 		}
 	}

@@ -33,25 +33,36 @@ func (s *Source) norm() float64 {
 			// This case should be hit better than 99% of the time.
 			return x
 		}
-
-		if i == 0 {
-			// This extra work is only required for the base strip.
-			for {
-				x = -math.Log(s.f64()) * (1.0 / zigguratNormR)
-				y := -math.Log(s.f64())
-				if y+y >= x*x {
-					break
-				}
-			}
-			if j > 0 {
-				return zigguratNormR + x
-			}
-			return -zigguratNormR - x
-		}
-		if fn[i]+float32(s.f64())*(fn[i-1]-fn[i]) < float32(math.Exp(-.5*x*x)) {
-			return x
+		if v, ok := s.normSlow(j, i, x); ok {
+			return v
 		}
 	}
+}
+
+// normSlow finishes a ziggurat iteration whose rectangle test failed: the
+// base strip (i == 0) always yields a sample; a wedge test may reject, in
+// which case ok is false and the caller redraws. Split out of norm so the
+// bulk fill (Normals) can inline the >99% fast path per element while
+// sharing this cold tail bit-for-bit.
+func (s *Source) normSlow(j int32, i uint64, x float64) (v float64, ok bool) {
+	if i == 0 {
+		// This extra work is only required for the base strip.
+		for {
+			x = -math.Log(s.f64()) * (1.0 / zigguratNormR)
+			y := -math.Log(s.f64())
+			if y+y >= x*x {
+				break
+			}
+		}
+		if j > 0 {
+			return zigguratNormR + x, true
+		}
+		return -zigguratNormR - x, true
+	}
+	if fn[i]+float32(s.f64())*(fn[i-1]-fn[i]) < float32(math.Exp(-.5*x*x)) {
+		return x, true
+	}
+	return 0, false
 }
 
 var kn = [128]uint32{

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"edgescope/internal/mathx"
 )
 
 // Source is a deterministic random source with distribution helpers.
@@ -126,6 +128,43 @@ func (s *Source) NormalPos(mean, stddev float64) float64 {
 // the mean and standard deviation of the underlying normal distribution.
 func (s *Source) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Normals fills dst with normal draws, draw-for-draw and bit-for-bit
+// identical to len(dst) sequential Normal(mean, stddev) calls on the same
+// stream. The ziggurat fast path is inlined per element with the PCG handle
+// hoisted out of the loop; the same draw-sequence caveat as Float64s
+// applies — the fill only fits a pure run of normals.
+func (s *Source) Normals(dst []float64, mean, stddev float64) {
+	pcg := s.pcg
+	for idx := range dst {
+		var v float64
+		for {
+			u := pcg.Uint64()
+			j := int32(u) // Possibly negative
+			i := u >> 32 & 0x7F
+			x := float64(j) * float64(wn[i])
+			if absInt32(j) < kn[i] {
+				v = x
+				break
+			}
+			if y, ok := s.normSlow(j, i, x); ok {
+				v = y
+				break
+			}
+		}
+		dst[idx] = mean + stddev*v
+	}
+}
+
+// LogNormals fills dst with log-normal draws, draw-for-draw identical to
+// len(dst) sequential LogNormal(mu, sigma) calls: one bulk normal fill,
+// then one batched exponential over the buffer. On mathx's default path
+// the exponential is bit-identical to math.Exp, so the fill is bit-exact
+// against the scalar stream.
+func (s *Source) LogNormals(dst []float64, mu, sigma float64) {
+	s.Normals(dst, mu, sigma)
+	mathx.ExpBulk(dst, dst)
 }
 
 // LogNormalMeanMedian returns a log-normal sample parameterised by its median

@@ -35,6 +35,31 @@ func Variance(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// VarianceWithMean is Variance with a caller-supplied mean: when m is
+// bit-identical to Mean(xs) the result is bit-identical to Variance(xs).
+// It exists so running-mean caches (timeseries.Series) can skip the
+// first pass over the data.
+func VarianceWithMean(xs []float64, m float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// CVWithMean is CV with a caller-supplied mean, under the same
+// bit-exactness contract as VarianceWithMean.
+func CVWithMean(xs []float64, m float64) float64 {
+	if m == 0 {
+		return 0
+	}
+	return math.Sqrt(VarianceWithMean(xs, m)) / math.Abs(m)
+}
+
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 

@@ -16,10 +16,31 @@ import (
 // Series is a sequence of samples at a fixed interval starting at Start.
 // Values are owned by the Series; callers must not mutate them after
 // construction unless they created the slice.
+//
+// A Series can carry a cached running sum of its values (see PrimeStats
+// and AddSample) that turns Mean and CV from O(n) re-sums into O(1)
+// lookups — the dominant cost of placement feedback and per-VM usage
+// summaries before this cache existed. The cache invariant is strict:
+// when valid, statsSum is bit-identical to the left-to-right sum
+// stats.Mean would compute, so cached and uncached results match to the
+// bit. Invalidation rules:
+//
+//   - Mutators on the receiver (AddInPlace) and writers into a dst
+//     (ResampleInto, RollingInto, SliceInto) drop the target's cache.
+//   - Clone carries the cache; Slice, Add, Scale, ClampNonNegative and
+//     New return fresh Series with no cache.
+//   - Mutating Values directly — including through an aliasing view
+//     from Slice/SliceInto — bypasses these rules; callers doing that
+//     must call InvalidateStats on every Series sharing the array.
+//   - Mean and CV never memoize on a cache miss, so concurrent readers
+//     of a shared immutable Series stay race-free.
 type Series struct {
 	Start    time.Time
 	Interval time.Duration
 	Values   []float64
+
+	statsSum float64 // running sum of Values, valid only when statsOK
+	statsOK  bool
 }
 
 // New builds a Series. It panics if interval <= 0.
@@ -43,12 +64,43 @@ func (s *Series) TimeAt(i int) time.Time {
 	return s.Start.Add(time.Duration(i) * s.Interval)
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, carrying the stats cache when present.
 func (s *Series) Clone() *Series {
 	v := make([]float64, len(s.Values))
 	copy(v, s.Values)
-	return &Series{Start: s.Start, Interval: s.Interval, Values: v}
+	return &Series{Start: s.Start, Interval: s.Interval, Values: v,
+		statsSum: s.statsSum, statsOK: s.statsOK}
 }
+
+// PrimeStats computes and caches the running sum of the current values,
+// making subsequent Mean and CV calls O(1). Call it once at synthesis
+// time (it is a full pass) on series that will be summarised repeatedly.
+// It returns s for chaining.
+func (s *Series) PrimeStats() *Series {
+	s.statsSum = stats.Sum(s.Values)
+	s.statsOK = true
+	return s
+}
+
+// AddSample appends v, maintaining the running sum so a series built
+// sample by sample arrives with its stats cache already primed. The
+// cache starts (or restarts) at the empty series, where the sum is
+// trivially exact; appending to a non-empty series whose cache was
+// invalidated leaves it invalid — re-prime explicitly if needed.
+func (s *Series) AddSample(v float64) {
+	if len(s.Values) == 0 {
+		s.statsSum, s.statsOK = 0, true
+	}
+	if s.statsOK {
+		s.statsSum += v
+	}
+	s.Values = append(s.Values, v)
+}
+
+// InvalidateStats drops the cached running sum. Required after mutating
+// Values directly or through an aliasing view (Slice/SliceInto), on
+// every Series sharing the backing array.
+func (s *Series) InvalidateStats() { s.statsOK = false }
 
 // Slice returns the sub-series of samples [i,j) as a zero-copy view: the
 // returned Series aliases s's backing array. Aliasing rules: mutating the
@@ -70,6 +122,7 @@ func (s *Series) SliceInto(dst *Series, i, j int) *Series {
 		sliceBoundsPanic(i, j, len(s.Values))
 	}
 	dst.Start, dst.Interval, dst.Values = s.TimeAt(i), s.Interval, s.Values[i:j:j]
+	dst.statsOK = false
 	return dst
 }
 
@@ -137,6 +190,7 @@ func (s *Series) ResampleInto(dst *Series, window time.Duration, a Agg) *Series 
 		out = append(out, aggregate(a, s.Values[i:j], &sc))
 	}
 	dst.Start, dst.Interval, dst.Values = s.Start, window, out
+	dst.statsOK = false
 	return dst
 }
 
@@ -165,6 +219,7 @@ func (s *Series) RollingInto(dst *Series, k int, a Agg) *Series {
 		out[i] = aggregate(a, s.Values[i:i+k], &sc)
 	}
 	dst.Start, dst.Interval, dst.Values = s.Start, s.Interval, out
+	dst.statsOK = false
 	return dst
 }
 
@@ -190,14 +245,32 @@ func (s *Series) DailyPeaks() []float64 {
 	return peaks
 }
 
-// Mean returns the mean of the series values.
-func (s *Series) Mean() float64 { return stats.Mean(s.Values) }
+// Mean returns the mean of the series values: O(1) from the stats cache
+// when primed (bit-identical to the re-sum by the cache invariant),
+// O(n) otherwise. A miss never memoizes, so sharing an immutable Series
+// across goroutines stays race-free.
+func (s *Series) Mean() float64 {
+	if s.statsOK {
+		if len(s.Values) == 0 {
+			return 0
+		}
+		return s.statsSum / float64(len(s.Values))
+	}
+	return stats.Mean(s.Values)
+}
 
 // MaxValue returns the maximum of the series values.
 func (s *Series) MaxValue() float64 { return stats.Max(s.Values) }
 
-// CV returns the coefficient of variation of the series values.
-func (s *Series) CV() float64 { return stats.CV(s.Values) }
+// CV returns the coefficient of variation of the series values. The
+// stats cache saves the mean pass; the squared-deviation pass is
+// unchanged, so cached and uncached results are bit-identical.
+func (s *Series) CV() float64 {
+	if s.statsOK {
+		return stats.CVWithMean(s.Values, s.Mean())
+	}
+	return stats.CV(s.Values)
+}
 
 // ACF returns the autocorrelation of the series at the given lag (in
 // samples). It returns 0 when the lag is out of range or variance is zero.
@@ -308,13 +381,19 @@ func (s *Series) Add(other *Series) *Series {
 // AddInPlace adds other into s sample by sample, mutating s's backing array
 // (and therefore every view aliasing it), and returns s. Shapes must match
 // as in Add. Accumulation loops should prefer this over Add, which allocates
-// a fresh backing array per call.
+// a fresh backing array per call. s's stats cache is invalidated (a folded
+// sum is not the left-to-right re-sum bit-for-bit); views aliasing s must
+// be invalidated by the caller.
 func (s *Series) AddInPlace(other *Series) *Series {
 	if len(s.Values) != len(other.Values) || s.Interval != other.Interval {
 		panic("timeseries: Add shape mismatch")
 	}
-	for i, v := range other.Values {
-		s.Values[i] += v
+	s.statsOK = false
+	a, b := s.Values, other.Values
+	if len(a) == len(b) {
+		for i, v := range b {
+			a[i] += v
+		}
 	}
 	return s
 }

@@ -1,0 +1,152 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edgescope/internal/stats"
+)
+
+func testSeries(n int) *Series {
+	v := make([]float64, n)
+	for i := range v {
+		// Non-trivial values so folded sums differ bitwise from re-sums.
+		v[i] = math.Sin(float64(i)*0.7)*3.3 + 0.1*float64(i%11)
+	}
+	return New(time.Unix(0, 0).UTC(), time.Minute, v)
+}
+
+// requireCacheFresh asserts Mean and CV agree bit-for-bit with a direct
+// re-sum of the current values, whatever the cache state.
+func requireCacheFresh(t *testing.T, tag string, s *Series) {
+	t.Helper()
+	if got, want := s.Mean(), stats.Mean(s.Values); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: Mean() = %v (bits %x), re-sum = %v (bits %x)",
+			tag, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+	if got, want := s.CV(), stats.CV(s.Values); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: CV() = %v, re-scan = %v", tag, got, want)
+	}
+}
+
+func TestPrimeStatsBitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 1024} {
+		s := testSeries(n)
+		uncachedMean, uncachedCV := s.Mean(), s.CV()
+		s.PrimeStats()
+		if !s.statsOK {
+			t.Fatalf("n=%d: PrimeStats did not validate the cache", n)
+		}
+		if math.Float64bits(s.Mean()) != math.Float64bits(uncachedMean) {
+			t.Fatalf("n=%d: cached Mean diverges from uncached", n)
+		}
+		if math.Float64bits(s.CV()) != math.Float64bits(uncachedCV) {
+			t.Fatalf("n=%d: cached CV diverges from uncached", n)
+		}
+		requireCacheFresh(t, "primed", s)
+	}
+}
+
+func TestAddSampleMaintainsCache(t *testing.T) {
+	s := &Series{Start: time.Unix(0, 0).UTC(), Interval: time.Minute}
+	ref := testSeries(301)
+	for i, v := range ref.Values {
+		s.AddSample(v)
+		if !s.statsOK {
+			t.Fatalf("AddSample #%d left cache invalid", i)
+		}
+	}
+	requireCacheFresh(t, "addsample", s)
+
+	// After invalidation, appending must NOT silently re-validate a
+	// non-empty series...
+	s.InvalidateStats()
+	s.AddSample(1.25)
+	if s.statsOK {
+		t.Fatal("AddSample re-validated an invalidated non-empty series")
+	}
+	requireCacheFresh(t, "addsample-after-invalidate", s)
+	// ...but restarting from empty does.
+	s.Values = s.Values[:0]
+	s.AddSample(2.5)
+	if !s.statsOK {
+		t.Fatal("AddSample on emptied series did not restart the cache")
+	}
+	requireCacheFresh(t, "addsample-restart", s)
+}
+
+// TestEveryMutatorInvalidates walks each mutating API over a primed
+// series (or primed dst) and checks the cache cannot serve stale sums.
+func TestEveryMutatorInvalidates(t *testing.T) {
+	t.Run("AddInPlace", func(t *testing.T) {
+		s := testSeries(64).PrimeStats()
+		s.AddInPlace(testSeries(64))
+		if s.statsOK {
+			t.Fatal("AddInPlace left the cache valid")
+		}
+		requireCacheFresh(t, "AddInPlace", s)
+	})
+	t.Run("ResampleInto", func(t *testing.T) {
+		dst := testSeries(8).PrimeStats()
+		testSeries(64).ResampleInto(dst, 4*time.Minute, AggMean)
+		if dst.statsOK {
+			t.Fatal("ResampleInto left dst's cache valid")
+		}
+		requireCacheFresh(t, "ResampleInto", dst)
+	})
+	t.Run("RollingInto", func(t *testing.T) {
+		dst := testSeries(8).PrimeStats()
+		testSeries(64).RollingInto(dst, 5, AggMax)
+		if dst.statsOK {
+			t.Fatal("RollingInto left dst's cache valid")
+		}
+		requireCacheFresh(t, "RollingInto", dst)
+	})
+	t.Run("SliceInto", func(t *testing.T) {
+		dst := testSeries(8).PrimeStats()
+		testSeries(64).SliceInto(dst, 3, 40)
+		if dst.statsOK {
+			t.Fatal("SliceInto left dst's cache valid")
+		}
+		requireCacheFresh(t, "SliceInto", dst)
+	})
+	t.Run("InvalidateStats", func(t *testing.T) {
+		s := testSeries(64).PrimeStats()
+		// Aliased mutation through a Slice view: the documented contract
+		// is manual invalidation on every Series sharing the array.
+		view := s.Slice(0, 10)
+		view.Values[3] += 100
+		s.InvalidateStats()
+		requireCacheFresh(t, "InvalidateStats", s)
+	})
+}
+
+// TestNonMutatingConstructorsCacheState pins which constructors carry
+// the cache (Clone) and which start cold (everything else).
+func TestNonMutatingConstructorsCacheState(t *testing.T) {
+	s := testSeries(64).PrimeStats()
+
+	c := s.Clone()
+	if !c.statsOK {
+		t.Fatal("Clone dropped the stats cache")
+	}
+	requireCacheFresh(t, "Clone", c)
+	// Mutating the clone must not corrupt the parent and vice versa.
+	c.AddInPlace(testSeries(64))
+	requireCacheFresh(t, "Clone-parent", s)
+
+	for tag, d := range map[string]*Series{
+		"Slice":            s.Slice(1, 20),
+		"Add":              s.Add(testSeries(64)),
+		"Scale":            s.Scale(1.7),
+		"ClampNonNegative": s.ClampNonNegative(),
+		"Resample":         s.Resample(4*time.Minute, AggSum),
+		"Rolling":          s.Rolling(3, AggMean),
+	} {
+		if d.statsOK {
+			t.Fatalf("%s carried a stats cache it cannot guarantee", tag)
+		}
+		requireCacheFresh(t, tag, d)
+	}
+}

@@ -201,7 +201,9 @@ func HuaweiCloud() *Platform {
 func InterSiteRTTMs(r *rng.Source, a, b *Site) float64 {
 	d := geo.Haversine(a.Loc, b.Loc)
 	base := 1.5 + 0.031*d
-	return base * math.Exp(r.Normal(0, 0.12))
+	// Same single draw and multiply order as the shared helper, so this
+	// rewiring is bit-neutral: base * exp(Normal(0, sigma)).
+	return r.LogNormalMeanMedian(base, 0.12)
 }
 
 // SitePairRTT is one measured site pair for Figure 4.

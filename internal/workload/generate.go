@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"edgescope/internal/geo"
+	"edgescope/internal/mathx"
 	"edgescope/internal/placement"
 	"edgescope/internal/rng"
 	"edgescope/internal/timeseries"
@@ -331,12 +332,51 @@ func usageSeries(r *rng.Source, p seriesParams) *timeseries.Series {
 	} else {
 		usageSeriesSlow(r, p, vals)
 	}
-	return timeseries.New(p.start, p.interval, vals)
+	// Prime the running-mean cache while the series is still private to
+	// this goroutine: placement feedback and the per-VM summaries read
+	// Mean() repeatedly, and a primed cache makes those O(1) without any
+	// concurrent-memoization hazard once the dataset is shared.
+	return timeseries.New(p.start, p.interval, vals).PrimeStats()
+}
+
+// UsageParams is the exported form of the usage-trace parameters, for
+// benchmarks and tools that exercise the synthesis kernel directly.
+type UsageParams struct {
+	Level         float64 // base level (CPU % or Mbps)
+	Amp           float64 // diurnal amplitude in [0,1]
+	PeakHour      float64
+	WindowHours   float64 // >0: usage confined around the peak
+	NoiseCV       float64
+	Days          int
+	Interval      time.Duration
+	Start         time.Time
+	ClampHi       float64 // >0: clamp (CPU is a percentage)
+	WeekendFactor float64
+	VolatileWeeks bool
+	VolatileSigma float64
+}
+
+// SynthUsageSeries synthesises one usage trace through the production
+// kernel (bulk draws + batched exponential + fused scale pass).
+func SynthUsageSeries(r *rng.Source, p UsageParams) *timeseries.Series {
+	return usageSeries(r, seriesParams{
+		level: p.Level, amp: p.Amp, peakHour: p.PeakHour,
+		windowHours: p.WindowHours, noiseCV: p.NoiseCV,
+		days: p.Days, interval: p.Interval, start: p.Start,
+		clampHi: p.ClampHi, weekendFactor: p.WeekendFactor,
+		volatileWeeks: p.VolatileWeeks, volatileSigma: p.VolatileSigma,
+	})
 }
 
 // usageSeriesUTC fills vals using cached diurnal shapes and integer time
-// arithmetic. Per sample it performs exactly the RNG draws (and, on cache
-// hits, none of the trigonometry) of usageSeriesSlow.
+// arithmetic, batching the per-sample randomness: one bulk ziggurat fill
+// per draw segment, one batched exponential over the whole buffer, one
+// fused scale-and-clamp pass. Draw order is exactly usageSeriesSlow's —
+// on volatile series the weekly regime draw interleaves with the noise
+// draws at each week boundary, so the bulk fills run per week segment
+// with the regime draw between them — and every float is combined in the
+// scalar formula's operation order, so the output is bit-identical
+// (pinned by TestUsageSeriesFastPathMatchesSlow).
 func usageSeriesUTC(r *rng.Source, p seriesParams, vals []float64) {
 	const (
 		minuteNs = int64(time.Minute)
@@ -345,6 +385,39 @@ func usageSeriesUTC(r *rng.Source, p seriesParams, vals []float64) {
 	startAbs := p.start.UnixNano() // >= 0 by the fast-path gate
 	ivl := int64(p.interval)
 
+	// Pass 1 — randomness, in scalar draw order. vals doubles as the
+	// noise buffer: standard-normal segments, then one in-place batched
+	// exponential (bit-identical to per-sample math.Exp on the default
+	// mathx path).
+	type weekSeg struct {
+		end  int     // one past the last sample of the segment
+		mult float64 // exp(weekly regime draw)
+	}
+	var segs []weekSeg
+	if !p.volatileWeeks {
+		r.Normals(vals, 0, p.noiseCV)
+	} else {
+		weekOf := func(i int) int {
+			return int((time.Duration(i) * p.interval).Hours() / (24 * 7))
+		}
+		segs = make([]weekSeg, 0, 1+len(vals)/max(1, int(7*dayNs/ivl)))
+		for i := 0; i < len(vals); {
+			week := weekOf(i)
+			// Scalar order at a week boundary: regime draw first, then
+			// that week's noise draws.
+			mult := math.Exp(r.Normal(0, p.volatileSigma))
+			j := i + 1
+			for j < len(vals) && weekOf(j) == week {
+				j++
+			}
+			r.Normals(vals[i:j], 0, p.noiseCV)
+			segs = append(segs, weekSeg{end: j, mult: mult})
+			i = j
+		}
+	}
+	mathx.ExpBulk(vals, vals)
+
+	// Pass 2 — deterministic shaping, fused over the buffer.
 	// shapeFor computes the raw diurnal shape (before weekend and weekly
 	// multipliers) for one minute of day — the exact per-sample formula.
 	shapeFor := func(minOfDay int) float64 {
@@ -365,9 +438,7 @@ func usageSeriesUTC(r *rng.Source, p seriesParams, vals []float64) {
 		cache  [24 * 60]float64
 		cached [24 * 60]bool
 	)
-
-	weekMult := 1.0
-	curWeek := -1
+	seg, weekMult := 0, 1.0
 	for i := range vals {
 		abs := startAbs + int64(i)*ivl
 		day := abs / dayNs
@@ -385,14 +456,13 @@ func usageSeriesUTC(r *rng.Source, p seriesParams, vals []float64) {
 			shape *= p.weekendFactor
 		}
 		if p.volatileWeeks {
-			week := int((time.Duration(i) * p.interval).Hours() / (24 * 7))
-			if week != curWeek {
-				curWeek = week
-				weekMult = math.Exp(r.Normal(0, p.volatileSigma))
+			for i >= segs[seg].end {
+				seg++
 			}
+			weekMult = segs[seg].mult
 			shape *= weekMult
 		}
-		v := p.level * shape * math.Exp(r.Normal(0, p.noiseCV))
+		v := p.level * shape * vals[i]
 		if v < 0.01 {
 			v = 0.01
 		}
