@@ -15,7 +15,7 @@ test:
 
 # Race-check the packages that schedule work across goroutines.
 race:
-	$(GO) test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/
+	$(GO) test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/ ./internal/telemetry/cluster/ ./cmd/telemetryd/
 
 # Brief fuzz passes over the wire decoder and the durability surfaces (WAL
 # segment replay, snapshot decode, sketch codec).

@@ -28,6 +28,7 @@ import (
 	"edgescope/internal/scenario"
 	"edgescope/internal/stats"
 	"edgescope/internal/telemetry"
+	"edgescope/internal/telemetry/cluster"
 	"edgescope/internal/timeseries"
 	"edgescope/internal/workload"
 
@@ -799,6 +800,75 @@ func BenchmarkSketchAdd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkClusterQuery compares answering one quantile query from a single
+// ingestor against scatter-gathering the same data from a 3-node cluster
+// (sketch-page export, deterministic merge, evaluation) — the per-query
+// price of the distributed plane, with the transport taken out of the
+// picture (in-process NodeClients).
+func BenchmarkClusterQuery(b *testing.B) {
+	regions := []string{"Beijing", "Shanghai", "Wuhan", "Chengdu"}
+	nets := []string{"WiFi", "LTE", "5G"}
+	events := make([]telemetry.Envelope, 8192)
+	r := rng.New(53)
+	for i := range events {
+		events[i] = telemetry.Envelope{
+			V: telemetry.SchemaVersion, TS: int64(i+1) * 100, Kind: telemetry.KindPing,
+			Metric: telemetry.MetricRTT, User: i % 64,
+			Region: regions[i%len(regions)], Net: nets[i%len(nets)],
+			Value: r.LogNormal(3, 0.6),
+		}
+	}
+	spec := telemetry.QuerySpec{
+		Metric:    telemetry.MetricRTT,
+		Quantiles: []float64{0.5, 0.95, 0.99},
+		CDFAt:     []float64{10, 20, 40},
+	}
+
+	single := telemetry.NewIngestor(telemetry.Config{Shards: 4, QueueLen: 1024, Block: true})
+	defer single.Close()
+	single.OfferAll(events)
+	single.Flush()
+
+	pm, err := cluster.NewMap(cluster.MapConfig{Nodes: []string{"n0", "n1", "n2"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients := map[string]cluster.NodeClient{}
+	for _, id := range pm.Nodes() {
+		ing := telemetry.NewIngestor(telemetry.Config{Shards: 2, QueueLen: 1024, Block: true})
+		defer ing.Close()
+		clients[id] = cluster.LocalNode{Ing: ing}
+	}
+	for _, e := range events {
+		id := pm.Owner(pm.PartitionOf(e.Key()))
+		clients[id].(cluster.LocalNode).Ing.Offer(e)
+	}
+	for _, c := range clients {
+		c.(cluster.LocalNode).Ing.Flush()
+	}
+	front := cluster.NewFrontend(pm, clients, cluster.FrontendConfig{})
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := single.Query(spec)
+			if err != nil || res.Count == 0 {
+				b.Fatalf("query: %v", err)
+			}
+		}
+	})
+	b.Run("scatter-gather", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := front.Query(ctx, spec)
+			if err != nil || res.Count == 0 || res.Partial {
+				b.Fatalf("query: %v partial=%v", err, res.Partial)
+			}
+		}
+	})
 }
 
 // BenchmarkSocketPing measures a real UDP echo round trip through the

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/telemetry"
+	"edgescope/internal/telemetry/cluster"
+)
+
+// clusterServers is a 3-node cluster + frontend, every tier on the real
+// production mux over httptest.
+type clusterServers struct {
+	pm      *cluster.PartitionMap
+	ings    map[string]*telemetry.Ingestor
+	servers map[string]*httptest.Server
+	tracker *cluster.HealthTracker
+	front   *httptest.Server
+}
+
+func newClusterServers(t *testing.T) *clusterServers {
+	t.Helper()
+	pm, err := cluster.NewMap(cluster.MapConfig{
+		Partitions: 8, Nodes: []string{"n0", "n1", "n2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &clusterServers{pm: pm, ings: map[string]*telemetry.Ingestor{}, servers: map[string]*httptest.Server{}}
+	httpNodes := map[string]*cluster.HTTPNode{}
+	clients := map[string]cluster.NodeClient{}
+	for _, id := range pm.Nodes() {
+		ing := telemetry.NewIngestor(telemetry.Config{Shards: 2, QueueLen: 256, Block: true, Node: pm.NodeInfo(id)})
+		t.Cleanup(func() { ing.Close() })
+		srv := httptest.NewServer(buildMux(muxConfig{ing: ing, start: time.Now()}))
+		t.Cleanup(srv.Close)
+		c.ings[id] = ing
+		c.servers[id] = srv
+		n := cluster.NewHTTPNode(srv.URL, &http.Client{Timeout: time.Second})
+		httpNodes[id] = n
+		clients[id] = n
+	}
+	c.tracker = cluster.NewHealthTracker(pm.Nodes(), cluster.HTTPProber(httpNodes), cluster.HealthConfig{DownAfter: 3})
+	router := cluster.NewRouter(pm, c.tracker, cluster.HTTPTransport(httpNodes), rng.New(1), cluster.RouterConfig{
+		Retry: telemetry.RetryConfig{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+	})
+	front := cluster.NewFrontend(pm, clients, cluster.FrontendConfig{Timeout: time.Second})
+	c.front = httptest.NewServer(buildFrontendMux(frontendMuxConfig{
+		pm: pm, router: router, front: front, tracker: c.tracker, start: time.Now(),
+	}))
+	t.Cleanup(c.front.Close)
+	return c
+}
+
+// ingestLines builds a deterministic JSONL body spanning several keys.
+func ingestLines(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for i, region := range []string{"Beijing", "Shanghai", "Shenzhen", "Chengdu"} {
+		for j, net := range []string{"WiFi", "5G"} {
+			for k := 0; k < 4; k++ {
+				fmt.Fprintf(&sb, `{"v":1,"ts":%d,"metric":"rtt_ms","user":%d,"region":"%s","net":"%s","value":%d}`+"\n",
+					1700000000000+int64(k)*500, i+1, region, net, 10+i*5+j*2+k)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func postIngest(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "application/jsonl", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Dropped != 0 {
+		t.Fatalf("ingest dropped %d", ack.Dropped)
+	}
+	return ack.Accepted
+}
+
+// TestClusterFrontendMatchesSingleNode: the same JSONL stream pushed
+// through the frontend router and through one single-node daemon answers
+// /query and /keys byte-identically over HTTP.
+func TestClusterFrontendMatchesSingleNode(t *testing.T) {
+	c := newClusterServers(t)
+	body := ingestLines(t)
+	if got := postIngest(t, c.front.URL, body); got != 32 {
+		t.Fatalf("frontend accepted %d of 32", got)
+	}
+	for _, ing := range c.ings {
+		ing.Flush()
+	}
+
+	single, _, singleSrv := newTestServer(t, telemetry.Config{Shards: 4, Block: true}, false)
+	if got := postIngest(t, singleSrv.URL, body); got != 32 {
+		t.Fatalf("single accepted %d of 32", got)
+	}
+	single.Flush()
+
+	const q = "/query?metric=rtt_ms&q=0.5,0.95,0.99&cdf=10,20,40"
+	codeC, bodyC, _ := get(t, c.front.URL+q)
+	codeS, bodyS, _ := get(t, singleSrv.URL+q)
+	if codeC != http.StatusOK || codeS != http.StatusOK {
+		t.Fatalf("query status: cluster=%d single=%d", codeC, codeS)
+	}
+	if bodyC != bodyS {
+		t.Fatalf("cluster /query differs from single-node:\n%s\n%s", bodyC, bodyS)
+	}
+
+	codeC, keysC, _ := get(t, c.front.URL+"/keys")
+	codeS, keysS, _ := get(t, singleSrv.URL+"/keys")
+	if codeC != http.StatusOK || codeS != http.StatusOK {
+		t.Fatalf("keys status: cluster=%d single=%d", codeC, codeS)
+	}
+	if keysC != keysS {
+		t.Fatalf("cluster /keys differs from single-node:\n%s\n%s", keysC, keysS)
+	}
+}
+
+// TestClusterFrontendPartialOverHTTP: a dead member surfaces in /query as
+// partial + missing partitions, and /keys answers 206 with the missing
+// node named — explicit partiality, never silent gaps.
+func TestClusterFrontendPartialOverHTTP(t *testing.T) {
+	c := newClusterServers(t)
+	if got := postIngest(t, c.front.URL, ingestLines(t)); got != 32 {
+		t.Fatalf("accepted %d of 32", got)
+	}
+	for _, ing := range c.ings {
+		ing.Flush()
+	}
+
+	c.servers["n1"].Close()
+	for i := 0; i < 3; i++ {
+		c.tracker.ProbeOnce()
+	}
+
+	code, body, _ := get(t, c.front.URL+"/query?metric=rtt_ms")
+	if code != http.StatusOK {
+		t.Fatalf("partial query status = %d", code)
+	}
+	var res struct {
+		Count             float64  `json:"count"`
+		Partial           bool     `json:"partial"`
+		MissingPartitions []int    `json:"missing_partitions"`
+		MissingNodes      []string `json:"missing_nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatalf("dead member not flagged partial: %s", body)
+	}
+	if !reflect.DeepEqual(res.MissingNodes, []string{"n1"}) {
+		t.Fatalf("missing nodes = %v", res.MissingNodes)
+	}
+	if !reflect.DeepEqual(res.MissingPartitions, c.pm.OwnedBy("n1")) {
+		t.Fatalf("missing partitions = %v, n1 owns %v", res.MissingPartitions, c.pm.OwnedBy("n1"))
+	}
+	if res.Count == 0 {
+		t.Fatal("partial answer lost surviving data")
+	}
+
+	code, _, hdr := get(t, c.front.URL+"/keys")
+	if code != http.StatusPartialContent {
+		t.Fatalf("partial /keys status = %d, want 206", code)
+	}
+	if got := hdr.Get("X-Missing-Nodes"); got != "n1" {
+		t.Fatalf("X-Missing-Nodes = %q", got)
+	}
+
+	code, body, _ = get(t, c.front.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Nodes  []struct {
+			Node  string `json:"node"`
+			State string `json:"state"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("cluster healthz status = %s with a dead member", h.Status)
+	}
+	states := map[string]string{}
+	for _, n := range h.Nodes {
+		states[n.Node] = n.State
+	}
+	if states["n1"] != "down" || states["n0"] != "up" {
+		t.Fatalf("member states = %v", states)
+	}
+}
+
+// TestNodeHealthzSelfDescribes: a cluster node's /healthz names its role
+// and partition assignment.
+func TestNodeHealthzSelfDescribes(t *testing.T) {
+	c := newClusterServers(t)
+	code, body, _ := get(t, c.servers["n2"].URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var h struct {
+		Node *telemetry.NodeInfo `json:"node"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Node == nil || h.Node.Role != "node" || h.Node.ID != "n2" {
+		t.Fatalf("healthz node = %+v", h.Node)
+	}
+	if !reflect.DeepEqual(h.Node.Partitions, c.pm.OwnedBy("n2")) {
+		t.Fatalf("healthz partitions = %v, want %v", h.Node.Partitions, c.pm.OwnedBy("n2"))
+	}
+}
+
+// TestSketchesEndpoint: /sketches serves the wire-form rollups the
+// front-end merges, and validates specs like /query does.
+func TestSketchesEndpoint(t *testing.T) {
+	_, _, srv := newTestServer(t, telemetry.Config{Shards: 2, Block: true}, false)
+	if got := postIngest(t, srv.URL, ingestLines(t)); got != 32 {
+		t.Fatalf("accepted %d", got)
+	}
+
+	code, body, _ := get(t, srv.URL+"/sketches?metric=rtt_ms")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var page telemetry.SketchPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Metric != "rtt_ms" || len(page.Matches) == 0 || page.Compression == 0 {
+		t.Fatalf("page = metric=%q matches=%d compression=%v", page.Metric, len(page.Matches), page.Compression)
+	}
+
+	if code, _, _ := get(t, srv.URL+"/sketches"); code != http.StatusBadRequest {
+		t.Fatalf("metric-less /sketches status = %d, want 400", code)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	ids, urls, err := parsePeers("n0=http://a:1, n1=http://b:2 ,n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"n0", "n1", "n2"}) {
+		t.Fatalf("ids = %v (order is placement-significant)", ids)
+	}
+	if urls["n0"] != "http://a:1" || urls["n1"] != "http://b:2" || urls["n2"] != "" {
+		t.Fatalf("urls = %v", urls)
+	}
+	if _, _, err := parsePeers(""); err == nil {
+		t.Fatal("empty peers accepted")
+	}
+	if _, _, err := parsePeers("=http://x"); err == nil {
+		t.Fatal("id-less peer accepted")
+	}
+}

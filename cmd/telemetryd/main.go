@@ -9,8 +9,11 @@
 //	GET  /query    ?metric=rtt_ms[&region=..][&net=..][&from=RFC3339]
 //	               [&to=RFC3339][&q=0.5,0.95,0.99][&cdf=10,50,100]
 //	GET  /keys     every queryable dimension tuple with its event count
+//	GET  /sketches the matching rollups in exact binary sketch form — the
+//	               scatter half of a cluster query
 //	GET  /healthz  liveness ("ok" or "degraded", with reasons), per-shard
-//	               ingest + WAL accounting, and the startup recovery report
+//	               ingest + WAL accounting, the startup recovery report,
+//	               and (cluster roles) this node's partition assignment
 //	GET  /metrics  Prometheus text exposition: ingest, dedup, shedding, WAL,
 //	               recovery and query-latency instrument families
 //
@@ -36,6 +39,30 @@
 //	telemetryd -replay -scenario dense-metro &
 //	curl 'localhost:8355/query?metric=rtt_ms&q=0.5,0.95,0.99'
 //
+// # Cluster roles
+//
+// -role selects how the daemon participates in a distributed deployment
+// (internal/telemetry/cluster; see the README's "Distributed telemetry"):
+//
+//   - single (default): the standalone pipeline above.
+//   - node: one partitioned member. -node-id names this member inside the
+//     -peers list; /healthz self-describes the partitions it owns.
+//   - frontend: the stateless routing + scatter-gather tier. POST /ingest
+//     routes each envelope to its partition's owner (failing over to the
+//     replica when the owner is marked down), GET /query fans out to every
+//     node, merges sketch pages deterministically, and answers with
+//     explicit partial-result semantics ("partial": true plus the missing
+//     partition list) when members are unreachable.
+//
+// -peers lists the members as comma-separated id=url pairs in canonical
+// order; every daemon of one cluster must be given the identical list,
+// -partitions and -replicas, since placement is derived from them with no
+// coordination service. A frontend given -replay streams the campaign
+// through the router — the cluster-wide equivalent of a node-local replay.
+//
+//	telemetryd -role node -node-id n0 -peers n0=http://h0:8355,n1=http://h1:8355
+//	telemetryd -role frontend -peers n0=http://h0:8355,n1=http://h1:8355 -addr :8360
+//
 // Usage:
 //
 //	telemetryd [-addr :8355] [-shards 4] [-window 1m] [-queue 1024]
@@ -43,6 +70,9 @@
 //	           [-data DIR] [-sync-every 256] [-snapshot-every 4096]
 //	           [-replay] [-seed 1] [-scenario NAME|file.json]
 //	           [-scale small|paper] [-pprof] [-log-format text|json]
+//	           [-role single|node|frontend] [-node-id ID] [-peers LIST]
+//	           [-partitions 16] [-replicas 1|2]
+//	           [-probe-interval 1s] [-node-timeout 2s]
 //
 // Logs are structured (log/slog) with stable event names and keys, -log-format
 // selects human-readable text (default) or one JSON object per line.
@@ -62,6 +92,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +100,7 @@ import (
 	"edgescope/internal/obs"
 	"edgescope/internal/rng"
 	"edgescope/internal/telemetry"
+	"edgescope/internal/telemetry/cluster"
 )
 
 func main() {
@@ -88,6 +120,13 @@ func main() {
 	scn := flag.String("scenario", "", "replay scenario name from the registry, or path to a JSON spec (overrides -scale)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	role := flag.String("role", "single", "cluster role: single, node, or frontend")
+	nodeID := flag.String("node-id", "", "this member's id inside -peers (role node)")
+	peers := flag.String("peers", "", "cluster members as comma-separated id=url pairs, canonical order (identical on every daemon)")
+	partitions := flag.Int("partitions", cluster.DefaultPartitions, "cluster keyspace partition count (identical on every daemon)")
+	replicas := flag.Int("replicas", 1, "replication factor: 1 (owner only) or 2 (owner + failover replica)")
+	probeEvery := flag.Duration("probe-interval", time.Second, "frontend health probe period")
+	nodeTimeout := flag.Duration("node-timeout", 2*time.Second, "frontend per-node scatter-gather timeout")
 	flag.Parse()
 
 	log, err := newLogger(*logFormat)
@@ -95,6 +134,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetryd: %v\n", err)
 		os.Exit(2)
 	}
+
+	// Resolve the cluster layout for the cluster roles. Placement is pure
+	// arithmetic over (-peers, -partitions, -replicas): hand every daemon
+	// the same three flags and they agree with no coordination service.
+	var pm *cluster.PartitionMap
+	var peerURLs map[string]string
+	if *role == "node" || *role == "frontend" {
+		ids, urls, err := parsePeers(*peers)
+		if err != nil {
+			log.Error("bad -peers", "err", err)
+			os.Exit(2)
+		}
+		pm, err = cluster.NewMap(cluster.MapConfig{
+			Partitions:        *partitions,
+			Nodes:             ids,
+			ReplicationFactor: *replicas,
+		})
+		if err != nil {
+			log.Error("bad cluster layout", "err", err)
+			os.Exit(2)
+		}
+		peerURLs = urls
+	}
+
+	switch *role {
+	case "frontend":
+		runFrontend(frontendOpts{
+			addr: *addr, pm: pm, peerURLs: peerURLs,
+			probeEvery: *probeEvery, nodeTimeout: *nodeTimeout,
+			replay: *replay, scenario: *scn, scale: *scale, seed: *seed,
+			log: log,
+		})
+		return
+	case "single", "node":
+	default:
+		log.Error("unknown -role", "role", *role, "valid", "single, node, frontend")
+		os.Exit(2)
+	}
+
+	nodeInfo := &telemetry.NodeInfo{Role: "single"}
+	if *role == "node" {
+		if *nodeID == "" {
+			log.Error("role node needs -node-id")
+			os.Exit(2)
+		}
+		nodeInfo = pm.NodeInfo(*nodeID)
+		if len(nodeInfo.Partitions) == 0 {
+			log.Error("-node-id not in -peers (or owns nothing)", "node_id", *nodeID)
+			os.Exit(2)
+		}
+	}
+	log.Info("starting", "role", nodeInfo.Role, "node_id", nodeInfo.ID,
+		"partitions", nodeInfo.Partitions, "replicates", nodeInfo.Replicates)
 
 	reg := obs.NewRegistry()
 	ing, rec, err := telemetry.Open(telemetry.Config{
@@ -104,6 +196,7 @@ func main() {
 		Compression: *compression,
 		MaxWindows:  *retain,
 		Metrics:     reg,
+		Node:        nodeInfo,
 		// Default to backpressure (a full queue slows the HTTP client) so
 		// the dropped counters in /healthz only ever mean real, chosen
 		// loss; -drop opts into load shedding instead.
@@ -162,19 +255,122 @@ func main() {
 	// shard queues, fsync every WAL and write final snapshots (Close), then
 	// exit 0 — so a deliberate restart recovers instantly from the snapshot
 	// with zero replay and zero loss.
+	if err := serve(*addr, mux, log,
+		"addr", *addr, "role", nodeInfo.Role, "shards", *shards, "window", window.String(), "pprof", *pprofOn); err != nil {
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	if err := ing.Close(); err != nil {
+		log.Error("close failed", "err", err)
+		os.Exit(1)
+	}
+	t := ing.TotalStats()
+	log.Info("clean shutdown", "accepted", t.Accepted, "processed", t.Processed,
+		"dropped", t.Dropped, "windows", t.Windows)
+}
+
+// frontendOpts carries the resolved flags into the frontend role.
+type frontendOpts struct {
+	addr        string
+	pm          *cluster.PartitionMap
+	peerURLs    map[string]string
+	probeEvery  time.Duration
+	nodeTimeout time.Duration
+	replay      bool
+	scenario    string
+	scale       string
+	seed        uint64
+	log         *slog.Logger
+}
+
+// runFrontend stands up the stateless routing + scatter-gather tier.
+func runFrontend(o frontendOpts) {
+	log := o.log
+	for _, id := range o.pm.Nodes() {
+		if o.peerURLs[id] == "" {
+			log.Error("peer without url (frontend needs id=url for every member)", "node_id", id)
+			os.Exit(2)
+		}
+	}
+	log.Info("starting", "role", "frontend",
+		"peers", o.pm.Nodes(), "partitions", o.pm.Partitions(),
+		"replication_factor", o.pm.Config().ReplicationFactor)
+
+	reg := obs.NewRegistry()
+	httpNodes := map[string]*cluster.HTTPNode{}
+	clients := map[string]cluster.NodeClient{}
+	for _, id := range o.pm.Nodes() {
+		n := cluster.NewHTTPNode(o.peerURLs[id], &http.Client{Timeout: o.nodeTimeout})
+		httpNodes[id] = n
+		clients[id] = n
+	}
+	tracker := cluster.NewHealthTracker(o.pm.Nodes(), cluster.HTTPProber(httpNodes), cluster.HealthConfig{
+		Interval: o.probeEvery,
+		Metrics:  reg,
+	})
+	// Seed the state machine with one synchronous sweep so the very first
+	// routed envelope already sees real membership, then probe on a ticker.
+	tracker.ProbeOnce()
+	tracker.Start()
+	defer tracker.Stop()
+
+	router := cluster.NewRouter(o.pm, tracker, cluster.HTTPTransport(httpNodes),
+		rng.New(o.seed).Fork("router"), cluster.RouterConfig{Metrics: reg})
+	front := cluster.NewFrontend(o.pm, clients, cluster.FrontendConfig{
+		Timeout: o.nodeTimeout,
+		Metrics: reg,
+	})
+	start := time.Now()
+
+	if o.replay {
+		suite, err := core.SuiteFromFlags(flag.CommandLine, o.scenario, o.scale, "seed", o.seed)
+		if err != nil {
+			log.Error("replay setup failed", "err", err)
+			os.Exit(2)
+		}
+		log.Info("replay starting", "scenario", suite.Name(), "seed", suite.Seed, "via", "router")
+		st := telemetry.ReplayCampaignLatencyFunc(router.Send, suite.Campaign(),
+			rng.New(suite.Seed).Fork("latency"), telemetry.ReplayOptions{})
+		thr := telemetry.ReplayFunc(router.Send, telemetry.ThroughputEvents(suite.ThroughputObs(), telemetry.ReplayOptions{}))
+		st.Events += thr.Events
+		st.Accepted += thr.Accepted
+		st.Dropped += thr.Dropped
+		if st.Dropped > 0 {
+			log.Warn("replay lost events to unreachable partitions", "dropped", st.Dropped,
+				"hint", "check node health; refused envelopes must be resent after recovery")
+		}
+		rst := router.Stats()
+		log.Info("replay done", "events", st.Events, "accepted", st.Accepted, "dropped", st.Dropped,
+			"routed", rst.Routed, "failed_over", rst.FailedOver)
+	}
+
+	mux := buildFrontendMux(frontendMuxConfig{
+		pm: o.pm, router: router, front: front, tracker: tracker,
+		reg: reg, start: start, log: log,
+	})
+	if err := serve(o.addr, mux, log,
+		"addr", o.addr, "role", "frontend", "peers", len(o.pm.Nodes())); err != nil {
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("clean shutdown", "router", router.Stats())
+}
+
+// serve runs an HTTP server until SIGINT/SIGTERM (graceful drain, nil
+// return) or a listen failure (returned).
+func serve(addr string, h http.Handler, log *slog.Logger, fields ...any) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("listening", "addr", *addr, "shards", *shards, "window", window.String(), "pprof", *pprofOn)
+		log.Info("listening", fields...)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Error("serve failed", "err", err)
-			os.Exit(1)
+			return err
 		}
 	case <-ctx.Done():
 		log.Info("shutdown signal", "action", "draining")
@@ -184,13 +380,35 @@ func main() {
 			log.Error("http shutdown failed", "err", err)
 		}
 	}
-	if err := ing.Close(); err != nil {
-		log.Error("close failed", "err", err)
-		os.Exit(1)
+	return nil
+}
+
+// parsePeers splits "id=url,id=url" into the ordered id list and the
+// id→url map. Order is placement-significant: every daemon must receive
+// the identical list.
+func parsePeers(s string) ([]string, map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, fmt.Errorf("empty -peers (want id=url,id=url,...)")
 	}
-	t := ing.TotalStats()
-	log.Info("clean shutdown", "accepted", t.Accepted, "processed", t.Processed,
-		"dropped", t.Dropped, "windows", t.Windows)
+	var ids []string
+	urls := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, found := strings.Cut(part, "=")
+		id = strings.TrimSpace(id)
+		if id == "" {
+			return nil, nil, fmt.Errorf("peer %q has no id", part)
+		}
+		if !found {
+			url = "" // node role only needs the ids; the frontend checks urls itself
+		}
+		ids = append(ids, id)
+		urls[id] = strings.TrimSpace(url)
+	}
+	return ids, urls, nil
 }
 
 // newLogger builds the daemon's structured logger: text (human) or json

@@ -8,10 +8,12 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"edgescope/internal/obs"
 	"edgescope/internal/telemetry"
+	"edgescope/internal/telemetry/cluster"
 )
 
 // muxConfig assembles the daemon's HTTP surface; split from main so tests
@@ -68,9 +70,26 @@ func buildMux(cfg muxConfig) *http.ServeMux {
 	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(cfg.log, w, cfg.ing.Keys())
 	})
+	// /sketches is the scatter half of a cluster query: the matching
+	// (window, key) rollups in exact binary form, for a front-end to merge
+	// (cluster.Frontend). Served in every role — a single-node daemon is
+	// just a one-member cluster to whoever wants to aggregate it.
+	mux.HandleFunc("GET /sketches", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := specFromURL(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		page, err := cfg.ing.MatchSketches(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, page)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := cfg.ing.Health()
-		writeJSON(cfg.log, w, map[string]any{
+		body := map[string]any{
 			"status":         h.Status,
 			"reasons":        h.Reasons,
 			"durable":        h.Durable,
@@ -78,7 +97,14 @@ func buildMux(cfg muxConfig) *http.ServeMux {
 			"shards":         h.Shards,
 			"total":          h.Total,
 			"recovery":       h.Recovery,
-		})
+		}
+		if h.Node != nil {
+			// Self-describing membership: role plus the partitions this
+			// node owns (and replicates), so an operator can curl any
+			// member and see its place in the layout.
+			body["node"] = h.Node
+		}
+		writeJSON(cfg.log, w, body)
 	})
 	if cfg.reg != nil {
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -94,6 +120,111 @@ func buildMux(cfg muxConfig) *http.ServeMux {
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// frontendMuxConfig assembles the query front-end's HTTP surface.
+type frontendMuxConfig struct {
+	pm      *cluster.PartitionMap
+	router  *cluster.Router
+	front   *cluster.Frontend
+	tracker *cluster.HealthTracker
+	reg     *obs.Registry
+	start   time.Time
+	log     *slog.Logger
+}
+
+// buildFrontendMux wires the cluster front-end endpoints: /ingest routed
+// per partition, /query and /keys scatter-gathered, /healthz reporting
+// cluster membership. The response shapes match the single-node daemon's
+// wherever the cluster has nothing to disclose — a complete /query answer
+// is byte-identical to a single process's.
+func buildFrontendMux(cfg frontendMuxConfig) *http.ServeMux {
+	if cfg.log == nil {
+		cfg.log = slog.Default()
+	}
+	// The router wraps a RetryClient, which is single-goroutine by
+	// contract — serialize ingest requests over it.
+	var ingestMu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		accepted := 0
+		ingestMu.Lock()
+		st, err := telemetry.ReadJSONL(r.Body, func(e telemetry.Envelope) {
+			if cfg.router.Send(e) {
+				accepted++
+			}
+		})
+		ingestMu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, map[string]int{
+			"decoded":   st.Decoded,
+			"malformed": st.Malformed,
+			"accepted":  accepted,
+			"dropped":   st.Decoded - accepted,
+		})
+	})
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := specFromURL(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := cfg.front.Query(r.Context(), spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, res)
+	})
+	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
+		keys, missing := cfg.front.Keys(r.Context())
+		if len(missing) > 0 {
+			// The body stays the plain inventory (so a complete answer is
+			// byte-identical to a node's /keys); partiality rides on the
+			// status code and a header.
+			w.Header().Set("X-Missing-Nodes", strings.Join(missing, ","))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusPartialContent)
+		}
+		writeJSON(cfg.log, w, keys)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := cfg.tracker.Snapshot()
+		status := "ok"
+		nodes := make([]map[string]any, 0, len(snap))
+		for _, n := range snap {
+			if n.State != "up" {
+				status = "degraded"
+			}
+			nodes = append(nodes, map[string]any{
+				"node":       n.Node,
+				"state":      n.State,
+				"owns":       cfg.pm.OwnedBy(n.Node),
+				"replicates": cfg.pm.ReplicatedBy(n.Node),
+			})
+		}
+		writeJSON(cfg.log, w, map[string]any{
+			"status":             status,
+			"node":               &telemetry.NodeInfo{Role: "frontend"},
+			"partitions":         cfg.pm.Partitions(),
+			"replication_factor": cfg.pm.Config().ReplicationFactor,
+			"nodes":              nodes,
+			"router":             cfg.router.Stats(),
+			"uptime_seconds":     int(time.Since(cfg.start).Seconds()),
+		})
+	})
+	if cfg.reg != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", obs.ExpositionContentType)
+			if err := cfg.reg.WritePrometheus(w); err != nil {
+				cfg.log.Error("metrics write failed", "err", err)
+			}
+		})
 	}
 	return mux
 }

@@ -47,14 +47,21 @@ const (
 
 // TraceEntry records one injected fault. Stall entries mark the trigger
 // event; the refusals during the stall window are counted, not traced.
+// Node is set by the node-level injector (NodeInjector), Shard by the
+// event-level one — the trace schema is shared so a chaos run's full fault
+// story lands in one stream.
 type TraceEntry struct {
 	Event uint64 `json:"event"`          // ordinal of the offered event (0-based)
 	Kind  string `json:"kind"`           // one of the Kind constants
-	Span  int    `json:"span,omitempty"` // hold-back / stall length in events
+	Span  int    `json:"span,omitempty"` // hold-back / stall / outage length in events
 	Shard int    `json:"shard,omitempty"`
+	Node  string `json:"node,omitempty"`
 }
 
 func (t TraceEntry) String() string {
+	if t.Node != "" {
+		return fmt.Sprintf("#%d %s span=%d node=%s", t.Event, t.Kind, t.Span, t.Node)
+	}
 	return fmt.Sprintf("#%d %s span=%d shard=%d", t.Event, t.Kind, t.Span, t.Shard)
 }
 

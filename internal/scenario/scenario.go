@@ -78,13 +78,45 @@ type FaultSpec struct {
 	// ShortWrite is the per-write probability that a WAL write is cut short
 	// (a torn write), exercising recovery's truncation path.
 	ShortWrite float64 `json:"short_write,omitempty"`
+
+	// Node-level faults (internal/faultinject.NodeInjector) shake a
+	// telemetry *cluster* rather than a single pipeline: the target is the
+	// node an event routes to, and spans are counted in offered events —
+	// same determinism contract as the event-level faults above.
+
+	// NodeCrash is the per-event probability that the event's target node
+	// hard-crashes: it loses everything past its last fsync and refuses all
+	// traffic for NodeCrashSpan events, then restarts via WAL recovery.
+	NodeCrash float64 `json:"node_crash,omitempty"`
+	// NodeCrashSpan is the outage length in offered events. Default 64
+	// when NodeCrash > 0.
+	NodeCrashSpan int `json:"node_crash_span,omitempty"`
+	// NodeStall is the per-event probability the target node stops
+	// answering for NodeStallSpan events — alive, state intact, just
+	// unresponsive (GC pause, overload).
+	NodeStall float64 `json:"node_stall,omitempty"`
+	// NodeStallSpan is the stall length in offered events. Default 32.
+	NodeStallSpan int `json:"node_stall_span,omitempty"`
+	// NetPartition is the per-event probability the link between the
+	// router and the event's target node is cut for NetPartitionSpan
+	// events: sends and probes through the router fail, while the node
+	// itself keeps running undamaged.
+	NetPartition float64 `json:"net_partition,omitempty"`
+	// NetPartitionSpan is the partition length in offered events. Default 64.
+	NetPartitionSpan int `json:"net_partition_span,omitempty"`
 }
 
 // Active reports whether the plan can inject anything at all. Inactive plans
 // (nil or all-zero rates) draw no randomness.
 func (f *FaultSpec) Active() bool {
 	return f != nil && (f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 ||
-		f.Delay > 0 || f.ShardStall > 0 || f.ShortWrite > 0)
+		f.Delay > 0 || f.ShardStall > 0 || f.ShortWrite > 0 || f.NodeActive())
+}
+
+// NodeActive reports whether the plan carries any node-level fault — what
+// a cluster harness (faultinject.NodeInjector) can inject.
+func (f *FaultSpec) NodeActive() bool {
+	return f != nil && (f.NodeCrash > 0 || f.NodeStall > 0 || f.NetPartition > 0)
 }
 
 // validate appends FaultSpec field errors via bad.
@@ -99,6 +131,9 @@ func (f *FaultSpec) validate(bad func(field, format string, args ...any)) {
 		{"fault.delay", f.Delay},
 		{"fault.shard_stall", f.ShardStall},
 		{"fault.short_write", f.ShortWrite},
+		{"fault.node_crash", f.NodeCrash},
+		{"fault.node_stall", f.NodeStall},
+		{"fault.net_partition", f.NetPartition},
 	} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			bad(r.field, "rate %v outside [0,1]", r.v)
@@ -111,6 +146,9 @@ func (f *FaultSpec) validate(bad func(field, format string, args ...any)) {
 		{"fault.reorder_span", f.ReorderSpan},
 		{"fault.delay_span", f.DelaySpan},
 		{"fault.stall_span", f.StallSpan},
+		{"fault.node_crash_span", f.NodeCrashSpan},
+		{"fault.node_stall_span", f.NodeStallSpan},
+		{"fault.net_partition_span", f.NetPartitionSpan},
 	} {
 		if sp.v < 0 {
 			bad(sp.field, "span must be non-negative (got %d)", sp.v)

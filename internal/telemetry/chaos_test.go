@@ -147,7 +147,7 @@ func TestChaosShortWriteNeverCorruptsRecovery(t *testing.T) {
 	if got, want := queryFingerprint(t, ing), queryFingerprint(t, clean); !bytes.Equal(got, want) {
 		t.Fatal("degraded ingest lost live data")
 	}
-	ing.crash()
+	ing.Crash()
 
 	// Recovery over the torn logs: a valid (possibly partial) state, never
 	// a corruption error or panic.

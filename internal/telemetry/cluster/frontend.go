@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"edgescope/internal/obs"
+	"edgescope/internal/telemetry"
+)
+
+// NodeClient is the query-side transport to one node. Implementations:
+// HTTPNode over the wire, LocalNode for in-process tests and benchmarks —
+// either optionally wrapped in a fault injector.
+type NodeClient interface {
+	// Sketches returns the node's matching rollups in wire form
+	// (GET /sketches on a cluster node).
+	Sketches(ctx context.Context, spec telemetry.QuerySpec) (telemetry.SketchPage, error)
+	// Keys returns the node's key inventory (GET /keys).
+	Keys(ctx context.Context) ([]telemetry.KeyCount, error)
+}
+
+// LocalNode adapts an in-process Ingestor to NodeClient — the test and
+// benchmark transport, with the HTTP hop removed and nothing else changed.
+type LocalNode struct {
+	Ing *telemetry.Ingestor
+}
+
+func (n LocalNode) Sketches(_ context.Context, spec telemetry.QuerySpec) (telemetry.SketchPage, error) {
+	return n.Ing.MatchSketches(spec)
+}
+
+func (n LocalNode) Keys(context.Context) ([]telemetry.KeyCount, error) {
+	return n.Ing.Keys(), nil
+}
+
+// FrontendConfig tunes the scatter-gather query tier.
+type FrontendConfig struct {
+	// Timeout bounds each node's gather leg. Default 2s. A node that
+	// cannot answer in time is reported missing, not waited for — partial
+	// answers beat hung queries.
+	Timeout time.Duration
+	// Metrics, when set, registers the front-end families (cluster_frontend_*).
+	Metrics *obs.Registry
+}
+
+func (c *FrontendConfig) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+}
+
+// Result is a cluster query answer. QueryResult is embedded and the
+// cluster fields carry omitempty, so a complete answer marshals
+// byte-identically to a single-node /query response — the cluster is
+// invisible until it has something to disclose.
+type Result struct {
+	telemetry.QueryResult
+	// Partial is set when at least one node could not be gathered; the
+	// statistics cover only the partitions that answered.
+	Partial bool `json:"partial,omitempty"`
+	// MissingPartitions lists every partition with no surviving copy in
+	// this answer — all partitions assigned (as owner or replica) only to
+	// nodes that failed to answer. Ascending, deduplicated.
+	MissingPartitions []int `json:"missing_partitions,omitempty"`
+	// MissingNodes lists the nodes that failed to answer, canonical order.
+	MissingNodes []string `json:"missing_nodes,omitempty"`
+}
+
+// Frontend is the scatter-gather query tier: it fans a query out to every
+// node, gathers sketch pages under per-node timeouts, and merges them on
+// the same sorted path the single-node query uses. Nodes that cannot be
+// reached do not fail the query — the answer covers what was gathered and
+// says exactly which partitions are missing.
+type Frontend struct {
+	pm      *PartitionMap
+	clients map[string]NodeClient
+	cfg     FrontendConfig
+
+	queries    *obs.Counter
+	partials   *obs.Counter
+	nodeErrors *obs.CounterVec
+}
+
+// NewFrontend builds the query tier over a partition map and one client
+// per node. Every node in the map must have a client.
+func NewFrontend(pm *PartitionMap, clients map[string]NodeClient, cfg FrontendConfig) *Frontend {
+	cfg.fill()
+	f := &Frontend{pm: pm, clients: clients, cfg: cfg}
+	if cfg.Metrics != nil {
+		f.queries = cfg.Metrics.Counter("cluster_frontend_queries_total", "scatter-gather queries served")
+		f.partials = cfg.Metrics.Counter("cluster_frontend_partial_total", "queries answered with missing partitions")
+		f.nodeErrors = cfg.Metrics.CounterVec("cluster_frontend_node_errors_total", "gather legs that failed", "node")
+	} else {
+		f.queries = &obs.Counter{}
+		f.partials = &obs.Counter{}
+	}
+	return f
+}
+
+// gather runs fn against every node concurrently, each leg under the
+// front-end timeout, and reports which nodes failed (canonical order).
+func (f *Frontend) gather(ctx context.Context, fn func(ctx context.Context, node string, c NodeClient) error) (missing []string) {
+	nodes := f.pm.cfg.Nodes
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		c, ok := f.clients[n]
+		if !ok {
+			errs[i] = context.Canceled // no client wired: the node is unreachable by construction
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n string, c NodeClient) {
+			defer wg.Done()
+			legCtx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+			defer cancel()
+			errs[i] = fn(legCtx, n, c)
+		}(i, n, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			missing = append(missing, nodes[i])
+			if f.nodeErrors != nil {
+				f.nodeErrors.With(nodes[i]).Inc()
+			}
+		}
+	}
+	return missing
+}
+
+// missingPartitions resolves unreachable nodes to the partitions that have
+// no surviving copy: a partition is missing when every node it is assigned
+// to (owner, and replica under replication factor 2) failed to answer.
+func (f *Frontend) missingPartitions(missing []string) []int {
+	if len(missing) == 0 {
+		return nil
+	}
+	down := make(map[string]bool, len(missing))
+	for _, n := range missing {
+		down[n] = true
+	}
+	var out []int
+	for p := 0; p < f.pm.Partitions(); p++ {
+		if !down[f.pm.Owner(p)] {
+			continue
+		}
+		if rep, ok := f.pm.Replica(p); ok && !down[rep] {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Query scatter-gathers one query. The error return covers spec problems
+// and merge-level config mismatches only; unreachable nodes surface in the
+// Result's partial fields instead.
+func (f *Frontend) Query(ctx context.Context, spec telemetry.QuerySpec) (Result, error) {
+	f.queries.Inc()
+	if err := telemetry.ValidateQuerySpec(spec); err != nil {
+		return Result{}, err
+	}
+	pages := make([]telemetry.SketchPage, len(f.pm.cfg.Nodes))
+	gathered := make([]bool, len(f.pm.cfg.Nodes))
+	missing := f.gather(ctx, func(ctx context.Context, node string, c NodeClient) error {
+		page, err := c.Sketches(ctx, spec)
+		if err != nil {
+			return err
+		}
+		i := f.pm.index[node]
+		pages[i], gathered[i] = page, true
+		return nil
+	})
+	// Keep only answered pages, in canonical node order — so the merge
+	// input (and therefore the answer bytes) never depends on goroutine
+	// finish order.
+	kept := pages[:0]
+	for i, ok := range gathered {
+		if ok {
+			kept = append(kept, pages[i])
+		}
+	}
+	res, err := telemetry.MergeSketchPages(spec, kept)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{QueryResult: res}
+	if len(missing) > 0 {
+		f.partials.Inc()
+		out.Partial = true
+		out.MissingNodes = missing
+		out.MissingPartitions = f.missingPartitions(missing)
+	}
+	return out, nil
+}
+
+// Keys scatter-gathers the cluster's key inventory: per-key counts summed
+// across nodes, sorted exactly like Ingestor.Keys. The second return lists
+// nodes that failed to answer (empty means the inventory is complete).
+func (f *Frontend) Keys(ctx context.Context) ([]telemetry.KeyCount, []string) {
+	perNode := make([][]telemetry.KeyCount, len(f.pm.cfg.Nodes))
+	missing := f.gather(ctx, func(ctx context.Context, node string, c NodeClient) error {
+		keys, err := c.Keys(ctx)
+		if err != nil {
+			return err
+		}
+		perNode[f.pm.index[node]] = keys
+		return nil
+	})
+	acc := map[telemetry.Key]float64{}
+	for _, keys := range perNode {
+		for _, kc := range keys {
+			acc[kc.Key] += kc.Count
+		}
+	}
+	out := make([]telemetry.KeyCount, 0, len(acc))
+	for k, n := range acc {
+		out = append(out, telemetry.KeyCount{Key: k, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Net < b.Net
+	})
+	return out, missing
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"edgescope/internal/obs"
+)
+
+// NodeState is a member's routability as seen by the health tracker.
+type NodeState int32
+
+const (
+	// StateUp: probes answer and the node reports healthy.
+	StateUp NodeState = iota
+	// StateDegraded: the node answers but reports degraded (WAL trouble,
+	// saturated queues), or has missed fewer probes than the down
+	// threshold. Degraded nodes are still routed to — they hold their
+	// partitions' data and accept writes.
+	StateDegraded
+	// StateDown: DownAfter consecutive probes failed. The router stops
+	// sending (failing over to replicas where the map has them) and the
+	// front-end reports the node's partitions as missing until it is back.
+	StateDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// ProbeResult is one health probe's outcome.
+type ProbeResult struct {
+	// Reachable: the probe got an answer at all.
+	Reachable bool
+	// Degraded: the node answered and self-reported degraded (the
+	// /healthz "status" field). Meaningless when unreachable.
+	Degraded bool
+}
+
+// Prober checks one node now. Implementations: HTTPProber (GET /healthz),
+// or any test double — the chaos harness probes through the same fault
+// injector the router sends through, so a partitioned node looks down from
+// the router's vantage even though it is alive.
+type Prober func(node string) ProbeResult
+
+// HealthConfig tunes the membership state machine. The zero value gets the
+// documented defaults.
+type HealthConfig struct {
+	// Interval is Start's probe period. Default 1s. Tests that need
+	// deterministic schedules skip Start and call ProbeOnce directly.
+	Interval time.Duration
+	// DownAfter is the consecutive unreachable probes that mark a node
+	// down. Default 3 — one lost probe degrades, a run of them downs.
+	DownAfter int
+	// UpAfter is the consecutive successful probes a down node needs
+	// before it is routable again. Default 2 — a flapping node must hold
+	// still briefly before traffic returns.
+	UpAfter int
+	// Metrics, when set, registers the membership families (cluster_node_*).
+	Metrics *obs.Registry
+}
+
+func (c *HealthConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+}
+
+// nodeHealth is one member's state-machine cell.
+type nodeHealth struct {
+	state       NodeState
+	fails       int // consecutive unreachable probes
+	oks         int // consecutive reachable probes
+	transitions uint64
+
+	stateG   *obs.Gauge   // 0 up / 1 degraded / 2 down
+	failures *obs.Counter // unreachable probes
+	transC   *obs.Counter // state transitions
+}
+
+// NodeHealth is one member's reported state.
+type NodeHealth struct {
+	Node                string `json:"node"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	Transitions         uint64 `json:"transitions,omitempty"`
+}
+
+// HealthTracker drives the up/degraded/down state machine over periodic
+// probes. Every node starts Up — a cluster boots optimistic and marks down
+// from evidence, so a cold start routes immediately.
+type HealthTracker struct {
+	nodes []string
+	probe Prober
+	cfg   HealthConfig
+
+	mu sync.Mutex
+	st map[string]*nodeHealth
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewHealthTracker builds a tracker over the given members.
+func NewHealthTracker(nodes []string, probe Prober, cfg HealthConfig) *HealthTracker {
+	cfg.fill()
+	h := &HealthTracker{
+		nodes: append([]string(nil), nodes...),
+		probe: probe,
+		cfg:   cfg,
+		st:    make(map[string]*nodeHealth, len(nodes)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	var stateG *obs.GaugeVec
+	var failC, transC *obs.CounterVec
+	if cfg.Metrics != nil {
+		stateG = cfg.Metrics.GaugeVec("cluster_node_state", "membership state: 0 up, 1 degraded, 2 down", "node")
+		failC = cfg.Metrics.CounterVec("cluster_probe_failures_total", "health probes that got no answer", "node")
+		transC = cfg.Metrics.CounterVec("cluster_node_transitions_total", "membership state transitions", "node")
+	}
+	for _, n := range h.nodes {
+		cell := &nodeHealth{}
+		if cfg.Metrics != nil {
+			cell.stateG = stateG.With(n)
+			cell.failures = failC.With(n)
+			cell.transC = transC.With(n)
+		} else {
+			cell.failures = &obs.Counter{}
+			cell.transC = &obs.Counter{}
+		}
+		h.st[n] = cell
+	}
+	return h
+}
+
+// ProbeOnce probes every member once, in canonical node order, and advances
+// the state machine — the deterministic unit Start loops on.
+func (h *HealthTracker) ProbeOnce() {
+	for _, n := range h.nodes {
+		res := h.probe(n)
+		h.observe(n, res)
+	}
+}
+
+// observe folds one probe result into a node's cell.
+func (h *HealthTracker) observe(node string, res ProbeResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.st[node]
+	if c == nil {
+		return
+	}
+	var next NodeState
+	switch {
+	case !res.Reachable:
+		c.fails++
+		c.oks = 0
+		c.failures.Inc()
+		if c.fails >= h.cfg.DownAfter || c.state == StateDown {
+			next = StateDown
+		} else {
+			next = StateDegraded
+		}
+	default:
+		c.fails = 0
+		c.oks++
+		switch {
+		case c.state == StateDown && c.oks < h.cfg.UpAfter:
+			next = StateDown // hold a flapping node out until it proves stable
+		case res.Degraded:
+			next = StateDegraded
+		default:
+			next = StateUp
+		}
+	}
+	if next != c.state {
+		c.state = next
+		c.transitions++
+		c.transC.Inc()
+	}
+	if c.stateG != nil {
+		c.stateG.Set(float64(c.state))
+	}
+}
+
+// Start launches the periodic probe loop. Stop ends it; both are
+// idempotent. Deterministic tests skip Start and drive ProbeOnce.
+func (h *HealthTracker) Start() {
+	h.startOnce.Do(func() {
+		go func() {
+			defer close(h.done)
+			t := time.NewTicker(h.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+					h.ProbeOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the probe loop started by Start and waits for it to exit.
+func (h *HealthTracker) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.startOnce.Do(func() { close(h.done) }) // never started: done must still close
+	<-h.done
+}
+
+// State returns a member's current state. Unknown nodes are Down: the
+// router must never send to an address the map does not know.
+func (h *HealthTracker) State(node string) NodeState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.st[node]
+	if c == nil {
+		return StateDown
+	}
+	return c.state
+}
+
+// Snapshot reports every member, canonical node order.
+func (h *HealthTracker) Snapshot() []NodeHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeHealth, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		c := h.st[n]
+		out = append(out, NodeHealth{
+			Node:                n,
+			State:               c.state.String(),
+			ConsecutiveFailures: c.fails,
+			Transitions:         c.transitions,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"edgescope/internal/obs"
+)
+
+// scriptedProber answers probes from a per-node state the test flips.
+type scriptedProber struct {
+	res map[string]ProbeResult
+}
+
+func (p *scriptedProber) probe(node string) ProbeResult { return p.res[node] }
+
+func newHealthHarness(cfg HealthConfig, nodes ...string) (*HealthTracker, *scriptedProber) {
+	p := &scriptedProber{res: map[string]ProbeResult{}}
+	for _, n := range nodes {
+		p.res[n] = ProbeResult{Reachable: true}
+	}
+	return NewHealthTracker(nodes, p.probe, cfg), p
+}
+
+func TestHealthStartsUpAndHoldsUp(t *testing.T) {
+	h, _ := newHealthHarness(HealthConfig{}, "a", "b")
+	if h.State("a") != StateUp || h.State("b") != StateUp {
+		t.Fatal("cold tracker not optimistic")
+	}
+	for i := 0; i < 5; i++ {
+		h.ProbeOnce()
+	}
+	if h.State("a") != StateUp {
+		t.Fatal("healthy node left Up")
+	}
+	if h.State("unknown") != StateDown {
+		t.Fatal("unknown node not Down")
+	}
+}
+
+// TestHealthMarkdownAfterConsecutiveFailures: one missed probe degrades,
+// DownAfter misses down — and recovery needs UpAfter consecutive successes.
+func TestHealthMarkdownAfterConsecutiveFailures(t *testing.T) {
+	h, p := newHealthHarness(HealthConfig{DownAfter: 3, UpAfter: 2}, "a")
+	p.res["a"] = ProbeResult{}
+
+	h.ProbeOnce()
+	if got := h.State("a"); got != StateDegraded {
+		t.Fatalf("after 1 miss: %v", got)
+	}
+	h.ProbeOnce()
+	if got := h.State("a"); got != StateDegraded {
+		t.Fatalf("after 2 misses: %v", got)
+	}
+	h.ProbeOnce()
+	if got := h.State("a"); got != StateDown {
+		t.Fatalf("after 3 misses: %v", got)
+	}
+
+	// One good probe is not enough to requalify...
+	p.res["a"] = ProbeResult{Reachable: true}
+	h.ProbeOnce()
+	if got := h.State("a"); got != StateDown {
+		t.Fatalf("down node routable after 1 success: %v", got)
+	}
+	// ...the second is.
+	h.ProbeOnce()
+	if got := h.State("a"); got != StateUp {
+		t.Fatalf("after UpAfter successes: %v", got)
+	}
+}
+
+// TestHealthFlappingHeldDown: a node alternating answer/miss while down
+// never accumulates UpAfter consecutive successes, so it stays down.
+func TestHealthFlappingHeldDown(t *testing.T) {
+	h, p := newHealthHarness(HealthConfig{DownAfter: 2, UpAfter: 2}, "a")
+	p.res["a"] = ProbeResult{}
+	h.ProbeOnce()
+	h.ProbeOnce()
+	if h.State("a") != StateDown {
+		t.Fatal("setup: node not down")
+	}
+	for i := 0; i < 4; i++ {
+		p.res["a"] = ProbeResult{Reachable: true}
+		h.ProbeOnce()
+		p.res["a"] = ProbeResult{}
+		h.ProbeOnce()
+		if got := h.State("a"); got != StateDown {
+			t.Fatalf("flap cycle %d: %v", i, got)
+		}
+	}
+}
+
+// TestHealthSelfReportedDegraded: a node answering "degraded" is Degraded
+// (still routable) without any markdown counting.
+func TestHealthSelfReportedDegraded(t *testing.T) {
+	h, p := newHealthHarness(HealthConfig{}, "a")
+	p.res["a"] = ProbeResult{Reachable: true, Degraded: true}
+	for i := 0; i < 5; i++ {
+		h.ProbeOnce()
+		if got := h.State("a"); got != StateDegraded {
+			t.Fatalf("probe %d: %v", i, got)
+		}
+	}
+	p.res["a"] = ProbeResult{Reachable: true}
+	h.ProbeOnce()
+	if got := h.State("a"); got != StateUp {
+		t.Fatalf("recovered self-report: %v", got)
+	}
+}
+
+func TestHealthSnapshotAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := &scriptedProber{res: map[string]ProbeResult{
+		"a": {Reachable: true},
+		"b": {},
+	}}
+	h := NewHealthTracker([]string{"b", "a"}, p.probe, HealthConfig{DownAfter: 2, Metrics: reg})
+	h.ProbeOnce()
+	h.ProbeOnce()
+
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0].Node != "a" || snap[1].Node != "b" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].State != "up" || snap[1].State != "down" {
+		t.Fatalf("states = %s/%s", snap[0].State, snap[1].State)
+	}
+	if snap[1].ConsecutiveFailures != 2 {
+		t.Fatalf("b failures = %d", snap[1].ConsecutiveFailures)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`cluster_node_state{node="b"} 2`,
+		`cluster_probe_failures_total{node="b"} 2`,
+		`cluster_node_transitions_total{node="b"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHealthStartStop(t *testing.T) {
+	h, _ := newHealthHarness(HealthConfig{Interval: time.Millisecond}, "a")
+	h.Start()
+	h.Stop()
+	// Stop without Start must not hang either.
+	h2, _ := newHealthHarness(HealthConfig{}, "a")
+	h2.Stop()
+}

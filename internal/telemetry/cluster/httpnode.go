@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"edgescope/internal/telemetry"
+)
+
+// HTTPNode speaks to one cluster node over its telemetryd HTTP surface:
+// POST /ingest for the router, GET /sketches and /keys for the front-end,
+// GET /healthz for the prober. It implements NodeClient and supplies the
+// Router's per-node Transport leg.
+type HTTPNode struct {
+	base   string
+	client *http.Client
+	ingest func(telemetry.Envelope) bool
+}
+
+// NewHTTPNode builds a client for one node's base URL (no trailing slash
+// needed). client == nil uses http.DefaultClient.
+func NewHTTPNode(base string, client *http.Client) *HTTPNode {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base = strings.TrimRight(base, "/")
+	return &HTTPNode{
+		base:   base,
+		client: client,
+		ingest: telemetry.HTTPSender(client, base+"/ingest"),
+	}
+}
+
+// Ingest delivers one envelope to the node, true when acknowledged —
+// telemetry.HTTPSender semantics.
+func (n *HTTPNode) Ingest(e telemetry.Envelope) bool { return n.ingest(e) }
+
+// HTTPTransport adapts a set of per-node clients to the Router's Transport.
+func HTTPTransport(nodes map[string]*HTTPNode) Transport {
+	return func(node string, e telemetry.Envelope) bool {
+		n := nodes[node]
+		if n == nil {
+			return false
+		}
+		return n.Ingest(e)
+	}
+}
+
+// Sketches fetches the node's matching rollups: GET /sketches with the
+// same query parameters /query takes.
+func (n *HTTPNode) Sketches(ctx context.Context, spec telemetry.QuerySpec) (telemetry.SketchPage, error) {
+	var page telemetry.SketchPage
+	err := n.getJSON(ctx, "/sketches?"+specParams(spec), &page)
+	return page, err
+}
+
+// Keys fetches the node's key inventory: GET /keys.
+func (n *HTTPNode) Keys(ctx context.Context) ([]telemetry.KeyCount, error) {
+	var keys []telemetry.KeyCount
+	err := n.getJSON(ctx, "/keys", &keys)
+	return keys, err
+}
+
+// Probe checks the node's /healthz: reachable on any well-formed answer,
+// degraded when the node says so itself.
+func (n *HTTPNode) Probe() ProbeResult {
+	resp, err := n.client.Get(n.base + "/healthz")
+	if err != nil {
+		return ProbeResult{}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return ProbeResult{}
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return ProbeResult{}
+	}
+	return ProbeResult{Reachable: true, Degraded: body.Status != "ok"}
+}
+
+// HTTPProber builds the health tracker's Prober over per-node clients.
+// Unknown node ids probe unreachable.
+func HTTPProber(nodes map[string]*HTTPNode) Prober {
+	return func(node string) ProbeResult {
+		n := nodes[node]
+		if n == nil {
+			return ProbeResult{}
+		}
+		return n.Probe()
+	}
+}
+
+// getJSON runs one GET leg and decodes the JSON answer.
+func (n *HTTPNode) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s%s: %s: %s", n.base, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// specParams encodes a QuerySpec as /query-style URL parameters — the
+// inverse of telemetryd's spec parsing, shared by /sketches.
+func specParams(spec telemetry.QuerySpec) string {
+	q := url.Values{}
+	q.Set("metric", spec.Metric)
+	if spec.Region != "" {
+		q.Set("region", spec.Region)
+	}
+	if spec.Net != "" {
+		q.Set("net", spec.Net)
+	}
+	if !spec.From.IsZero() {
+		q.Set("from", spec.From.UTC().Format(time.RFC3339Nano))
+	}
+	if !spec.To.IsZero() {
+		q.Set("to", spec.To.UTC().Format(time.RFC3339Nano))
+	}
+	if len(spec.Quantiles) > 0 {
+		q.Set("q", joinFloats(spec.Quantiles))
+	}
+	if len(spec.CDFAt) > 0 {
+		q.Set("cdf", joinFloats(spec.CDFAt))
+	}
+	return q.Encode()
+}
+
+func joinFloats(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,155 @@
+// Package cluster turns the single-process telemetry pipeline into a
+// partitioned, fault-tolerant serving tier: a static partition map over the
+// (metric, region, network) keyspace, health-checked membership, a routing
+// ingest client with replica failover, and a scatter-gather query front-end
+// with explicit partial-result semantics.
+//
+// The layering mirrors the Periscope analytics pipeline: stateless routers
+// fan ingest out to partitioned stateful nodes (each an ordinary
+// telemetry.Ingestor with its own WAL — PR 6's durability is the per-node
+// substrate), and the query tier merges window sketches across nodes.
+// Because every (window, key) rollup lives on exactly one node and the
+// front-end merges sketches on the same sorted path the single-node query
+// uses (telemetry.MergeSketchPages), a clean clustered run answers every
+// query byte-identically to one process that ingested the whole stream —
+// the property the chaos tests pin.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"edgescope/internal/telemetry"
+)
+
+// DefaultPartitions is the partition count when a MapConfig names none.
+// Partitions are the unit of placement and of partial-result reporting;
+// more partitions than nodes keeps rebalancing (a config change) granular.
+const DefaultPartitions = 16
+
+// MapConfig declares a cluster's static layout.
+type MapConfig struct {
+	// Partitions is the keyspace partition count. Default DefaultPartitions.
+	Partitions int `json:"partitions"`
+	// Nodes lists the node ids in canonical order. Placement depends on
+	// this order, so every router and front-end must share it — ship the
+	// same config everywhere (it is a deployment artifact, not discovery).
+	Nodes []string `json:"nodes"`
+	// ReplicationFactor is 1 (owner only) or 2 (owner + one replica, the
+	// ingest failover target). Default 1.
+	ReplicationFactor int `json:"replication_factor,omitempty"`
+}
+
+// PartitionMap is the resolved placement: partition → owner (and replica,
+// under replication factor 2). The key→partition hash is the pipeline's
+// stable FNV-1a (telemetry.Key.ShardOf), so a key's partition depends only
+// on the key and the partition count — replays, routers and recovered
+// nodes always agree, with no coordination service anywhere.
+type PartitionMap struct {
+	cfg   MapConfig
+	index map[string]int // node id → position in cfg.Nodes
+}
+
+// NewMap validates and resolves a layout.
+func NewMap(cfg MapConfig) (*PartitionMap, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = DefaultPartitions
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: map needs at least one node")
+	}
+	if cfg.ReplicationFactor == 0 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.ReplicationFactor < 1 || cfg.ReplicationFactor > 2 {
+		return nil, fmt.Errorf("cluster: replication factor %d (supported: 1, 2)", cfg.ReplicationFactor)
+	}
+	if cfg.ReplicationFactor == 2 && len(cfg.Nodes) < 2 {
+		return nil, fmt.Errorf("cluster: replication factor 2 needs >= 2 nodes, have %d", len(cfg.Nodes))
+	}
+	index := make(map[string]int, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node id at position %d", i)
+		}
+		if _, dup := index[n]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n)
+		}
+		index[n] = i
+	}
+	return &PartitionMap{cfg: cfg, index: index}, nil
+}
+
+// Config returns the resolved (default-filled) layout.
+func (m *PartitionMap) Config() MapConfig { return m.cfg }
+
+// Partitions returns the partition count.
+func (m *PartitionMap) Partitions() int { return m.cfg.Partitions }
+
+// Nodes returns the node ids in canonical order.
+func (m *PartitionMap) Nodes() []string { return append([]string(nil), m.cfg.Nodes...) }
+
+// PartitionOf maps a key to its partition: the same FNV-1a hash the
+// in-process shard router uses, taken modulo the partition count.
+func (m *PartitionMap) PartitionOf(k telemetry.Key) int {
+	return k.ShardOf(m.cfg.Partitions)
+}
+
+// Owner returns the node owning a partition: round-robin over the node
+// list, so every node owns ⌈P/N⌉ or ⌊P/N⌋ partitions.
+func (m *PartitionMap) Owner(p int) string {
+	return m.cfg.Nodes[p%len(m.cfg.Nodes)]
+}
+
+// Replica returns the partition's failover node — the next node in
+// canonical order — and whether the layout has one (replication factor 2).
+func (m *PartitionMap) Replica(p int) (string, bool) {
+	if m.cfg.ReplicationFactor < 2 {
+		return "", false
+	}
+	return m.cfg.Nodes[(p+1)%len(m.cfg.Nodes)], true
+}
+
+// OwnedBy returns the partitions a node owns, ascending. Unknown nodes own
+// nothing.
+func (m *PartitionMap) OwnedBy(node string) []int {
+	return m.assigned(node, 0)
+}
+
+// ReplicatedBy returns the partitions a node stands replica for,
+// ascending; empty under replication factor 1.
+func (m *PartitionMap) ReplicatedBy(node string) []int {
+	if m.cfg.ReplicationFactor < 2 {
+		return nil
+	}
+	return m.assigned(node, 1)
+}
+
+// assigned collects the partitions placed on node at the given replica
+// offset (0 = owner, 1 = replica).
+func (m *PartitionMap) assigned(node string, offset int) []int {
+	i, ok := m.index[node]
+	if !ok {
+		return nil
+	}
+	var out []int
+	n := len(m.cfg.Nodes)
+	for p := 0; p < m.cfg.Partitions; p++ {
+		if (p+offset)%n == i {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeInfo builds the self-describing health identity a cluster node
+// surfaces through telemetry.Config.Node.
+func (m *PartitionMap) NodeInfo(node string) *telemetry.NodeInfo {
+	return &telemetry.NodeInfo{
+		Role:       "node",
+		ID:         node,
+		Partitions: m.OwnedBy(node),
+		Replicates: m.ReplicatedBy(node),
+	}
+}

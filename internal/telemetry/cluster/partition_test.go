@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"edgescope/internal/telemetry"
+)
+
+func mustMap(t *testing.T, cfg MapConfig) *PartitionMap {
+	t.Helper()
+	m, err := NewMap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMapValidation(t *testing.T) {
+	bad := []MapConfig{
+		{},                          // no nodes
+		{Nodes: []string{"a", ""}},  // empty id
+		{Nodes: []string{"a", "a"}}, // duplicate id
+		{Nodes: []string{"a"}, ReplicationFactor: 2},      // RF2 needs 2 nodes
+		{Nodes: []string{"a", "b"}, ReplicationFactor: 3}, // unsupported RF
+	}
+	for i, cfg := range bad {
+		if _, err := NewMap(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	m := mustMap(t, MapConfig{Nodes: []string{"a", "b"}})
+	if got := m.Partitions(); got != DefaultPartitions {
+		t.Fatalf("default partitions = %d", got)
+	}
+	if got := m.Config().ReplicationFactor; got != 1 {
+		t.Fatalf("default replication factor = %d", got)
+	}
+}
+
+// TestPartitionOfMatchesShardHash: the key→partition map is the pipeline's
+// stable FNV-1a shard hash — the property that lets every router, node and
+// replay agree with no coordination.
+func TestPartitionOfMatchesShardHash(t *testing.T) {
+	m := mustMap(t, MapConfig{Partitions: 8, Nodes: []string{"a", "b", "c"}})
+	keys := []telemetry.Key{
+		{Metric: "rtt_ms", Region: "Beijing", Net: "WiFi"},
+		{Metric: "rtt_ms", Region: "Shanghai", Net: "5G"},
+		{Metric: "hop_count", Region: "Beijing", Net: "WiFi"},
+	}
+	for _, k := range keys {
+		if got, want := m.PartitionOf(k), k.ShardOf(8); got != want {
+			t.Fatalf("PartitionOf(%v) = %d, ShardOf = %d", k, got, want)
+		}
+	}
+}
+
+// TestPlacementCoversEveryPartition: owner sets partition the whole space
+// disjointly; replicas are distinct from owners.
+func TestPlacementCoversEveryPartition(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	m := mustMap(t, MapConfig{Partitions: 16, Nodes: nodes, ReplicationFactor: 2})
+	seen := map[int]string{}
+	for _, n := range nodes {
+		for _, p := range m.OwnedBy(n) {
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("partition %d owned by %s and %s", p, prev, n)
+			}
+			seen[p] = n
+			if m.Owner(p) != n {
+				t.Fatalf("Owner(%d) = %s, OwnedBy says %s", p, m.Owner(p), n)
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("owners cover %d of 16 partitions", len(seen))
+	}
+	for p := 0; p < 16; p++ {
+		rep, ok := m.Replica(p)
+		if !ok {
+			t.Fatalf("RF2 map has no replica for partition %d", p)
+		}
+		if rep == m.Owner(p) {
+			t.Fatalf("partition %d replica == owner (%s)", p, rep)
+		}
+	}
+	if m.OwnedBy("stranger") != nil || m.ReplicatedBy("stranger") != nil {
+		t.Fatal("unknown node assigned partitions")
+	}
+}
+
+func TestReplicaAbsentUnderRF1(t *testing.T) {
+	m := mustMap(t, MapConfig{Partitions: 4, Nodes: []string{"a", "b"}})
+	if _, ok := m.Replica(0); ok {
+		t.Fatal("RF1 map produced a replica")
+	}
+	if m.ReplicatedBy("a") != nil {
+		t.Fatal("RF1 map reports replicated partitions")
+	}
+}
+
+func TestNodeInfoDescribesPlacement(t *testing.T) {
+	m := mustMap(t, MapConfig{Partitions: 6, Nodes: []string{"a", "b", "c"}, ReplicationFactor: 2})
+	info := m.NodeInfo("b")
+	if info.Role != "node" || info.ID != "b" {
+		t.Fatalf("info = %+v", info)
+	}
+	if !reflect.DeepEqual(info.Partitions, m.OwnedBy("b")) {
+		t.Fatalf("Partitions = %v, OwnedBy = %v", info.Partitions, m.OwnedBy("b"))
+	}
+	if !reflect.DeepEqual(info.Replicates, m.ReplicatedBy("b")) {
+		t.Fatalf("Replicates = %v, ReplicatedBy = %v", info.Replicates, m.ReplicatedBy("b"))
+	}
+}

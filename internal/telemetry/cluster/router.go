@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"edgescope/internal/obs"
+	"edgescope/internal/rng"
+	"edgescope/internal/telemetry"
+)
+
+// Transport delivers one envelope to one node, returning whether the node
+// acknowledged it. Implementations: HTTPNode.Ingest over the wire, a
+// direct Ingestor.Offer in tests, or either wrapped in a fault injector.
+type Transport func(node string, e telemetry.Envelope) bool
+
+// RouterConfig tunes the routing ingest client.
+type RouterConfig struct {
+	// Retry is handed to the underlying telemetry.RetryClient — the same
+	// bounded-backoff machinery the single-node client uses, now wrapped
+	// around partition routing. Its dedup sequence numbers make failover
+	// safe: a resend that lands twice folds once server-side.
+	Retry telemetry.RetryConfig
+	// Metrics, when set, registers the routing families (cluster_router_*).
+	Metrics *obs.Registry
+}
+
+// RouterStats counts routing decisions.
+type RouterStats struct {
+	// Routed counts envelopes delivered to their partition's owner.
+	Routed uint64 `json:"routed"`
+	// FailedOver counts envelopes delivered to the replica because the
+	// owner was marked down.
+	FailedOver uint64 `json:"failed_over"`
+	// Unroutable counts attempts with no live target — owner down and no
+	// (live) replica. The retry client backs off and retries these, so one
+	// envelope can count several times while an outage lasts.
+	Unroutable uint64 `json:"unroutable"`
+	// Client is the underlying retry client's view (sent/retries/failed).
+	Client telemetry.ClientStats `json:"client"`
+}
+
+// Router is the ingest front door: it maps each envelope's key to its
+// partition, sends to the owning node, and — when the health tracker has
+// marked the owner down and the map has a replica — fails over to the
+// replica. Everything rides inside a telemetry.RetryClient, so transient
+// refusals (including the whole failover window under replication factor
+// 1) get bounded exponential backoff and per-key sequence numbers that
+// make duplicates from retries fold away server-side.
+//
+// Failover is markdown-gated on purpose: a transport failure against an
+// owner still marked up is treated as transient (return false → retry),
+// not as a cue to scatter a partition's writes across nodes. Only the
+// health state machine — evidence accumulated over consecutive probes —
+// moves a partition's traffic, which keeps each (window, key) rollup on
+// one node in the common case and preserves single-node byte-identity.
+//
+// Send/SendAll must be called from a single goroutine, like the
+// RetryClient they wrap.
+type Router struct {
+	pm        *PartitionMap
+	health    *HealthTracker
+	transport Transport
+	client    *telemetry.RetryClient
+
+	routed     *obs.Counter
+	failedOver *obs.Counter
+	unroutable *obs.Counter
+}
+
+// NewRouter wires a routing client over a partition map, a health tracker
+// and a node transport. src seeds the retry client's backoff jitter.
+func NewRouter(pm *PartitionMap, health *HealthTracker, transport Transport, src *rng.Source, cfg RouterConfig) *Router {
+	r := &Router{pm: pm, health: health, transport: transport}
+	if cfg.Metrics != nil {
+		r.routed = cfg.Metrics.Counter("cluster_router_routed_total", "envelopes delivered to their partition owner")
+		r.failedOver = cfg.Metrics.Counter("cluster_router_failed_over_total", "envelopes delivered to the replica while the owner was down")
+		r.unroutable = cfg.Metrics.Counter("cluster_router_unroutable_total", "send attempts with no live target node")
+	} else {
+		r.routed = &obs.Counter{}
+		r.failedOver = &obs.Counter{}
+		r.unroutable = &obs.Counter{}
+	}
+	r.client = telemetry.NewRetryClient(r.route, src, cfg.Retry)
+	return r
+}
+
+// route is the RetryClient's send function: one delivery attempt.
+func (r *Router) route(e telemetry.Envelope) bool {
+	p := r.pm.PartitionOf(e.Key())
+	owner := r.pm.Owner(p)
+	if r.health.State(owner) != StateDown {
+		if r.transport(owner, e) {
+			r.routed.Inc()
+			return true
+		}
+		// The owner is marked routable but the send failed: transient.
+		// Let the retry client back off rather than failing over on a
+		// single error.
+		return false
+	}
+	if replica, ok := r.pm.Replica(p); ok && r.health.State(replica) != StateDown {
+		if r.transport(replica, e) {
+			r.failedOver.Inc()
+			return true
+		}
+		return false
+	}
+	r.unroutable.Inc()
+	return false
+}
+
+// Send routes one envelope, retrying with backoff until acknowledged or
+// the attempt budget is spent. Reports whether the envelope was acked.
+func (r *Router) Send(e telemetry.Envelope) bool { return r.client.Send(e) }
+
+// SendAll routes a batch in order, returning how many were acked.
+func (r *Router) SendAll(events []telemetry.Envelope) int { return r.client.SendAll(events) }
+
+// SeqState exposes the retry client's per-key sequence state (checkpoint
+// support — see telemetry.RetryClient.SeqState).
+func (r *Router) SeqState() []telemetry.SeqRecord { return r.client.SeqState() }
+
+// RestoreSeqState seeds sequence numbering from a checkpoint.
+func (r *Router) RestoreSeqState(recs []telemetry.SeqRecord) { r.client.RestoreSeqState(recs) }
+
+// Stats returns a snapshot of routing counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Routed:     r.routed.Value(),
+		FailedOver: r.failedOver.Value(),
+		Unroutable: r.unroutable.Value(),
+		Client:     r.client.Stats(),
+	}
+}

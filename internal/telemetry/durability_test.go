@@ -66,7 +66,7 @@ func TestKillAndRecoverByteIdentical(t *testing.T) {
 	}
 	ing.Flush()
 	want := queryFingerprint(t, ing)
-	ing.crash()
+	ing.Crash()
 
 	ing2, rec, err := Open(cfg)
 	if err != nil {
@@ -230,7 +230,7 @@ func TestTornTailTruncated(t *testing.T) {
 	ing.OfferAll(events)
 	ing.Flush()
 	want := queryFingerprint(t, ing)
-	ing.crash()
+	ing.Crash()
 
 	// Forge the torn write: valid JSON prefix, cut before its newline.
 	segs, err := listSegments(shardDir(dir, 0))
@@ -280,7 +280,7 @@ func TestCorruptWALRecordFailsLoudly(t *testing.T) {
 	ing := NewIngestor(cfg)
 	ing.OfferAll(campaignEvents(t))
 	ing.Flush()
-	ing.crash()
+	ing.Crash()
 
 	segs, err := listSegments(shardDir(dir, 1))
 	if err != nil || len(segs) == 0 {
@@ -311,7 +311,7 @@ func TestRecoveredIngestorContinuesStream(t *testing.T) {
 	ing := NewIngestor(cfg)
 	ing.OfferAll(events[:half])
 	ing.Flush()
-	ing.crash()
+	ing.Crash()
 
 	ing2, _, err := Open(cfg)
 	if err != nil {
@@ -320,7 +320,7 @@ func TestRecoveredIngestorContinuesStream(t *testing.T) {
 	ing2.OfferAll(events[half:])
 	ing2.Flush()
 	want := queryFingerprint(t, ing2)
-	ing2.crash()
+	ing2.Crash()
 
 	ing3, rec, err := Open(cfg)
 	if err != nil {
@@ -421,7 +421,7 @@ func TestSnapshotNeverClaimsUnsyncedRecords(t *testing.T) {
 		}
 	}
 	ing1.Flush()
-	ing1.crash() // buffered WAL bytes beyond the last checkpoint are lost
+	ing1.Crash() // buffered WAL bytes beyond the last checkpoint are lost
 
 	cfg2 := Config{Shards: 1, QueueLen: 64, Block: true,
 		WAL: WALConfig{Dir: dir, SyncEvery: 1}}
@@ -436,7 +436,7 @@ func TestSnapshotNeverClaimsUnsyncedRecords(t *testing.T) {
 	}
 	ing2.Flush() // SyncEvery 1: every generation-2 record is fsynced
 	want := queryFingerprint(t, ing2)
-	ing2.crash() // before any generation-2 snapshot
+	ing2.Crash() // before any generation-2 snapshot
 
 	ing3, _, err := Open(cfg2)
 	if err != nil {

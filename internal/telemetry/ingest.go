@@ -103,6 +103,13 @@ type Config struct {
 	// given registry (families register once). nil keeps the accounting in
 	// standalone cells: same hot-path cost, no exposition.
 	Metrics *obs.Registry
+	// Node, when set, names this ingestor's place in a telemetry cluster —
+	// role, node id and the partitions it owns or replicates — and is
+	// echoed verbatim by Health(), so a cluster node's /healthz answer is
+	// self-describing: an operator (or the front-end's health prober)
+	// learns who they are talking to from the answer alone. nil for the
+	// single-process deployment.
+	Node *NodeInfo
 	// ShedPriority enables drop-priority load shedding on a non-Block
 	// ingestor: when a shard queue passes its high-water mark (3/4 full),
 	// envelopes whose priority is <= 0 are shed — counted in
@@ -605,12 +612,14 @@ func (ing *Ingestor) Close() error {
 	return ing.closeErr
 }
 
-// crash is the test double for SIGKILL: it stops the workers and closes the
+// Crash is the test double for SIGKILL: it stops the workers and closes the
 // WAL file handles without flushing buffered writes, final fsync or a
 // snapshot, so the on-disk state is exactly what the durability contract
 // promises after a hard crash — everything up to the last fsync, plus
 // whatever later bytes the OS already had (possibly ending in a torn line).
-func (ing *Ingestor) crash() {
+// Exported for chaos harnesses (the cluster tests hard-kill member nodes
+// through it); production shutdown is Close.
+func (ing *Ingestor) Crash() {
 	ing.closeOnce.Do(func() {
 		ing.offerMu.Lock()
 		ing.closed = true
@@ -681,6 +690,21 @@ func (ing *Ingestor) TotalStats() ShardStats {
 	return t
 }
 
+// NodeInfo identifies an ingestor's place in a telemetry cluster. It is
+// descriptive only — the ingestor never routes by it — but surfacing it
+// through Health() makes every /healthz answer self-describing.
+type NodeInfo struct {
+	// Role is "single", "node" or "frontend" (cmd/telemetryd's -role).
+	Role string `json:"role"`
+	// ID is the node's cluster-wide id (cmd/telemetryd's -node-id).
+	ID string `json:"id,omitempty"`
+	// Partitions lists the partition indexes this node owns, ascending.
+	Partitions []int `json:"partitions,omitempty"`
+	// Replicates lists the partitions this node stands replica for
+	// (replication factor 2), ascending.
+	Replicates []int `json:"replicates,omitempty"`
+}
+
 // HealthState is the pipeline's liveness/degradation report, served by
 // cmd/telemetryd's /healthz.
 type HealthState struct {
@@ -690,9 +714,11 @@ type HealthState struct {
 	// Reasons names each degradation, per shard.
 	Reasons []string `json:"reasons,omitempty"`
 	// Durable reports whether a WAL is configured at all.
-	Durable bool         `json:"durable"`
-	Shards  []ShardStats `json:"shards"`
-	Total   ShardStats   `json:"total"`
+	Durable bool `json:"durable"`
+	// Node is the cluster identity (Config.Node), nil for a single process.
+	Node   *NodeInfo    `json:"node,omitempty"`
+	Shards []ShardStats `json:"shards"`
+	Total  ShardStats   `json:"total"`
 	// Recovery is the startup recovery pass, when durability is on.
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
@@ -702,6 +728,7 @@ func (ing *Ingestor) Health() HealthState {
 	h := HealthState{
 		Status:   "ok",
 		Durable:  ing.cfg.WAL.Dir != "",
+		Node:     ing.cfg.Node,
 		Shards:   ing.Stats(),
 		Recovery: ing.recovery,
 	}

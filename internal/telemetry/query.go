@@ -54,28 +54,67 @@ type QueryResult struct {
 // DefaultQuantiles are evaluated when a spec names none.
 var DefaultQuantiles = []float64{0.5, 0.95, 0.99}
 
-// Query merges every matching (window, key) sketch — across all shards and
-// the requested window range — and evaluates the spec's statistics on the
-// merged sketch. Merging is ordered (windows sorted by start time then key,
-// shards visited in index order), so the answer is deterministic for a
-// given rollup state. Ingestion may continue concurrently; each shard is
-// locked only while its matching sketches are copied out.
-func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
-	if spec.Metric == "" {
-		return QueryResult{}, fmt.Errorf("telemetry: query needs a metric")
-	}
-	if ing.m != nil {
-		began := time.Now()
-		defer func() { ing.m.query.ObserveDuration(time.Since(began)) }()
-	}
+// checkedQuantiles validates the spec's quantiles, substituting
+// DefaultQuantiles for an empty list — one shared gate so the single-node
+// query and the cluster front-end reject exactly the same specs.
+func checkedQuantiles(spec QuerySpec) ([]float64, error) {
 	qs := spec.Quantiles
 	if len(qs) == 0 {
 		qs = DefaultQuantiles
 	}
 	for _, q := range qs {
 		if q < 0 || q > 1 {
-			return QueryResult{}, fmt.Errorf("telemetry: quantile %v outside [0,1]", q)
+			return nil, fmt.Errorf("telemetry: quantile %v outside [0,1]", q)
 		}
+	}
+	return qs, nil
+}
+
+// ValidateQuerySpec applies the validation every query path shares —
+// metric required, quantiles in [0,1] — without touching any rollup state.
+// The cluster front-end runs it before fanning a spec out, so a bad spec
+// fails fast at the front door with the same error a node would return,
+// instead of being mistaken for an unreachable cluster.
+func ValidateQuerySpec(spec QuerySpec) error {
+	if spec.Metric == "" {
+		return fmt.Errorf("telemetry: query needs a metric")
+	}
+	_, err := checkedQuantiles(spec)
+	return err
+}
+
+// sketchMatch is one matching (window, key) rollup pulled out of a shard.
+type sketchMatch struct {
+	wk windowKey
+	sk *stats.Sketch
+}
+
+// sortMatches orders matches by (start, region, net) — a total order,
+// because a query's matches share one metric and a (window, key) rollup
+// exists exactly once. Every consumer that merges matches MUST use this
+// order: it is what makes single-node answers, recovered-node answers and
+// the cluster front-end's scatter-gather merge byte-identical.
+func sortMatches(matches []sketchMatch) {
+	sort.Slice(matches, func(i, j int) bool {
+		a, b := matches[i].wk, matches[j].wk
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Net < b.Net
+	})
+}
+
+// collectMatches clones every (window, key) sketch the spec selects, sorted
+// by sortMatches. Each shard is locked only while its rollups are scanned
+// and the matching sketches copied out — a few KB memcpy per match, the
+// price of a consistent cut without epoch machinery; MaxWindows bounds the
+// scan length.
+func (ing *Ingestor) collectMatches(spec QuerySpec) ([]sketchMatch, error) {
+	if spec.Metric == "" {
+		return nil, fmt.Errorf("telemetry: query needs a metric")
 	}
 	// Align the bounds to whole windows: a window is selected iff it
 	// overlaps [From, To), matching the spec's documented granularity.
@@ -89,18 +128,7 @@ func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
 		w := ing.cfg.Window.Milliseconds()
 		toMs = ing.windowStart(spec.To.UnixMilli()-1) + w
 	}
-
-	// Collect matching sketches under each shard's lock, then merge outside
-	// the locks in a deterministic order. The lock is held for the rollup
-	// scan plus a centroid memcpy per match (a few KB each) — that stalls
-	// the shard's writer for the scan's duration, the price of a
-	// consistent snapshot without epoch machinery; MaxWindows bounds the
-	// scan length.
-	type match struct {
-		wk windowKey
-		sk *stats.Sketch
-	}
-	var matches []match
+	var matches []sketchMatch
 	for _, s := range ing.shards {
 		s.mu.Lock()
 		for wk, sk := range s.windows {
@@ -116,24 +144,23 @@ func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
 			if wk.Start < fromMs || wk.Start >= toMs {
 				continue
 			}
-			matches = append(matches, match{wk, sk.Clone()})
+			matches = append(matches, sketchMatch{wk, sk.Clone()})
 		}
 		s.mu.Unlock()
 	}
-	sort.Slice(matches, func(i, j int) bool {
-		a, b := matches[i].wk, matches[j].wk
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.Region != b.Region {
-			return a.Region < b.Region
-		}
-		return a.Net < b.Net
-	})
+	sortMatches(matches)
+	return matches, nil
+}
 
+// evaluateMatches merges already-sorted matches into one sketch and
+// evaluates the requested statistics. This is THE merge+evaluate path: the
+// single-node query and the cluster scatter-gather both end here, with the
+// same compression and the same absorb order, which is why their answers
+// are byte-identical over the same rollups.
+func evaluateMatches(matches []sketchMatch, qs, cdfAt []float64, compression float64) QueryResult {
 	// Absorb defers compaction so merging W windows costs one merge pass
 	// per ~8δ absorbed centroids, not one sort per window.
-	merged := stats.NewSketch(ing.cfg.Compression)
+	merged := stats.NewSketch(compression)
 	for _, m := range matches {
 		merged.Absorb(m.sk)
 	}
@@ -151,10 +178,159 @@ func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
 			RankError: merged.RankErrorBound(q),
 		})
 	}
-	for _, x := range spec.CDFAt {
+	for _, x := range cdfAt {
 		res.CDF = append(res.CDF, CDFEstimate{X: x, P: merged.CDFAt(x)})
 	}
-	return res, nil
+	return res
+}
+
+// Query merges every matching (window, key) sketch — across all shards and
+// the requested window range — and evaluates the spec's statistics on the
+// merged sketch. Merging is ordered (windows sorted by start time then key,
+// shards visited in index order), so the answer is deterministic for a
+// given rollup state. Ingestion may continue concurrently; each shard is
+// locked only while its matching sketches are copied out.
+func (ing *Ingestor) Query(spec QuerySpec) (QueryResult, error) {
+	if ing.m != nil {
+		began := time.Now()
+		defer func() { ing.m.query.ObserveDuration(time.Since(began)) }()
+	}
+	qs, err := checkedQuantiles(spec)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	matches, err := ing.collectMatches(spec)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return evaluateMatches(matches, qs, spec.CDFAt, ing.cfg.Compression), nil
+}
+
+// WindowSketch is one matching (window, key) rollup in wire form: the
+// window start, the key's free dimensions (the metric is the query's, so it
+// is carried on the page, not per match) and the sketch's exact binary
+// state (stats.Sketch.MarshalBinary — JSON encodes it as base64). Because
+// the codec round-trips bit-for-bit, a front-end merging decoded
+// WindowSketches computes exactly what the node itself would.
+type WindowSketch struct {
+	Start  int64  `json:"start"`
+	Region string `json:"region"`
+	Net    string `json:"net"`
+	Sketch []byte `json:"sketch"`
+}
+
+// SketchPage is one node's answer to a sketch-collection request: every
+// rollup the spec matched, in the canonical (start, region, net) order,
+// plus the parameters a merger must agree on. It is the scatter half of the
+// cluster's scatter-gather query (cluster.Frontend gathers and merges).
+type SketchPage struct {
+	Metric      string         `json:"metric"`
+	Compression float64        `json:"compression"`
+	WindowMs    int64          `json:"window_ms"`
+	Matches     []WindowSketch `json:"matches"`
+}
+
+// MatchSketches collects the spec's matching rollups in wire form. The spec
+// is validated exactly as Query validates it (so a front-end fanning out a
+// bad spec fails fast at every node the same way), but only the selection
+// fields matter — quantiles/CDF points are evaluated by whoever merges.
+func (ing *Ingestor) MatchSketches(spec QuerySpec) (SketchPage, error) {
+	if _, err := checkedQuantiles(spec); err != nil {
+		return SketchPage{}, err
+	}
+	matches, err := ing.collectMatches(spec)
+	if err != nil {
+		return SketchPage{}, err
+	}
+	page := SketchPage{
+		Metric:      spec.Metric,
+		Compression: ing.cfg.Compression,
+		WindowMs:    ing.cfg.Window.Milliseconds(),
+		Matches:     make([]WindowSketch, 0, len(matches)),
+	}
+	var buf []byte
+	for _, m := range matches {
+		buf, _ = m.sk.AppendBinary(buf[:0]) // encoding a live sketch cannot fail
+		page.Matches = append(page.Matches, WindowSketch{
+			Start:  m.wk.Start,
+			Region: m.wk.Region,
+			Net:    m.wk.Net,
+			Sketch: append([]byte(nil), buf...),
+		})
+	}
+	return page, nil
+}
+
+// MergeSketchPages merges the pages of a scatter-gather fan-out and
+// evaluates the spec on the merged sketch — the gather half of a cluster
+// query. All pages must agree on metric, compression and window length (a
+// cluster must be homogeneously configured; a mismatch is a deployment
+// error, reported loudly). Matches are ordered by the same (start, region,
+// net) comparator the single-node query uses, with the page index breaking
+// the (cross-node duplicate) ties replica failover can create, so the merge
+// is deterministic — and, when every (window, key) lives on exactly one
+// node, byte-identical to a single node that ingested the whole stream.
+func MergeSketchPages(spec QuerySpec, pages []SketchPage) (QueryResult, error) {
+	qs, err := checkedQuantiles(spec)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	type pageMatch struct {
+		sketchMatch
+		page int
+	}
+	var (
+		all         []pageMatch
+		compression float64
+		windowMs    int64
+	)
+	for i, p := range pages {
+		if i == 0 {
+			compression, windowMs = p.Compression, p.WindowMs
+		} else if p.Compression != compression || p.WindowMs != windowMs {
+			return QueryResult{}, fmt.Errorf(
+				"telemetry: heterogeneous cluster pages: compression %v/window %dms vs %v/%dms",
+				compression, windowMs, p.Compression, p.WindowMs)
+		}
+		if p.Metric != spec.Metric {
+			return QueryResult{}, fmt.Errorf("telemetry: page metric %q, want %q", p.Metric, spec.Metric)
+		}
+		for _, m := range p.Matches {
+			sk := new(stats.Sketch)
+			if err := sk.UnmarshalBinary(m.Sketch); err != nil {
+				return QueryResult{}, fmt.Errorf("telemetry: page %d sketch (start=%d %s/%s): %w",
+					i, m.Start, m.Region, m.Net, err)
+			}
+			all = append(all, pageMatch{
+				sketchMatch: sketchMatch{
+					wk: windowKey{Start: m.Start, Key: Key{Metric: p.Metric, Region: m.Region, Net: m.Net}},
+					sk: sk,
+				},
+				page: i,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].wk, all[j].wk
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return all[i].page < all[j].page
+	})
+	matches := make([]sketchMatch, len(all))
+	for i, m := range all {
+		matches[i] = m.sketchMatch
+	}
+	if compression == 0 {
+		compression = stats.DefaultCompression
+	}
+	return evaluateMatches(matches, qs, spec.CDFAt, compression), nil
 }
 
 // Keys lists every distinct dimension tuple with at least one rollup,

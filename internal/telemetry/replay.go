@@ -86,13 +86,25 @@ func LatencyEvents(obs []crowd.Observation, opts ReplayOptions) []Envelope {
 // The hook's randomness contract makes this produce exactly the envelopes
 // LatencyEvents(campaign.RunLatency(r)) would, pinned by test.
 func ReplayCampaignLatency(ing *Ingestor, c *crowd.Campaign, r *rng.Source, opts ReplayOptions) ReplayStats {
+	st := ReplayCampaignLatencyFunc(ing.Offer, c, r, opts)
+	ing.Flush()
+	return st
+}
+
+// ReplayCampaignLatencyFunc is ReplayCampaignLatency over any send function
+// — a cluster router, an HTTP sender, a fault injector — instead of a local
+// ingestor. The emission order and envelope bytes are identical; only the
+// delivery path changes, so a clustered replay feeds every node exactly the
+// stream a single process would have folded. The caller owns whatever flush
+// or drain its transport needs.
+func ReplayCampaignLatencyFunc(send func(Envelope) bool, c *crowd.Campaign, r *rng.Source, opts ReplayOptions) ReplayStats {
 	opts.fill()
 	var st ReplayStats
 	i := 0
 	c.StreamLatency(r, func(o crowd.Observation) {
 		for _, e := range latencyEnvelopes(o, i, opts) {
 			st.Events++
-			if ing.Offer(e) {
+			if send(e) {
 				st.Accepted++
 			} else {
 				st.Dropped++
@@ -100,7 +112,6 @@ func ReplayCampaignLatency(ing *Ingestor, c *crowd.Campaign, r *rng.Source, opts
 		}
 		i++
 	})
-	ing.Flush()
 	return st
 }
 
@@ -133,9 +144,21 @@ type ReplayStats struct {
 // nothing is dropped and the resulting rollup state is deterministic for a
 // fixed event stream and shard count.
 func Replay(ing *Ingestor, events []Envelope) ReplayStats {
-	st := ReplayStats{Events: len(events)}
-	st.Accepted = ing.OfferAll(events)
-	st.Dropped = st.Events - st.Accepted
+	st := ReplayFunc(ing.Offer, events)
 	ing.Flush()
+	return st
+}
+
+// ReplayFunc offers events in order to any send function — the transport-
+// agnostic sibling of Replay. The caller owns its transport's flush.
+func ReplayFunc(send func(Envelope) bool, events []Envelope) ReplayStats {
+	st := ReplayStats{Events: len(events)}
+	for _, e := range events {
+		if send(e) {
+			st.Accepted++
+		} else {
+			st.Dropped++
+		}
+	}
 	return st
 }

@@ -12,6 +12,10 @@
 #   → metrics smoke: a live telemetryd (replaying the small scenario, with
 #     -pprof) must serve /metrics as well-formed Prometheus exposition
 #     carrying the ingest families — scraped and linted by cmd/metriclint
+#   → cluster smoke: a 3-node cluster + frontend on loopback replaying the
+#     small scenario must answer /query byte-identically to a single-node
+#     replay; a SIGKILLed member must surface as an explicit partial
+#     result; a restarted member (WAL recovery) must reconverge
 #   → scenario smoke: small built-in scenarios through reproall, with the
 #     -parallel invariance diff (stdout must be byte-identical at any
 #     worker count)
@@ -51,7 +55,7 @@ echo "== test =="
 go test ./...
 
 echo "== race (parallel engine packages) =="
-go test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/
+go test -race ./internal/core/ ./internal/crowd/ ./internal/par/ ./internal/telemetry/ ./internal/telemetry/cluster/ ./cmd/telemetryd/
 
 echo "== fuzz (telemetry decoder, 5s) =="
 go test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 5s ./internal/telemetry/
@@ -101,6 +105,107 @@ kill "$TELEMETRYD_PID" 2>/dev/null
 wait "$TELEMETRYD_PID" 2>/dev/null || true
 trap 'rm -rf "$smoke"' EXIT
 echo "  /metrics well-formed, ingest families present"
+
+echo "== cluster smoke (3 durable nodes + frontend: replay, kill, partial, recover) =="
+# The distributed acceptance story end to end, over real processes and real
+# HTTP: a 3-node cluster replaying the small scenario through the frontend
+# router must answer /query byte-identically to a single-node replay; with
+# one member SIGKILLed the frontend must say "partial" and name the member;
+# after a restart (WAL recovery) the answer must reconverge to the same
+# bytes.
+CLUSTER_BASE="${CLUSTER_PORT_BASE:-18360}"
+N0=$((CLUSTER_BASE)); N1=$((CLUSTER_BASE + 1)); N2=$((CLUSTER_BASE + 2))
+FRONT=$((CLUSTER_BASE + 3)); SINGLE=$((CLUSTER_BASE + 4))
+PEERS="n0=http://127.0.0.1:$N0,n1=http://127.0.0.1:$N1,n2=http://127.0.0.1:$N2"
+QS='metric=rtt_ms&q=0.5,0.95,0.99&cdf=10,50,100'
+CLUSTER_PIDS=()
+cluster_cleanup() {
+  for pid in ${CLUSTER_PIDS[@]+"${CLUSTER_PIDS[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+}
+trap 'cluster_cleanup; rm -rf "$smoke"' EXIT
+start_node() { # id port
+  "$smoke/telemetryd" -role node -node-id "$1" -peers "$PEERS" \
+    -addr "127.0.0.1:$2" -data "$smoke/cluster-$1" -sync-every 1 \
+    -log-format json 2>> "$smoke/cluster-$1.log" &
+  CLUSTER_PIDS+=($!)
+}
+wait_http() { # url tries
+  for _ in $(seq 1 "${2:-100}"); do
+    if curl -fsS "$1" > /dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "timeout waiting for $1" >&2
+  return 1
+}
+start_node n0 "$N0"
+start_node n1 "$N1"; NODE1_PID=$!
+start_node n2 "$N2"
+wait_http "http://127.0.0.1:$N0/healthz"
+wait_http "http://127.0.0.1:$N1/healthz"
+wait_http "http://127.0.0.1:$N2/healthz"
+
+# The single-node reference: the identical replay, one process.
+"$smoke/telemetryd" -addr "127.0.0.1:$SINGLE" -replay -scenario small \
+  -log-format json 2> "$smoke/cluster-single.log" &
+CLUSTER_PIDS+=($!)
+# The frontend replays the same campaign through the partition router; it
+# only starts serving once the replay is done.
+"$smoke/telemetryd" -role frontend -addr "127.0.0.1:$FRONT" -peers "$PEERS" \
+  -probe-interval 200ms -node-timeout 1s -replay -scenario small \
+  -log-format json 2> "$smoke/cluster-frontend.log" &
+CLUSTER_PIDS+=($!)
+wait_http "http://127.0.0.1:$SINGLE/healthz" 300
+wait_http "http://127.0.0.1:$FRONT/healthz" 600
+
+curl -fsS "http://127.0.0.1:$SINGLE/query?$QS" > "$smoke/cluster-single-query.json"
+curl -fsS "http://127.0.0.1:$SINGLE/keys" > "$smoke/cluster-single-keys.json"
+# The member queues drain asynchronously after the routed replay, so poll
+# until the scatter-gathered answer converges to the single-node bytes.
+converge() { # outfile tries
+  for _ in $(seq 1 "${2:-100}"); do
+    curl -fsS "http://127.0.0.1:$FRONT/query?$QS" > "$1" 2>/dev/null || true
+    if diff -q "$smoke/cluster-single-query.json" "$1" > /dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "cluster /query never converged to the single-node answer:" >&2
+  diff "$smoke/cluster-single-query.json" "$1" >&2 || true
+  cat "$smoke/cluster-frontend.log" >&2
+  return 1
+}
+converge "$smoke/cluster-query.json"
+curl -fsS "http://127.0.0.1:$FRONT/keys" > "$smoke/cluster-keys.json"
+diff "$smoke/cluster-single-keys.json" "$smoke/cluster-keys.json"
+echo "  3-node /query and /keys byte-identical to a single-node replay"
+
+kill -9 "$NODE1_PID" 2>/dev/null
+partial_ok=""
+for _ in $(seq 1 100); do
+  curl -fsS "http://127.0.0.1:$FRONT/query?$QS" > "$smoke/cluster-partial.json" 2>/dev/null || true
+  if grep -q '"partial": true' "$smoke/cluster-partial.json" &&
+      grep -q '"n1"' "$smoke/cluster-partial.json"; then
+    partial_ok=1
+    break
+  fi
+  sleep 0.2
+done
+if [[ -z "$partial_ok" ]]; then
+  echo "frontend never reported the killed member as a partial result:" >&2
+  cat "$smoke/cluster-partial.json" >&2
+  cat "$smoke/cluster-frontend.log" >&2
+  exit 1
+fi
+echo "  killed n1: /query answers partial, naming the missing member"
+
+start_node n1 "$N1"
+converge "$smoke/cluster-recovered.json" 150
+echo "  n1 recovered from its WAL: /query reconverged to the single-node bytes"
+cluster_cleanup
+CLUSTER_PIDS=()
+trap 'rm -rf "$smoke"' EXIT
 
 echo "== scenario smoke (reproall, parallel-invariance diff) =="
 go build -o "$smoke/reproall" ./cmd/reproall
