@@ -871,6 +871,65 @@ func BenchmarkClusterQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkRebalanceHandoff prices one elastic membership change: a fourth
+// node joining a loaded 3-node cluster, end to end through the migrator —
+// freeze, flush, sketch-page cut, drop-then-absorb rebuild, cutover,
+// activation, stale-copy drops — over in-process admins (transport taken
+// out, the handoff protocol itself left in). Sub-benchmarks scale the
+// resident keyspace, so the reported per-join cost tracks how much state a
+// quota's worth of partitions carries.
+func BenchmarkRebalanceHandoff(b *testing.B) {
+	regions := []string{"Beijing", "Shanghai", "Wuhan", "Chengdu"}
+	nets := []string{"WiFi", "LTE", "5G"}
+	for _, size := range []int{2048, 16384} {
+		b.Run(fmt.Sprintf("events-%d", size), func(b *testing.B) {
+			events := make([]telemetry.Envelope, size)
+			r := rng.New(53)
+			for i := range events {
+				events[i] = telemetry.Envelope{
+					V: telemetry.SchemaVersion, TS: int64(i+1) * 100, Kind: telemetry.KindPing,
+					Metric: telemetry.MetricRTT, User: i % 64,
+					Region: regions[i%len(regions)], Net: nets[i%len(nets)],
+					Value: r.LogNormal(3, 0.6),
+				}
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pm, err := cluster.NewMap(cluster.MapConfig{Partitions: 16, Nodes: []string{"n0", "n1", "n2"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ings := map[string]*telemetry.Ingestor{}
+				admins := map[string]cluster.NodeAdmin{}
+				for _, id := range []string{"n0", "n1", "n2", "n3"} {
+					id := id
+					ings[id] = telemetry.NewIngestor(telemetry.Config{Shards: 2, QueueLen: 1024, Block: true})
+					admins[id] = cluster.LocalAdmin{Node: id, Ing: func() *telemetry.Ingestor { return ings[id] }}
+				}
+				for _, e := range events {
+					ings[pm.Owner(pm.PartitionOf(e.Key()))].Offer(e)
+				}
+				for _, ing := range ings {
+					ing.Flush()
+				}
+				mig := cluster.NewMigrator(pm, admins, cluster.MigratorConfig{})
+				b.StartTimer()
+				next, err := mig.Join(ctx, "n3", nil)
+				b.StopTimer()
+				if err != nil || next.Epoch != 2 {
+					b.Fatalf("join: epoch=%d err=%v", next.Epoch, err)
+				}
+				for _, ing := range ings {
+					ing.Close()
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // BenchmarkSocketPing measures a real UDP echo round trip through the
 // emulator (zero added delay isolates the socket + scheduler cost).
 func BenchmarkSocketPing(b *testing.B) {

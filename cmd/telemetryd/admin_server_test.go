@@ -1,0 +1,422 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/telemetry"
+	"edgescope/internal/telemetry/cluster"
+)
+
+// elasticServers is a full elastic cluster over httptest: nodes on the
+// production mux with the admin plane mounted, and a frontend wired
+// exactly as runFrontend wires it — live peerSet, migrator, admin
+// endpoints — so join/leave/drain run the same code paths the daemon does.
+type elasticServers struct {
+	pm      *cluster.PartitionMap
+	peers   *peerSet
+	mig     *cluster.Migrator
+	tracker *cluster.HealthTracker
+	ings    map[string]*telemetry.Ingestor
+	servers map[string]*httptest.Server
+	front   *httptest.Server
+}
+
+// addNodeServer boots one node daemon (ingestor + production mux with the
+// admin plane) and returns its URL. The node self-describes as owning
+// nothing until an assignment push tells it otherwise — exactly how a
+// joining daemon boots.
+func (c *elasticServers) addNodeServer(t *testing.T, id string) string {
+	t.Helper()
+	ing := telemetry.NewIngestor(telemetry.Config{
+		Shards: 2, QueueLen: 256, Block: true,
+		Node: &telemetry.NodeInfo{Role: "node", ID: id},
+	})
+	t.Cleanup(func() { ing.Close() })
+	srv := httptest.NewServer(buildMux(muxConfig{ing: ing, nodeID: id, start: time.Now()}))
+	t.Cleanup(srv.Close)
+	c.ings[id] = ing
+	c.servers[id] = srv
+	return srv.URL
+}
+
+func newElasticServers(t *testing.T, dataDir string) *elasticServers {
+	t.Helper()
+	pm, err := cluster.NewMap(cluster.MapConfig{
+		Partitions: 8, Nodes: []string{"n0", "n1", "n2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &elasticServers{pm: pm, ings: map[string]*telemetry.Ingestor{}, servers: map[string]*httptest.Server{}}
+	urls := map[string]string{}
+	for _, id := range pm.Nodes() {
+		urls[id] = c.addNodeServer(t, id)
+	}
+	c.peers = newPeerSet(urls, time.Second)
+	clients := map[string]cluster.NodeClient{}
+	admins := map[string]cluster.NodeAdmin{}
+	for _, id := range pm.Nodes() {
+		n := c.peers.get(id)
+		clients[id] = n
+		admins[id] = n
+	}
+	c.tracker = cluster.NewHealthTracker(pm.Nodes(), c.peers.prober(), cluster.HealthConfig{DownAfter: 3})
+	router := cluster.NewRouter(pm, c.tracker, c.peers.transport(), rng.New(1), cluster.RouterConfig{
+		Retry: telemetry.RetryConfig{MaxAttempts: 4, Sleep: func(time.Duration) {}},
+	})
+	front := cluster.NewFrontend(pm, clients, cluster.FrontendConfig{Timeout: time.Second})
+	c.mig = cluster.NewMigrator(pm, admins, cluster.MigratorConfig{
+		Health: c.tracker,
+		OnActivate: func(a cluster.Assignment) {
+			if dataDir == "" {
+				return
+			}
+			if err := saveClusterState(dataDir, clusterState{Assignment: a, URLs: c.peers.urlsCopy()}); err != nil {
+				t.Errorf("persist: %v", err)
+			}
+		},
+	})
+	c.front = httptest.NewServer(buildFrontendMux(frontendMuxConfig{
+		pm: pm, router: router, front: front, tracker: c.tracker,
+		admin: &adminPlane{pm: pm, mig: c.mig, peers: c.peers, front: front},
+		start: time.Now(),
+	}))
+	t.Cleanup(c.front.Close)
+	return c
+}
+
+// flushAll settles every node through the HTTP admin leg.
+func (c *elasticServers) flushAll(t *testing.T) {
+	t.Helper()
+	for id, srv := range c.servers {
+		if code, body := postJSONBody(t, srv.URL+"/admin/flush", nil); code != http.StatusOK {
+			t.Fatalf("flush %s: %d %s", id, code, body)
+		}
+	}
+}
+
+func postJSONBody(t *testing.T, url string, body any) (int, string) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body == nil {
+		rdr = bytes.NewReader(nil)
+	} else {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(raw)
+	}
+	resp, err := http.Post(url, "application/json", rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// assignmentStatus polls GET /admin/assignment.
+func assignmentStatus(t *testing.T, frontURL string) (status string, epoch uint64, migrating []int) {
+	t.Helper()
+	code, body, _ := get(t, frontURL+"/admin/assignment")
+	if code != http.StatusOK {
+		t.Fatalf("/admin/assignment: %d %s", code, body)
+	}
+	var res struct {
+		Status    string `json:"status"`
+		Epoch     uint64 `json:"epoch"`
+		Migrating []int  `json:"migrating"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	return res.Status, res.Epoch, res.Migrating
+}
+
+// TestAdminJoinDrainLeaveOverHTTP drives the full elastic lifecycle
+// through the daemon's HTTP surface: a join mid-stream hands partitions to
+// the new node, a drain empties a member, a leave removes it — and after
+// every epoch the frontend's /query and /keys stay byte-identical to one
+// single-node daemon that ingested the whole stream. No daemon restarts.
+func TestAdminJoinDrainLeaveOverHTTP(t *testing.T) {
+	c := newElasticServers(t, "")
+	lines := strings.SplitAfter(strings.TrimSuffix(ingestLines(t), "\n"), "\n")
+	half := len(lines) / 2
+	first, second := strings.Join(lines[:half], ""), strings.Join(lines[half:], "")
+
+	if got := postIngest(t, c.front.URL, first); got != half {
+		t.Fatalf("accepted %d of %d", got, half)
+	}
+	c.flushAll(t)
+
+	// Join a fourth node while the cluster holds data: its quota must
+	// arrive as sketch pages, and the epoch must activate atomically.
+	n3url := c.addNodeServer(t, "n3")
+	code, body := postJSONBody(t, c.front.URL+"/admin/join", memberReq{ID: "n3", URL: n3url})
+	if code != http.StatusOK {
+		t.Fatalf("join: %d %s", code, body)
+	}
+	var joined cluster.Assignment
+	if err := json.Unmarshal([]byte(body), &joined); err != nil {
+		t.Fatal(err)
+	}
+	if joined.Epoch != 2 {
+		t.Fatalf("join epoch = %d, want 2", joined.Epoch)
+	}
+	owns := 0
+	for _, o := range joined.Owners {
+		if o == "n3" {
+			owns++
+		}
+	}
+	if owns != 2 { // 8 partitions / 4 nodes
+		t.Fatalf("n3 owns %d partitions, want 2", owns)
+	}
+	if status, epoch, migrating := assignmentStatus(t, c.front.URL); status != "active" || epoch != 2 || len(migrating) != 0 {
+		t.Fatalf("post-join assignment: status=%s epoch=%d migrating=%v", status, epoch, migrating)
+	}
+	// The pushed assignment reached the joiner: its /healthz self-describes
+	// the partitions it now owns.
+	code, body, _ = func() (int, string, http.Header) { return get(t, n3url+"/healthz") }()
+	if code != http.StatusOK {
+		t.Fatalf("n3 healthz: %d", code)
+	}
+	var h struct {
+		Node *telemetry.NodeInfo `json:"node"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Node == nil || len(h.Node.Partitions) != 2 {
+		t.Fatalf("n3 self-description after push: %+v", h.Node)
+	}
+
+	// A duplicate join must refuse without touching the live member.
+	if code, _ := postJSONBody(t, c.front.URL+"/admin/join", memberReq{ID: "n3", URL: n3url}); code != http.StatusConflict {
+		t.Fatalf("duplicate join: %d, want 409", code)
+	}
+
+	// The rest of the stream rides the new epoch.
+	if got := postIngest(t, c.front.URL, second); got != len(lines)-half {
+		t.Fatalf("accepted %d of %d", got, len(lines)-half)
+	}
+	c.flushAll(t)
+
+	single, _, singleSrv := newTestServer(t, telemetry.Config{Shards: 4, Block: true}, false)
+	if got := postIngest(t, singleSrv.URL, first+second); got != len(lines) {
+		t.Fatalf("single accepted %d", got)
+	}
+	single.Flush()
+
+	const q = "/query?metric=rtt_ms&q=0.5,0.95,0.99&cdf=10,20,40"
+	compare := func(stage string) {
+		t.Helper()
+		_, bodyC, _ := get(t, c.front.URL+q)
+		_, bodyS, _ := get(t, singleSrv.URL+q)
+		if bodyC != bodyS {
+			t.Fatalf("%s: cluster /query differs from single-node:\n%s\n%s", stage, bodyC, bodyS)
+		}
+		codeK, keysC, _ := get(t, c.front.URL+"/keys")
+		_, keysS, _ := get(t, singleSrv.URL+"/keys")
+		if codeK != http.StatusOK || keysC != keysS {
+			t.Fatalf("%s: cluster /keys differs (status %d):\n%s\n%s", stage, codeK, keysC, keysS)
+		}
+	}
+	compare("post-join")
+
+	// Drain n1 (it stays a member, owning nothing), then leave — which
+	// moves nothing further. Identity must hold at each epoch.
+	code, body = postJSONBody(t, c.front.URL+"/admin/drain", memberReq{ID: "n1"})
+	if code != http.StatusOK {
+		t.Fatalf("drain: %d %s", code, body)
+	}
+	var drained cluster.Assignment
+	if err := json.Unmarshal([]byte(body), &drained); err != nil {
+		t.Fatal(err)
+	}
+	if drained.Epoch != 3 {
+		t.Fatalf("drain epoch = %d", drained.Epoch)
+	}
+	for p, o := range drained.Owners {
+		if o == "n1" {
+			t.Fatalf("partition %d still on drained n1", p)
+		}
+	}
+	compare("post-drain")
+
+	code, body = postJSONBody(t, c.front.URL+"/admin/leave", memberReq{ID: "n1"})
+	if code != http.StatusOK {
+		t.Fatalf("leave: %d %s", code, body)
+	}
+	var left cluster.Assignment
+	if err := json.Unmarshal([]byte(body), &left); err != nil {
+		t.Fatal(err)
+	}
+	if left.Epoch != 4 || left.Member("n1") {
+		t.Fatalf("leave: epoch=%d members=%v", left.Epoch, left.Nodes)
+	}
+	compare("post-leave")
+
+	// The departed node is unwired: leaving again refuses.
+	if code, _ := postJSONBody(t, c.front.URL+"/admin/leave", memberReq{ID: "n1"}); code != http.StatusConflict {
+		t.Fatalf("double leave: %d, want 409", code)
+	}
+}
+
+// TestAdminStatePersistence: each activated epoch lands in
+// cluster-state.json with the member URLs, and the persisted table
+// rebuilds a partition map at the activated epoch — what a frontend
+// restart resumes from.
+func TestAdminStatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	c := newElasticServers(t, dir)
+	n3url := c.addNodeServer(t, "n3")
+	if code, body := postJSONBody(t, c.front.URL+"/admin/join", memberReq{ID: "n3", URL: n3url}); code != http.StatusOK {
+		t.Fatalf("join: %d %s", code, body)
+	}
+
+	st, err := loadClusterState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no cluster state persisted")
+	}
+	if st.Assignment.Epoch != 2 || !st.Assignment.Member("n3") {
+		t.Fatalf("persisted assignment: epoch=%d nodes=%v", st.Assignment.Epoch, st.Assignment.Nodes)
+	}
+	if st.URLs["n3"] != n3url {
+		t.Fatalf("persisted urls missing the joiner: %v", st.URLs)
+	}
+	pm2, err := cluster.NewMapFromAssignment(st.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm2.Epoch() != 2 || !reflect.DeepEqual(pm2.Nodes(), st.Assignment.Nodes) {
+		t.Fatalf("resumed map: epoch=%d nodes=%v", pm2.Epoch(), pm2.Nodes())
+	}
+
+	// Corrupt state must refuse loudly, not resume garbage placement.
+	if err := os.WriteFile(filepath.Join(dir, clusterStateFile), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadClusterState(dir); err == nil {
+		t.Fatal("corrupt cluster-state.json loaded")
+	}
+	// An absent file is a clean first boot.
+	if st, err := loadClusterState(t.TempDir()); err != nil || st != nil {
+		t.Fatalf("fresh dir: st=%v err=%v", st, err)
+	}
+}
+
+// TestNodeAdminHTTPRoundTrip exercises the node-side admin legs directly:
+// freeze refuses ingest for the frozen partition only, pages fetched from
+// one node absorb into another bit-exactly, and drop empties the source.
+func TestNodeAdminHTTPRoundTrip(t *testing.T) {
+	c := newElasticServers(t, "")
+	a, b := c.servers["n0"].URL, c.servers["n1"].URL
+	line := `{"v":1,"ts":1700000000000,"metric":"rtt_ms","user":7,"region":"Beijing","net":"WiFi","value":42}` + "\n"
+	e := telemetry.Envelope{V: 1, TS: 1700000000000, Metric: telemetry.MetricRTT, User: 7, Region: "Beijing", Net: "WiFi", Value: 42}
+	p := e.Key().ShardOf(8)
+
+	// Freeze the envelope's partition: direct ingest of it must refuse;
+	// a conflicting freeze under a different partition count must 409.
+	if code, body := postJSONBody(t, fmt.Sprintf("%s/admin/freeze?partition=%d&of=8", a, p), nil); code != http.StatusOK {
+		t.Fatalf("freeze: %d %s", code, body)
+	}
+	if code, _ := postJSONBody(t, fmt.Sprintf("%s/admin/freeze?partition=%d&of=4", a, p%4), nil); code != http.StatusConflict {
+		t.Fatal("conflicting freeze accepted")
+	}
+	if got := postFreezeProbe(t, a, line); got != 0 {
+		t.Fatalf("frozen partition accepted %d", got)
+	}
+	if code, body := postJSONBody(t, fmt.Sprintf("%s/admin/unfreeze?partition=%d&of=8", a, p), nil); code != http.StatusOK {
+		t.Fatalf("unfreeze: %d %s", code, body)
+	}
+	if got := postFreezeProbe(t, a, line); got != 1 {
+		t.Fatalf("unfrozen partition accepted %d", got)
+	}
+	if code, body := postJSONBody(t, a+"/admin/flush", nil); code != http.StatusOK {
+		t.Fatalf("flush: %d %s", code, body)
+	}
+
+	// Cut the partition's pages, absorb them into n1, drop them from n0:
+	// n1's answer must be byte-identical to n0's before the drop.
+	const q = "/query?metric=rtt_ms&q=0.5"
+	_, before, _ := get(t, a+q)
+	code, pagesBody, _ := get(t, fmt.Sprintf("%s/sketches/partition?partition=%d&of=8", a, p))
+	if code != http.StatusOK {
+		t.Fatalf("pages: %d %s", code, pagesBody)
+	}
+	var pages []telemetry.SketchPage
+	if err := json.Unmarshal([]byte(pagesBody), &pages); err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no pages cut")
+	}
+	code, ackBody := postJSONBody(t, b+"/admin/absorb", pages)
+	if code != http.StatusOK {
+		t.Fatalf("absorb: %d %s", code, ackBody)
+	}
+	var ack telemetry.AbsorbAck
+	if err := json.Unmarshal([]byte(ackBody), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Pages != len(pages) || ack.Count != 1 {
+		t.Fatalf("absorb ack = %+v", ack)
+	}
+	code, dropBody := postJSONBody(t, fmt.Sprintf("%s/admin/drop?partition=%d&of=8", a, p), nil)
+	if code != http.StatusOK {
+		t.Fatalf("drop: %d %s", code, dropBody)
+	}
+	var dropped struct {
+		Dropped int `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(dropBody), &dropped); err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Dropped == 0 {
+		t.Fatal("drop removed nothing")
+	}
+	_, after, _ := get(t, b+q)
+	if after != before {
+		t.Fatalf("absorbed node differs from source:\n%s\n%s", after, before)
+	}
+	if code, body := postJSONBody(t, b+"/admin/absorb", []byte("nope")); code == http.StatusOK {
+		t.Fatalf("malformed absorb accepted: %s", body)
+	}
+}
+
+// postFreezeProbe posts one JSONL line straight at a node and returns the
+// accepted count.
+func postFreezeProbe(t *testing.T, nodeURL, line string) int {
+	t.Helper()
+	resp, err := http.Post(nodeURL+"/ingest", "application/jsonl", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack.Accepted
+}

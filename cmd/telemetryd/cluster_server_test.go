@@ -275,3 +275,18 @@ func TestParsePeers(t *testing.T) {
 		t.Fatal("id-less peer accepted")
 	}
 }
+
+// TestParsePeersStrict: duplicate and empty entries are rejected with the
+// offending peer named — a silently deduped list would hand daemons
+// different placement arithmetic.
+func TestParsePeersStrict(t *testing.T) {
+	if _, _, err := parsePeers("n0=http://a,n1=http://b,n0=http://c"); err == nil || !strings.Contains(err.Error(), `"n0"`) {
+		t.Fatalf("duplicate peer: err = %v, want it to name n0", err)
+	}
+	if _, _, err := parsePeers("n0=http://a,,n1=http://b"); err == nil || !strings.Contains(err.Error(), "position 1") {
+		t.Fatalf("empty entry: err = %v, want it to name position 1", err)
+	}
+	if _, _, err := parsePeers("n0=http://a,n1=http://b,"); err == nil {
+		t.Fatal("trailing comma accepted")
+	}
+}

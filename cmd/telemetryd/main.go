@@ -55,13 +55,34 @@
 //     partition list) when members are unreachable.
 //
 // -peers lists the members as comma-separated id=url pairs in canonical
-// order; every daemon of one cluster must be given the identical list,
-// -partitions and -replicas, since placement is derived from them with no
-// coordination service. A frontend given -replay streams the campaign
-// through the router — the cluster-wide equivalent of a node-local replay.
+// order; duplicate or empty entries are rejected at startup, naming the
+// offending peer. Every daemon of one cluster must be given the identical
+// boot list, -partitions and -replicas. A frontend given -replay streams
+// the campaign through the router — the cluster-wide equivalent of a
+// node-local replay.
 //
 //	telemetryd -role node -node-id n0 -peers n0=http://h0:8355,n1=http://h1:8355
 //	telemetryd -role frontend -peers n0=http://h0:8355,n1=http://h1:8355 -addr :8360
+//
+// Membership is elastic after boot. The frontend serves an admin plane:
+//
+//	GET  /admin/assignment  the current epoch's table; "status" is
+//	                        "active" only once no migration is in flight
+//	                        and no partition is suspect
+//	POST /admin/join        {"id":"n3","url":"http://h3:8355"} — admit a
+//	                        member: minimal-movement rebalance, live
+//	                        sketch-page handoff, atomic epoch activation
+//	POST /admin/leave       {"id":"n1"} — hand a member's partitions to
+//	                        the survivors, then remove it
+//	POST /admin/drain       {"id":"n1"} — empty a member without removing
+//	                        it (a later leave then moves nothing)
+//	POST /admin/settle      retry stale-copy drops left suspect
+//
+// Each node mounts the matching data-plane legs the migrator drives
+// (POST /admin/flush|freeze|unfreeze|absorb|drop|assignment and
+// GET /sketches/partition). A frontend given -data persists each activated
+// assignment to cluster-state.json there and resumes it on restart, so
+// joins and leaves survive a frontend restart without re-flagging -peers.
 //
 // Usage:
 //
@@ -135,10 +156,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Resolve the cluster layout for the cluster roles. Placement is pure
-	// arithmetic over (-peers, -partitions, -replicas): hand every daemon
-	// the same three flags and they agree with no coordination service.
-	var pm *cluster.PartitionMap
+	// Resolve the cluster member list for the cluster roles. The -peers
+	// flag is only the boot layout: a frontend given -data resumes the last
+	// assignment it activated instead, and a node's true placement arrives
+	// by push when the frontend rebalances.
+	var peerIDs []string
 	var peerURLs map[string]string
 	if *role == "node" || *role == "frontend" {
 		ids, urls, err := parsePeers(*peers)
@@ -146,22 +168,14 @@ func main() {
 			log.Error("bad -peers", "err", err)
 			os.Exit(2)
 		}
-		pm, err = cluster.NewMap(cluster.MapConfig{
-			Partitions:        *partitions,
-			Nodes:             ids,
-			ReplicationFactor: *replicas,
-		})
-		if err != nil {
-			log.Error("bad cluster layout", "err", err)
-			os.Exit(2)
-		}
-		peerURLs = urls
+		peerIDs, peerURLs = ids, urls
 	}
 
 	switch *role {
 	case "frontend":
 		runFrontend(frontendOpts{
-			addr: *addr, pm: pm, peerURLs: peerURLs,
+			addr: *addr, peerIDs: peerIDs, peerURLs: peerURLs,
+			partitions: *partitions, replicas: *replicas, dataDir: *dataDir,
 			probeEvery: *probeEvery, nodeTimeout: *nodeTimeout,
 			replay: *replay, scenario: *scn, scale: *scale, seed: *seed,
 			log: log,
@@ -179,10 +193,25 @@ func main() {
 			log.Error("role node needs -node-id")
 			os.Exit(2)
 		}
+		pm, err := cluster.NewMap(cluster.MapConfig{
+			Partitions:        *partitions,
+			Nodes:             peerIDs,
+			ReplicationFactor: *replicas,
+		})
+		if err != nil {
+			log.Error("bad cluster layout", "err", err)
+			os.Exit(2)
+		}
+		if !pm.Current().Member(*nodeID) {
+			log.Error("-node-id not in -peers", "node_id", *nodeID, "peers", peerIDs)
+			os.Exit(2)
+		}
 		nodeInfo = pm.NodeInfo(*nodeID)
 		if len(nodeInfo.Partitions) == 0 {
-			log.Error("-node-id not in -peers (or owns nothing)", "node_id", *nodeID)
-			os.Exit(2)
+			// Not fatal: a freshly booted joiner owns nothing until the
+			// frontend's migrator hands partitions over and pushes the
+			// activated assignment (POST /admin/assignment).
+			log.Info("node owns nothing under the boot layout; awaiting an assignment push", "node_id", *nodeID)
 		}
 	}
 	log.Info("starting", "role", nodeInfo.Role, "node_id", nodeInfo.ID,
@@ -249,7 +278,11 @@ func main() {
 		log.Info("replay done", "events", st.Events, "accepted", st.Accepted, "dropped", st.Dropped)
 	}
 
-	mux := buildMux(muxConfig{ing: ing, reg: reg, pprof: *pprofOn, start: start, log: log})
+	adminID := ""
+	if *role == "node" {
+		adminID = *nodeID
+	}
+	mux := buildMux(muxConfig{ing: ing, reg: reg, pprof: *pprofOn, nodeID: adminID, start: start, log: log})
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting HTTP, drain the
 	// shard queues, fsync every WAL and write final snapshots (Close), then
@@ -272,8 +305,11 @@ func main() {
 // frontendOpts carries the resolved flags into the frontend role.
 type frontendOpts struct {
 	addr        string
-	pm          *cluster.PartitionMap
+	peerIDs     []string
 	peerURLs    map[string]string
+	partitions  int
+	replicas    int
+	dataDir     string
 	probeEvery  time.Duration
 	nodeTimeout time.Duration
 	replay      bool
@@ -283,42 +319,104 @@ type frontendOpts struct {
 	log         *slog.Logger
 }
 
-// runFrontend stands up the stateless routing + scatter-gather tier.
+// runFrontend stands up the routing + scatter-gather tier and its
+// membership plane. With -data the last activated assignment is resumed
+// from cluster-state.json (the -peers flag then only supplies URLs for
+// members the persisted state doesn't know); without it membership starts
+// from the -peers boot layout at epoch 1.
 func runFrontend(o frontendOpts) {
 	log := o.log
-	for _, id := range o.pm.Nodes() {
-		if o.peerURLs[id] == "" {
-			log.Error("peer without url (frontend needs id=url for every member)", "node_id", id)
+	urls := make(map[string]string, len(o.peerURLs))
+	for id, u := range o.peerURLs {
+		urls[id] = u
+	}
+	st, err := loadClusterState(o.dataDir)
+	if err != nil {
+		log.Error("bad cluster state", "dir", o.dataDir, "err", err)
+		os.Exit(1)
+	}
+	if o.dataDir != "" {
+		if err := os.MkdirAll(o.dataDir, 0o755); err != nil {
+			log.Error("cluster state dir", "dir", o.dataDir, "err", err)
+			os.Exit(1)
+		}
+	}
+	var pm *cluster.PartitionMap
+	if st != nil {
+		pm, err = cluster.NewMapFromAssignment(st.Assignment)
+		if err != nil {
+			log.Error("bad persisted assignment", "err", err)
+			os.Exit(1)
+		}
+		for id, u := range st.URLs {
+			if u != "" {
+				urls[id] = u
+			}
+		}
+		log.Info("resumed cluster state", "file", clusterStateFile,
+			"epoch", st.Assignment.Epoch, "nodes", st.Assignment.Nodes)
+	} else {
+		pm, err = cluster.NewMap(cluster.MapConfig{
+			Partitions:        o.partitions,
+			Nodes:             o.peerIDs,
+			ReplicationFactor: o.replicas,
+		})
+		if err != nil {
+			log.Error("bad cluster layout", "err", err)
 			os.Exit(2)
 		}
 	}
-	log.Info("starting", "role", "frontend",
-		"peers", o.pm.Nodes(), "partitions", o.pm.Partitions(),
-		"replication_factor", o.pm.Config().ReplicationFactor)
+	memberURLs := make(map[string]string, len(pm.Nodes()))
+	for _, id := range pm.Nodes() {
+		if urls[id] == "" {
+			log.Error("peer without url (frontend needs id=url for every member)", "node_id", id)
+			os.Exit(2)
+		}
+		memberURLs[id] = urls[id]
+	}
+	log.Info("starting", "role", "frontend", "epoch", pm.Epoch(),
+		"peers", pm.Nodes(), "partitions", pm.Partitions(),
+		"replication_factor", pm.Config().ReplicationFactor)
 
 	reg := obs.NewRegistry()
-	httpNodes := map[string]*cluster.HTTPNode{}
+	peers := newPeerSet(memberURLs, o.nodeTimeout)
 	clients := map[string]cluster.NodeClient{}
-	for _, id := range o.pm.Nodes() {
-		n := cluster.NewHTTPNode(o.peerURLs[id], &http.Client{Timeout: o.nodeTimeout})
-		httpNodes[id] = n
+	admins := map[string]cluster.NodeAdmin{}
+	for _, id := range pm.Nodes() {
+		n := peers.get(id)
 		clients[id] = n
+		admins[id] = n
 	}
-	tracker := cluster.NewHealthTracker(o.pm.Nodes(), cluster.HTTPProber(httpNodes), cluster.HealthConfig{
+	tracker := cluster.NewHealthTracker(pm.Nodes(), peers.prober(), cluster.HealthConfig{
 		Interval: o.probeEvery,
-		Metrics:  reg,
+		// ±10% seeded jitter de-synchronizes probe bursts when several
+		// frontends share a probe interval.
+		Jitter:  rng.New(o.seed).Fork("health-jitter"),
+		Metrics: reg,
 	})
 	// Seed the state machine with one synchronous sweep so the very first
-	// routed envelope already sees real membership, then probe on a ticker.
+	// routed envelope already sees real membership, then probe on the
+	// jittered timer.
 	tracker.ProbeOnce()
 	tracker.Start()
 	defer tracker.Stop()
 
-	router := cluster.NewRouter(o.pm, tracker, cluster.HTTPTransport(httpNodes),
+	router := cluster.NewRouter(pm, tracker, peers.transport(),
 		rng.New(o.seed).Fork("router"), cluster.RouterConfig{Metrics: reg})
-	front := cluster.NewFrontend(o.pm, clients, cluster.FrontendConfig{
+	front := cluster.NewFrontend(pm, clients, cluster.FrontendConfig{
 		Timeout: o.nodeTimeout,
 		Metrics: reg,
+	})
+	mig := cluster.NewMigrator(pm, admins, cluster.MigratorConfig{
+		Health: tracker,
+		OnActivate: func(a cluster.Assignment) {
+			if o.dataDir == "" {
+				return
+			}
+			if err := saveClusterState(o.dataDir, clusterState{Assignment: a, URLs: peers.urlsCopy()}); err != nil {
+				log.Error("cluster state persist failed", "epoch", a.Epoch, "err", err)
+			}
+		},
 	})
 	start := time.Now()
 
@@ -345,11 +443,12 @@ func runFrontend(o frontendOpts) {
 	}
 
 	mux := buildFrontendMux(frontendMuxConfig{
-		pm: o.pm, router: router, front: front, tracker: tracker,
-		reg: reg, start: start, log: log,
+		pm: pm, router: router, front: front, tracker: tracker,
+		admin: &adminPlane{pm: pm, mig: mig, peers: peers, front: front, log: log},
+		reg:   reg, start: start, log: log,
 	})
 	if err := serve(o.addr, mux, log,
-		"addr", o.addr, "role", "frontend", "peers", len(o.pm.Nodes())); err != nil {
+		"addr", o.addr, "role", "frontend", "peers", len(pm.Nodes())); err != nil {
 		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
@@ -385,22 +484,27 @@ func serve(addr string, h http.Handler, log *slog.Logger, fields ...any) error {
 
 // parsePeers splits "id=url,id=url" into the ordered id list and the
 // id→url map. Order is placement-significant: every daemon must receive
-// the identical list.
+// the identical list. Malformed lists are rejected outright, naming the
+// offending peer — a silently deduped or skipped entry would hand two
+// daemons different placement arithmetic.
 func parsePeers(s string) ([]string, map[string]string, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil, fmt.Errorf("empty -peers (want id=url,id=url,...)")
 	}
 	var ids []string
 	urls := map[string]string{}
-	for _, part := range strings.Split(s, ",") {
+	for i, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			return nil, nil, fmt.Errorf("empty peer entry at position %d", i)
 		}
 		id, url, found := strings.Cut(part, "=")
 		id = strings.TrimSpace(id)
 		if id == "" {
 			return nil, nil, fmt.Errorf("peer %q has no id", part)
+		}
+		if _, dup := urls[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate peer id %q", id)
 		}
 		if !found {
 			url = "" // node role only needs the ids; the frontend checks urls itself

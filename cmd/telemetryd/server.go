@@ -26,8 +26,12 @@ type muxConfig struct {
 	// profile endpoints can pause the process (heap dumps, CPU profiles) and
 	// a telemetry daemon's default surface should be read-only-cheap.
 	pprof bool
-	start time.Time
-	log   *slog.Logger
+	// nodeID, when non-empty, marks a cluster node and mounts the rebalance
+	// admin plane (/admin/*, /sketches/partition) the frontend's migrator
+	// drives during join/leave/drain handoffs.
+	nodeID string
+	start  time.Time
+	log    *slog.Logger
 }
 
 // buildMux wires every endpoint of the daemon onto a fresh mux.
@@ -106,6 +110,9 @@ func buildMux(cfg muxConfig) *http.ServeMux {
 		}
 		writeJSON(cfg.log, w, body)
 	})
+	if cfg.nodeID != "" {
+		mountNodeAdmin(mux, cfg)
+	}
 	if cfg.reg != nil {
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", obs.ExpositionContentType)
@@ -124,15 +131,123 @@ func buildMux(cfg muxConfig) *http.ServeMux {
 	return mux
 }
 
+// mountNodeAdmin wires a cluster node's rebalance control plane — the HTTP
+// realization of cluster.NodeAdmin that the frontend's migrator drives
+// (through cluster.HTTPNode). Every leg maps one-to-one onto an Ingestor
+// handoff primitive; errors come back as plain-text non-2xx bodies, which
+// HTTPNode surfaces verbatim to the coordinator.
+func mountNodeAdmin(mux *http.ServeMux, cfg muxConfig) {
+	mux.HandleFunc("POST /admin/flush", func(w http.ResponseWriter, r *http.Request) {
+		cfg.ing.Flush()
+		writeJSON(cfg.log, w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /admin/freeze", func(w http.ResponseWriter, r *http.Request) {
+		p, of, err := partOfParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := cfg.ing.FreezePartition(p, of); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(cfg.log, w, map[string]string{"status": "frozen"})
+	})
+	mux.HandleFunc("POST /admin/unfreeze", func(w http.ResponseWriter, r *http.Request) {
+		p, of, err := partOfParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.ing.UnfreezePartition(p, of)
+		writeJSON(cfg.log, w, map[string]string{"status": "ok"})
+	})
+	// The partition-scoped cut of /sketches: this node's durable state for
+	// one partition in exact binary sketch-page form — what a handoff ships.
+	mux.HandleFunc("GET /sketches/partition", func(w http.ResponseWriter, r *http.Request) {
+		p, of, err := partOfParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pages, err := cfg.ing.PartitionPages(p, of)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, pages)
+	})
+	mux.HandleFunc("POST /admin/absorb", func(w http.ResponseWriter, r *http.Request) {
+		var pages []telemetry.SketchPage
+		if err := json.NewDecoder(r.Body).Decode(&pages); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ack, err := cfg.ing.AbsorbPages(pages)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, ack)
+	})
+	mux.HandleFunc("POST /admin/drop", func(w http.ResponseWriter, r *http.Request) {
+		p, of, err := partOfParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		dropped, err := cfg.ing.DropPartition(p, of)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(cfg.log, w, map[string]int{"dropped": dropped})
+	})
+	// An activated epoch's table, pushed by the migrator so this node's
+	// /healthz self-description tracks the placement it actually serves.
+	mux.HandleFunc("POST /admin/assignment", func(w http.ResponseWriter, r *http.Request) {
+		var a cluster.Assignment
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := a.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !a.Member(cfg.nodeID) {
+			http.Error(w, fmt.Sprintf("node %q is not a member of epoch %d", cfg.nodeID, a.Epoch), http.StatusConflict)
+			return
+		}
+		cfg.ing.SetNodeInfo(a.NodeInfo(cfg.nodeID))
+		writeJSON(cfg.log, w, map[string]any{"status": "ok", "epoch": a.Epoch})
+	})
+}
+
+// partOfParams parses the ?partition=&of= selector the admin legs share.
+func partOfParams(r *http.Request) (p, of int, err error) {
+	q := r.URL.Query()
+	if p, err = strconv.Atoi(q.Get("partition")); err != nil {
+		return 0, 0, fmt.Errorf("bad partition: %w", err)
+	}
+	if of, err = strconv.Atoi(q.Get("of")); err != nil {
+		return 0, 0, fmt.Errorf("bad of: %w", err)
+	}
+	return p, of, nil
+}
+
 // frontendMuxConfig assembles the query front-end's HTTP surface.
 type frontendMuxConfig struct {
 	pm      *cluster.PartitionMap
 	router  *cluster.Router
 	front   *cluster.Frontend
 	tracker *cluster.HealthTracker
-	reg     *obs.Registry
-	start   time.Time
-	log     *slog.Logger
+	// admin, when set, mounts the membership plane: GET /admin/assignment,
+	// POST /admin/join|leave|drain|settle.
+	admin *adminPlane
+	reg   *obs.Registry
+	start time.Time
+	log   *slog.Logger
 }
 
 // buildFrontendMux wires the cluster front-end endpoints: /ingest routed
@@ -211,6 +326,7 @@ func buildFrontendMux(cfg frontendMuxConfig) *http.ServeMux {
 		writeJSON(cfg.log, w, map[string]any{
 			"status":             status,
 			"node":               &telemetry.NodeInfo{Role: "frontend"},
+			"epoch":              cfg.pm.Epoch(),
 			"partitions":         cfg.pm.Partitions(),
 			"replication_factor": cfg.pm.Config().ReplicationFactor,
 			"nodes":              nodes,
@@ -218,6 +334,9 @@ func buildFrontendMux(cfg frontendMuxConfig) *http.ServeMux {
 			"uptime_seconds":     int(time.Since(cfg.start).Seconds()),
 		})
 	})
+	if cfg.admin != nil {
+		cfg.admin.mount(mux, cfg.log)
+	}
 	if cfg.reg != nil {
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", obs.ExpositionContentType)

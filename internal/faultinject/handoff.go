@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"edgescope/internal/rng"
+	"edgescope/internal/scenario"
+)
+
+// Handoff-phase fault kinds, as recorded in the trace.
+const (
+	KindHandoffKill         = "handoff_kill_gaining"
+	KindHandoffPartition    = "handoff_partition_source"
+	KindHandoffCrashRecover = "handoff_crash_recover"
+	KindHandoffRecover      = "handoff_recover"
+)
+
+// defaultHandoffSpan is the outage length, in coordinator steps, when a
+// handoff fault rate is set but HandoffSpan is zero.
+const defaultHandoffSpan = 4
+
+// HandoffStats counts injected handoff-phase faults.
+type HandoffStats struct {
+	Steps         uint64 `json:"steps"`
+	Kills         uint64 `json:"kills"`
+	Partitions    uint64 `json:"partitions"`
+	CrashRecovers uint64 `json:"crash_recovers"`
+	// Blocked counts steps refused because a participant was inside an
+	// outage window — the failures the migrator's retry/rollback machinery
+	// must absorb.
+	Blocked uint64 `json:"blocked"`
+}
+
+// HandoffHooks connect the injector to the cluster under test. All hooks
+// run synchronously inside Step, on the coordinator's goroutine.
+type HandoffHooks struct {
+	// Kill hard-kills the gaining node (telemetry.Ingestor.Crash): memory
+	// and unsynced WAL bytes are gone.
+	Kill func(node string)
+	// Recover brings a killed node back via WAL recovery, once its outage
+	// span has elapsed.
+	Recover func(node string)
+	// CrashRecover crashes the gaining node and reopens it immediately —
+	// one step's failure, with whatever the crash left durable still there
+	// for the retry to rebuild over.
+	CrashRecover func(node string)
+}
+
+// HandoffInjector applies a fault plan's handoff-phase faults to a
+// rebalance. It plugs into cluster.MigratorConfig.Hook: every coordinator
+// step passes through Step, which either lets it proceed (nil) or fails it
+// with an error — exactly what a transport failure at that point would do,
+// so the migrator's bounded retries and whole-migration rollback are
+// exercised by the real code path.
+//
+// Fault targeting follows the step's role: kill-gaining and crash-recover
+// draw at destination rebuild steps, partition-source draws at source
+// flush/fetch steps. Spans are counted in steps, the draw order per step
+// is fixed (kill, crash-recover, partition) with zero-rate kinds skipped,
+// and one seed pins the whole trace — the same determinism contract as the
+// event- and node-level injectors.
+//
+// Step must be called from a single goroutine (the migrator's); accessors
+// may be called from others.
+type HandoffInjector struct {
+	spec   scenario.FaultSpec
+	src    *rng.Source
+	active bool
+	hooks  HandoffHooks
+
+	idx uint64 // steps offered so far
+
+	mu      sync.Mutex
+	outages map[string]outage
+	trace   []TraceEntry
+	stats   HandoffStats
+}
+
+// NewHandoff builds a handoff-phase injector for a fault plan.
+// scenarioSeed seeds the draw stream when the plan does not pin its own
+// Seed; the stream forks under "faultinject-handoff", independent of the
+// event- and node-level forks. A plan with no handoff rates injects
+// nothing and draws nothing.
+func NewHandoff(spec *scenario.FaultSpec, scenarioSeed uint64, hooks HandoffHooks) *HandoffInjector {
+	inj := &HandoffInjector{outages: map[string]outage{}, hooks: hooks}
+	if spec != nil {
+		inj.spec = *spec
+	}
+	inj.active = spec.HandoffActive()
+	seed := inj.spec.Seed
+	if seed == 0 {
+		seed = scenarioSeed
+	}
+	if inj.active {
+		inj.src = rng.New(seed).Fork("faultinject-handoff")
+	}
+	if inj.spec.HandoffSpan == 0 {
+		inj.spec.HandoffSpan = defaultHandoffSpan
+	}
+	return inj
+}
+
+// Step passes one coordinator step through the fault plan. A nil return
+// lets the step proceed; an error fails it the way a transport failure
+// would. Phase names follow cluster.HandoffStep.
+func (inj *HandoffInjector) Step(phase string, partition int, source, dest string) error {
+	idx := inj.idx
+	inj.idx++
+	inj.recoverElapsed(idx)
+	inj.mu.Lock()
+	inj.stats.Steps++
+	inj.mu.Unlock()
+	if !inj.active {
+		return nil
+	}
+
+	// A participant inside an outage window fails the step before any new
+	// draw — the coordinator keeps meeting the same dead node until the
+	// span elapses, like a real outage.
+	for _, n := range []string{source, dest} {
+		if n == "" {
+			continue
+		}
+		inj.mu.Lock()
+		o, down := inj.outages[n]
+		inj.mu.Unlock()
+		if down && idx < o.until {
+			inj.mu.Lock()
+			inj.stats.Blocked++
+			inj.mu.Unlock()
+			return fmt.Errorf("faultinject: %s unreachable (%s until step %d)", n, o.kind, o.until)
+		}
+	}
+
+	rebuildStep := dest != "" && phase == "rebuild"
+	sourceStep := source != "" && (phase == "flush" || phase == "fetch")
+	if inj.spec.HandoffKillGaining > 0 && rebuildStep && inj.src.Bernoulli(inj.spec.HandoffKillGaining) {
+		span := inj.spec.HandoffSpan
+		inj.record(TraceEntry{Event: idx, Kind: KindHandoffKill, Span: span, Node: dest}, &inj.stats.Kills)
+		inj.setOutage(dest, outage{kind: KindHandoffKill, until: idx + uint64(span)})
+		if inj.hooks.Kill != nil {
+			inj.hooks.Kill(dest)
+		}
+		return fmt.Errorf("faultinject: gaining node %s killed mid-transfer (partition %d)", dest, partition)
+	}
+	if inj.spec.HandoffCrashRecover > 0 && rebuildStep && inj.src.Bernoulli(inj.spec.HandoffCrashRecover) {
+		inj.record(TraceEntry{Event: idx, Kind: KindHandoffCrashRecover, Node: dest}, &inj.stats.CrashRecovers)
+		if inj.hooks.CrashRecover != nil {
+			inj.hooks.CrashRecover(dest)
+		}
+		return fmt.Errorf("faultinject: gaining node %s crashed and recovered (partition %d)", dest, partition)
+	}
+	if inj.spec.HandoffPartitionSource > 0 && sourceStep && inj.src.Bernoulli(inj.spec.HandoffPartitionSource) {
+		span := inj.spec.HandoffSpan
+		inj.record(TraceEntry{Event: idx, Kind: KindHandoffPartition, Span: span, Node: source}, &inj.stats.Partitions)
+		inj.setOutage(source, outage{kind: KindHandoffPartition, until: idx + uint64(span)})
+		return fmt.Errorf("faultinject: losing owner %s partitioned from coordinator (partition %d)", source, partition)
+	}
+	return nil
+}
+
+// recoverElapsed closes every outage whose span has passed, recovering
+// killed nodes in sorted order for a deterministic trace.
+func (inj *HandoffInjector) recoverElapsed(idx uint64) {
+	inj.mu.Lock()
+	var expired []string
+	for node, o := range inj.outages {
+		if o.until <= idx {
+			expired = append(expired, node)
+		}
+	}
+	sort.Strings(expired)
+	inj.mu.Unlock()
+	for _, node := range expired {
+		inj.mu.Lock()
+		o := inj.outages[node]
+		delete(inj.outages, node)
+		inj.mu.Unlock()
+		if o.kind == KindHandoffKill {
+			if inj.hooks.Recover != nil {
+				inj.hooks.Recover(node)
+			}
+			inj.record(TraceEntry{Event: idx, Kind: KindHandoffRecover, Node: node}, nil)
+		}
+	}
+}
+
+// RecoverAll force-expires every outstanding outage, recovering killed
+// nodes — the settling step before a harness retries a rolled-back
+// migration.
+func (inj *HandoffInjector) RecoverAll() {
+	inj.recoverElapsed(^uint64(0))
+}
+
+// Blocked reports whether a step touching node would currently be refused,
+// without advancing the step clock.
+func (inj *HandoffInjector) Blocked(node string) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	o, down := inj.outages[node]
+	return down && inj.idx < o.until
+}
+
+// setOutage records a node's fault window.
+func (inj *HandoffInjector) setOutage(node string, o outage) {
+	inj.mu.Lock()
+	inj.outages[node] = o
+	inj.mu.Unlock()
+}
+
+// record appends a trace entry and bumps its counter (nil skips counting).
+func (inj *HandoffInjector) record(t TraceEntry, n *uint64) {
+	inj.mu.Lock()
+	inj.trace = append(inj.trace, t)
+	if n != nil {
+		*n++
+	}
+	inj.mu.Unlock()
+}
+
+// Trace returns a copy of the handoff-fault trace so far, injection order.
+func (inj *HandoffInjector) Trace() []TraceEntry {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]TraceEntry, len(inj.trace))
+	copy(out, inj.trace)
+	return out
+}
+
+// Stats returns a copy of the handoff-fault counters.
+func (inj *HandoffInjector) Stats() HandoffStats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}

@@ -104,6 +104,28 @@ type FaultSpec struct {
 	NetPartition float64 `json:"net_partition,omitempty"`
 	// NetPartitionSpan is the partition length in offered events. Default 64.
 	NetPartitionSpan int `json:"net_partition_span,omitempty"`
+
+	// Handoff-phase faults (internal/faultinject.HandoffInjector) shake a
+	// cluster *rebalance* rather than steady-state traffic: the target is
+	// a partition handoff's source or destination node, probabilities are
+	// per coordinator step, and spans are counted in steps — the same
+	// determinism contract as above, applied to the migration plane.
+
+	// HandoffKillGaining is the per-step probability (drawn at destination
+	// rebuild steps) that the gaining node is hard-killed mid-transfer,
+	// staying dead for HandoffSpan steps before WAL recovery.
+	HandoffKillGaining float64 `json:"handoff_kill_gaining,omitempty"`
+	// HandoffPartitionSource is the per-step probability (drawn at source
+	// flush/fetch steps) that the coordinator loses the losing owner for
+	// HandoffSpan steps — the node keeps running undamaged.
+	HandoffPartitionSource float64 `json:"handoff_partition_source,omitempty"`
+	// HandoffCrashRecover is the per-step probability (drawn at
+	// destination rebuild steps) that the gaining node crashes and
+	// immediately recovers from its WAL — the attempt fails, the retry
+	// meets a node holding whatever the crash left durable.
+	HandoffCrashRecover float64 `json:"handoff_crash_recover,omitempty"`
+	// HandoffSpan is the outage length in coordinator steps. Default 4.
+	HandoffSpan int `json:"handoff_span,omitempty"`
 }
 
 // Active reports whether the plan can inject anything at all. Inactive plans
@@ -117,6 +139,12 @@ func (f *FaultSpec) Active() bool {
 // a cluster harness (faultinject.NodeInjector) can inject.
 func (f *FaultSpec) NodeActive() bool {
 	return f != nil && (f.NodeCrash > 0 || f.NodeStall > 0 || f.NetPartition > 0)
+}
+
+// HandoffActive reports whether the plan carries any handoff-phase fault —
+// what a rebalance harness (faultinject.HandoffInjector) can inject.
+func (f *FaultSpec) HandoffActive() bool {
+	return f != nil && (f.HandoffKillGaining > 0 || f.HandoffPartitionSource > 0 || f.HandoffCrashRecover > 0)
 }
 
 // validate appends FaultSpec field errors via bad.
@@ -134,6 +162,9 @@ func (f *FaultSpec) validate(bad func(field, format string, args ...any)) {
 		{"fault.node_crash", f.NodeCrash},
 		{"fault.node_stall", f.NodeStall},
 		{"fault.net_partition", f.NetPartition},
+		{"fault.handoff_kill_gaining", f.HandoffKillGaining},
+		{"fault.handoff_partition_source", f.HandoffPartitionSource},
+		{"fault.handoff_crash_recover", f.HandoffCrashRecover},
 	} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			bad(r.field, "rate %v outside [0,1]", r.v)
@@ -149,6 +180,7 @@ func (f *FaultSpec) validate(bad func(field, format string, args ...any)) {
 		{"fault.node_crash_span", f.NodeCrashSpan},
 		{"fault.node_stall_span", f.NodeStallSpan},
 		{"fault.net_partition_span", f.NetPartitionSpan},
+		{"fault.handoff_span", f.HandoffSpan},
 	} {
 		if sp.v < 0 {
 			bad(sp.field, "span must be non-negative (got %d)", sp.v)

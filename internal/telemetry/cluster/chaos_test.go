@@ -95,9 +95,10 @@ func clusterFingerprint(t *testing.T, f *Frontend) []byte {
 // telemetry.Ingestor (optionally durable), swapped out on crash and back
 // in on recovery.
 type testCluster struct {
-	t    *testing.T
-	pm   *PartitionMap
-	cfgs map[string]telemetry.Config
+	t      *testing.T
+	pm     *PartitionMap
+	walDir string
+	cfgs   map[string]telemetry.Config
 
 	mu   sync.Mutex
 	ings map[string]*telemetry.Ingestor // nil while crashed
@@ -109,7 +110,7 @@ type testCluster struct {
 // kill/recover pin needs.
 func newTestCluster(t *testing.T, pm *PartitionMap, walDir string) *testCluster {
 	t.Helper()
-	c := &testCluster{t: t, pm: pm, cfgs: map[string]telemetry.Config{}, ings: map[string]*telemetry.Ingestor{}}
+	c := &testCluster{t: t, pm: pm, walDir: walDir, cfgs: map[string]telemetry.Config{}, ings: map[string]*telemetry.Ingestor{}}
 	for _, n := range pm.Nodes() {
 		cfg := telemetry.Config{Shards: 2, QueueLen: 1024, Block: true, Node: pm.NodeInfo(n)}
 		if walDir != "" {

@@ -57,8 +57,9 @@ func (c *FrontendConfig) fill() {
 // invisible until it has something to disclose.
 type Result struct {
 	telemetry.QueryResult
-	// Partial is set when at least one node could not be gathered; the
-	// statistics cover only the partitions that answered.
+	// Partial is set when at least one node could not be gathered, or when
+	// a rebalance is moving partitions right now; the statistics cover only
+	// the partitions that answered, at the current epoch's placement.
 	Partial bool `json:"partial,omitempty"`
 	// MissingPartitions lists every partition with no surviving copy in
 	// this answer — all partitions assigned (as owner or replica) only to
@@ -66,6 +67,12 @@ type Result struct {
 	MissingPartitions []int `json:"missing_partitions,omitempty"`
 	// MissingNodes lists the nodes that failed to answer, canonical order.
 	MissingNodes []string `json:"missing_nodes,omitempty"`
+	// MigratingPartitions lists the partitions a live rebalance is moving
+	// (or whose stale pre-migration copies are not yet dropped). Their data
+	// is answered from the current epoch's owners — never silently wrong —
+	// but a racing handoff means the answer may lag the newest writes, so
+	// the query is marked Partial and says exactly which partitions.
+	MigratingPartitions []int `json:"migrating_partitions,omitempty"`
 }
 
 // Frontend is the scatter-gather query tier: it fans a query out to every
@@ -73,10 +80,20 @@ type Result struct {
 // the same sorted path the single-node query uses. Nodes that cannot be
 // reached do not fail the query — the answer covers what was gathered and
 // says exactly which partitions are missing.
+//
+// Gathered pages are filtered by the current epoch's assignment: a node's
+// matches count only for partitions it is assigned (owner, or replica —
+// replicas hold failover traffic). That is what makes membership elastic
+// without lying: staged copies on a joining node are invisible until their
+// epoch activates, and stale copies on a leaving node are invisible the
+// moment it does, so a query never double-counts a partition that exists
+// on two nodes mid-rebalance.
 type Frontend struct {
-	pm      *PartitionMap
+	pm  *PartitionMap
+	cfg FrontendConfig
+
+	mu      sync.RWMutex
 	clients map[string]NodeClient
-	cfg     FrontendConfig
 
 	queries    *obs.Counter
 	partials   *obs.Counter
@@ -84,10 +101,14 @@ type Frontend struct {
 }
 
 // NewFrontend builds the query tier over a partition map and one client
-// per node. Every node in the map must have a client.
+// per node. Every node in the map must have a client; AddClient wires
+// nodes that join later.
 func NewFrontend(pm *PartitionMap, clients map[string]NodeClient, cfg FrontendConfig) *Frontend {
 	cfg.fill()
-	f := &Frontend{pm: pm, clients: clients, cfg: cfg}
+	f := &Frontend{pm: pm, cfg: cfg, clients: make(map[string]NodeClient, len(clients))}
+	for n, c := range clients {
+		f.clients[n] = c
+	}
 	if cfg.Metrics != nil {
 		f.queries = cfg.Metrics.Counter("cluster_frontend_queries_total", "scatter-gather queries served")
 		f.partials = cfg.Metrics.Counter("cluster_frontend_partial_total", "queries answered with missing partitions")
@@ -99,14 +120,38 @@ func NewFrontend(pm *PartitionMap, clients map[string]NodeClient, cfg FrontendCo
 	return f
 }
 
-// gather runs fn against every node concurrently, each leg under the
-// front-end timeout, and reports which nodes failed (canonical order).
-func (f *Frontend) gather(ctx context.Context, fn func(ctx context.Context, node string, c NodeClient) error) (missing []string) {
-	nodes := f.pm.cfg.Nodes
+// AddClient wires (or replaces) the query transport for a node — how a
+// joining member becomes queryable without restarting the frontend.
+func (f *Frontend) AddClient(node string, c NodeClient) {
+	f.mu.Lock()
+	f.clients[node] = c
+	f.mu.Unlock()
+}
+
+// RemoveClient unwires a departed node's transport.
+func (f *Frontend) RemoveClient(node string) {
+	f.mu.Lock()
+	delete(f.clients, node)
+	f.mu.Unlock()
+}
+
+// Client returns the query transport wired for a node, if any.
+func (f *Frontend) Client(node string) (NodeClient, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	c, ok := f.clients[node]
+	return c, ok
+}
+
+// gather runs fn against every current member concurrently, each leg under
+// the front-end timeout, and reports which nodes failed (canonical order).
+// The member list is the current epoch's — nodes that joined or left take
+// effect the moment their epoch activates.
+func (f *Frontend) gather(ctx context.Context, nodes []string, fn func(ctx context.Context, node string, c NodeClient) error) (missing []string) {
 	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
 	for i, n := range nodes {
-		c, ok := f.clients[n]
+		c, ok := f.Client(n)
 		if !ok {
 			errs[i] = context.Canceled // no client wired: the node is unreachable by construction
 			continue
@@ -156,23 +201,69 @@ func (f *Frontend) missingPartitions(missing []string) []int {
 	return out
 }
 
+// countsFor reports whether a node's copy of a partition belongs in this
+// answer: the node must be assigned the partition in the current epoch and
+// must not be the suspect holder of a stale pre-migration copy.
+func (f *Frontend) countsFor(node string, p int, suspects map[int]string) bool {
+	if suspects[p] == node {
+		return false
+	}
+	return f.pm.Assigned(node, p)
+}
+
+// filterPage drops the matches a node is not assigned, in place.
+func (f *Frontend) filterPage(node string, page telemetry.SketchPage, parts int, suspects map[int]string) telemetry.SketchPage {
+	kept := page.Matches[:0]
+	for _, m := range page.Matches {
+		k := telemetry.Key{Metric: page.Metric, Region: m.Region, Net: m.Net}
+		if f.countsFor(node, k.ShardOf(parts), suspects) {
+			kept = append(kept, m)
+		}
+	}
+	page.Matches = kept
+	return page
+}
+
+// finalize stamps the cluster disclosure fields onto a result.
+func (f *Frontend) finalize(out *Result, missing []string) {
+	out.MigratingPartitions = f.pm.Migrating()
+	if len(missing) > 0 {
+		out.Partial = true
+		out.MissingNodes = missing
+		out.MissingPartitions = f.missingPartitions(missing)
+	}
+	if len(out.MigratingPartitions) > 0 {
+		out.Partial = true
+	}
+	if out.Partial {
+		f.partials.Inc()
+	}
+}
+
 // Query scatter-gathers one query. The error return covers spec problems
-// and merge-level config mismatches only; unreachable nodes surface in the
-// Result's partial fields instead.
+// and merge-level config mismatches only; unreachable nodes and live
+// rebalances surface in the Result's partial fields instead.
 func (f *Frontend) Query(ctx context.Context, spec telemetry.QuerySpec) (Result, error) {
 	f.queries.Inc()
 	if err := telemetry.ValidateQuerySpec(spec); err != nil {
 		return Result{}, err
 	}
-	pages := make([]telemetry.SketchPage, len(f.pm.cfg.Nodes))
-	gathered := make([]bool, len(f.pm.cfg.Nodes))
-	missing := f.gather(ctx, func(ctx context.Context, node string, c NodeClient) error {
+	nodes := f.pm.Nodes()
+	parts := f.pm.Partitions()
+	suspects := f.pm.Suspects()
+	pages := make([]telemetry.SketchPage, len(nodes))
+	gathered := make([]bool, len(nodes))
+	idx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	missing := f.gather(ctx, nodes, func(ctx context.Context, node string, c NodeClient) error {
 		page, err := c.Sketches(ctx, spec)
 		if err != nil {
 			return err
 		}
-		i := f.pm.index[node]
-		pages[i], gathered[i] = page, true
+		i := idx[node]
+		pages[i], gathered[i] = f.filterPage(node, page, parts, suspects), true
 		return nil
 	})
 	// Keep only answered pages, in canonical node order — so the merge
@@ -189,26 +280,35 @@ func (f *Frontend) Query(ctx context.Context, spec telemetry.QuerySpec) (Result,
 		return Result{}, err
 	}
 	out := Result{QueryResult: res}
-	if len(missing) > 0 {
-		f.partials.Inc()
-		out.Partial = true
-		out.MissingNodes = missing
-		out.MissingPartitions = f.missingPartitions(missing)
-	}
+	f.finalize(&out, missing)
 	return out, nil
 }
 
 // Keys scatter-gathers the cluster's key inventory: per-key counts summed
-// across nodes, sorted exactly like Ingestor.Keys. The second return lists
+// across nodes — each node contributing only the keys of partitions it is
+// assigned — sorted exactly like Ingestor.Keys. The second return lists
 // nodes that failed to answer (empty means the inventory is complete).
 func (f *Frontend) Keys(ctx context.Context) ([]telemetry.KeyCount, []string) {
-	perNode := make([][]telemetry.KeyCount, len(f.pm.cfg.Nodes))
-	missing := f.gather(ctx, func(ctx context.Context, node string, c NodeClient) error {
+	nodes := f.pm.Nodes()
+	parts := f.pm.Partitions()
+	suspects := f.pm.Suspects()
+	perNode := make([][]telemetry.KeyCount, len(nodes))
+	idx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	missing := f.gather(ctx, nodes, func(ctx context.Context, node string, c NodeClient) error {
 		keys, err := c.Keys(ctx)
 		if err != nil {
 			return err
 		}
-		perNode[f.pm.index[node]] = keys
+		kept := keys[:0]
+		for _, kc := range keys {
+			if f.countsFor(node, kc.Key.ShardOf(parts), suspects) {
+				kept = append(kept, kc)
+			}
+		}
+		perNode[idx[node]] = kept
 		return nil
 	})
 	acc := map[telemetry.Key]float64{}

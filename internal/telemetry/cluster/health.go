@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"edgescope/internal/obs"
+	"edgescope/internal/rng"
 )
 
 // NodeState is a member's routability as seen by the health tracker.
@@ -65,6 +66,13 @@ type HealthConfig struct {
 	// before it is routable again. Default 2 — a flapping node must hold
 	// still briefly before traffic returns.
 	UpAfter int
+	// Jitter, when set, spreads Start's probe schedule: each wait is drawn
+	// uniformly from [0.9, 1.1) × Interval, so N trackers booted together
+	// (every node probing every other) drift apart instead of probing in
+	// synchronized bursts — the thundering-herd fix. The seeded source
+	// makes the schedule deterministic under test. nil keeps the fixed
+	// ticker.
+	Jitter *rng.Source
 	// Metrics, when set, registers the membership families (cluster_node_*).
 	Metrics *obs.Registry
 }
@@ -103,14 +111,21 @@ type NodeHealth struct {
 
 // HealthTracker drives the up/degraded/down state machine over periodic
 // probes. Every node starts Up — a cluster boots optimistic and marks down
-// from evidence, so a cold start routes immediately.
+// from evidence, so a cold start routes immediately. Membership is
+// elastic: Add and Remove adjust the probed set live (join/leave).
 type HealthTracker struct {
-	nodes []string
 	probe Prober
 	cfg   HealthConfig
 
-	mu sync.Mutex
-	st map[string]*nodeHealth
+	mu    sync.Mutex
+	nodes []string
+	st    map[string]*nodeHealth
+
+	// Vector families for Add to bind late-joining nodes' cells to; nil
+	// without a registry.
+	stateG *obs.GaugeVec
+	failC  *obs.CounterVec
+	transC *obs.CounterVec
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -129,32 +144,67 @@ func NewHealthTracker(nodes []string, probe Prober, cfg HealthConfig) *HealthTra
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
-	var stateG *obs.GaugeVec
-	var failC, transC *obs.CounterVec
 	if cfg.Metrics != nil {
-		stateG = cfg.Metrics.GaugeVec("cluster_node_state", "membership state: 0 up, 1 degraded, 2 down", "node")
-		failC = cfg.Metrics.CounterVec("cluster_probe_failures_total", "health probes that got no answer", "node")
-		transC = cfg.Metrics.CounterVec("cluster_node_transitions_total", "membership state transitions", "node")
+		h.stateG = cfg.Metrics.GaugeVec("cluster_node_state", "membership state: 0 up, 1 degraded, 2 down", "node")
+		h.failC = cfg.Metrics.CounterVec("cluster_probe_failures_total", "health probes that got no answer", "node")
+		h.transC = cfg.Metrics.CounterVec("cluster_node_transitions_total", "membership state transitions", "node")
 	}
 	for _, n := range h.nodes {
-		cell := &nodeHealth{}
-		if cfg.Metrics != nil {
-			cell.stateG = stateG.With(n)
-			cell.failures = failC.With(n)
-			cell.transC = transC.With(n)
-		} else {
-			cell.failures = &obs.Counter{}
-			cell.transC = &obs.Counter{}
-		}
-		h.st[n] = cell
+		h.st[n] = h.newCell(n)
 	}
 	return h
 }
 
+// newCell builds one member's state cell, bound to the registered vector
+// families when metrics are on.
+func (h *HealthTracker) newCell(n string) *nodeHealth {
+	cell := &nodeHealth{}
+	if h.stateG != nil {
+		cell.stateG = h.stateG.With(n)
+		cell.failures = h.failC.With(n)
+		cell.transC = h.transC.With(n)
+	} else {
+		cell.failures = &obs.Counter{}
+		cell.transC = &obs.Counter{}
+	}
+	return cell
+}
+
+// Add starts tracking a joining member (idempotent). The node starts Up,
+// like every boot member — it joined by answering the admin plane, which
+// is evidence enough until probes say otherwise.
+func (h *HealthTracker) Add(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.st[node]; ok {
+		return
+	}
+	h.nodes = append(h.nodes, node)
+	h.st[node] = h.newCell(node)
+}
+
+// Remove stops tracking a departed member. Its state is forgotten: a
+// removed node reads as Down (unknown), which is what the router must see.
+func (h *HealthTracker) Remove(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.st, node)
+	for i, n := range h.nodes {
+		if n == node {
+			h.nodes = append(h.nodes[:i], h.nodes[i+1:]...)
+			break
+		}
+	}
+}
+
 // ProbeOnce probes every member once, in canonical node order, and advances
-// the state machine — the deterministic unit Start loops on.
+// the state machine — the deterministic unit Start loops on. The member
+// list is snapshotted first, so Add/Remove during a pass are safe.
 func (h *HealthTracker) ProbeOnce() {
-	for _, n := range h.nodes {
+	h.mu.Lock()
+	nodes := append([]string(nil), h.nodes...)
+	h.mu.Unlock()
+	for _, n := range nodes {
 		res := h.probe(n)
 		h.observe(n, res)
 	}
@@ -202,12 +252,26 @@ func (h *HealthTracker) observe(node string, res ProbeResult) {
 }
 
 // Start launches the periodic probe loop. Stop ends it; both are
-// idempotent. Deterministic tests skip Start and drive ProbeOnce.
+// idempotent. Deterministic tests skip Start and drive ProbeOnce. With
+// HealthConfig.Jitter set, each wait is a fresh draw from [0.9, 1.1) ×
+// Interval so co-booted trackers desynchronize; otherwise a fixed ticker.
 func (h *HealthTracker) Start() {
 	h.startOnce.Do(func() {
 		go func() {
 			defer close(h.done)
-			t := time.NewTicker(h.cfg.Interval)
+			if h.cfg.Jitter == nil {
+				t := time.NewTicker(h.cfg.Interval)
+				defer t.Stop()
+				for {
+					select {
+					case <-h.stop:
+						return
+					case <-t.C:
+						h.ProbeOnce()
+					}
+				}
+			}
+			t := time.NewTimer(h.nextWait())
 			defer t.Stop()
 			for {
 				select {
@@ -215,10 +279,17 @@ func (h *HealthTracker) Start() {
 					return
 				case <-t.C:
 					h.ProbeOnce()
+					t.Reset(h.nextWait())
 				}
 			}
 		}()
 	})
+}
+
+// nextWait draws one jittered probe interval: Interval × [0.9, 1.1).
+func (h *HealthTracker) nextWait() time.Duration {
+	f := 0.9 + 0.2*h.cfg.Jitter.Float64()
+	return time.Duration(float64(h.cfg.Interval) * f)
 }
 
 // Stop ends the probe loop started by Start and waits for it to exit.

@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"edgescope/internal/obs"
+	"edgescope/internal/rng"
 )
 
 // scriptedProber answers probes from a per-node state the test flips.
@@ -154,4 +157,81 @@ func TestHealthStartStop(t *testing.T) {
 	// Stop without Start must not hang either.
 	h2, _ := newHealthHarness(HealthConfig{}, "a")
 	h2.Stop()
+}
+
+// TestHealthJitterDeterministicAndBounded: with an injected rng the
+// jittered probe schedule is a pure function of the seed, and every wait
+// stays inside [0.9, 1.1) × Interval — the thundering-herd spread.
+func TestHealthJitterDeterministicAndBounded(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		h := NewHealthTracker([]string{"a"}, func(string) ProbeResult { return ProbeResult{Reachable: true} },
+			HealthConfig{Interval: time.Second, Jitter: rng.New(seed).Fork("probe")})
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = h.nextWait()
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed drew different schedules")
+	}
+	c := draw(8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical schedules")
+	}
+	for _, w := range a {
+		if w < 900*time.Millisecond || w >= 1100*time.Millisecond {
+			t.Fatalf("wait %v outside ±10%% of 1s", w)
+		}
+	}
+}
+
+// TestHealthJitteredLoopProbes: Start with Jitter set actually drives
+// probes through the timer loop.
+func TestHealthJitteredLoopProbes(t *testing.T) {
+	var n atomic.Int64
+	h := NewHealthTracker([]string{"a"}, func(string) ProbeResult {
+		n.Add(1)
+		return ProbeResult{Reachable: true}
+	}, HealthConfig{Interval: time.Millisecond, Jitter: rng.New(1).Fork("probe")})
+	h.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+	if n.Load() < 3 {
+		t.Fatalf("jittered loop probed %d times", n.Load())
+	}
+}
+
+// TestHealthAddRemoveElastic: membership is elastic — an added node is
+// probed and starts Up, a removed one is forgotten and reads Down.
+func TestHealthAddRemoveElastic(t *testing.T) {
+	probed := map[string]int{}
+	h := NewHealthTracker([]string{"a"}, func(n string) ProbeResult {
+		probed[n]++
+		return ProbeResult{Reachable: true}
+	}, HealthConfig{})
+	h.Add("b")
+	h.Add("b") // idempotent
+	if got := h.State("b"); got != StateUp {
+		t.Fatalf("joined node state = %v", got)
+	}
+	h.ProbeOnce()
+	if probed["b"] != 1 {
+		t.Fatalf("joined node probed %d times", probed["b"])
+	}
+	if got := len(h.Snapshot()); got != 2 {
+		t.Fatalf("snapshot has %d members", got)
+	}
+	h.Remove("b")
+	h.ProbeOnce()
+	if probed["b"] != 1 {
+		t.Fatal("removed node still probed")
+	}
+	if got := h.State("b"); got != StateDown {
+		t.Fatalf("removed node state = %v, want down", got)
+	}
 }

@@ -103,6 +103,99 @@ func HTTPProber(nodes map[string]*HTTPNode) Prober {
 	}
 }
 
+// --- Admin plane (NodeAdmin over HTTP: cmd/telemetryd's /admin/*) ---
+
+// Flush settles the node's queues into rollups: POST /admin/flush.
+func (n *HTTPNode) Flush(ctx context.Context) error {
+	return n.postJSON(ctx, "/admin/flush", nil, nil)
+}
+
+// FreezePartition starts a partition's exact-cut ingest freeze:
+// POST /admin/freeze?partition=&of=.
+func (n *HTTPNode) FreezePartition(ctx context.Context, p, of int) error {
+	return n.postJSON(ctx, "/admin/freeze?"+partParams(p, of), nil, nil)
+}
+
+// UnfreezePartition lifts a freeze: POST /admin/unfreeze?partition=&of=.
+func (n *HTTPNode) UnfreezePartition(ctx context.Context, p, of int) error {
+	return n.postJSON(ctx, "/admin/unfreeze?"+partParams(p, of), nil, nil)
+}
+
+// PartitionPages fetches one partition's durable state in sketch-page wire
+// form: GET /sketches/partition?partition=&of=.
+func (n *HTTPNode) PartitionPages(ctx context.Context, p, of int) ([]telemetry.SketchPage, error) {
+	var pages []telemetry.SketchPage
+	err := n.getJSON(ctx, "/sketches/partition?"+partParams(p, of), &pages)
+	return pages, err
+}
+
+// AbsorbPages ships pages into the node's rollups: POST /admin/absorb.
+func (n *HTTPNode) AbsorbPages(ctx context.Context, pages []telemetry.SketchPage) (telemetry.AbsorbAck, error) {
+	var ack telemetry.AbsorbAck
+	err := n.postJSON(ctx, "/admin/absorb", pages, &ack)
+	return ack, err
+}
+
+// DropPartition removes the node's copy of one partition:
+// POST /admin/drop?partition=&of=.
+func (n *HTTPNode) DropPartition(ctx context.Context, p, of int) (int, error) {
+	var out struct {
+		Dropped int `json:"dropped"`
+	}
+	err := n.postJSON(ctx, "/admin/drop?"+partParams(p, of), nil, &out)
+	return out.Dropped, err
+}
+
+// PushAssignment installs an activated epoch's table:
+// POST /admin/assignment.
+func (n *HTTPNode) PushAssignment(ctx context.Context, a Assignment) error {
+	return n.postJSON(ctx, "/admin/assignment", a, nil)
+}
+
+// partParams encodes the partition selector shared by the admin legs.
+func partParams(p, of int) string {
+	q := url.Values{}
+	q.Set("partition", strconv.Itoa(p))
+	q.Set("of", strconv.Itoa(of))
+	return q.Encode()
+}
+
+// postJSON runs one POST leg: body (when non-nil) is JSON-encoded, the
+// answer (when out is non-nil) JSON-decoded; non-2xx is an error.
+func (n *HTTPNode) postJSON(ctx context.Context, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = strings.NewReader(string(raw))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s%s: %s: %s", n.base, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
 // getJSON runs one GET leg and decodes the JSON answer.
 func (n *HTTPNode) getJSON(ctx context.Context, path string, v any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+path, nil)

@@ -1,0 +1,587 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"edgescope/internal/telemetry"
+)
+
+// The rebalance coordinator. A Migrator turns a membership change
+// (join/leave/drain) into an epoch transition executed against live nodes:
+//
+//	propose   next = Rebalance(cur, members±node); pm.BeginMigration(next)
+//	per part  freeze → flush sources → fetch pages → drop dest →
+//	          absorb → cutover (dual-epoch writes on)
+//	activate  pm.Activate() — routing flips atomically to the new owners
+//	settle    drop the stale pre-migration copies on losing nodes
+//
+// Data moves as sketch pages — the same binary wire format /sketches
+// serves — cut under a two-level freeze (router-side refusal plus the
+// source ingestor's own partition freeze) so the page cut is exact: every
+// acked envelope is either inside the shipped pages or redelivered into
+// the dual-write phase, never lost between them. The destination is
+// rebuilt drop-then-absorb from coordinator-held pages on every attempt,
+// which is what makes a retry after a mid-transfer crash idempotent
+// instead of double-counting. If a partition's handoff cannot complete
+// within the attempt budget, the whole migration rolls back: the pending
+// epoch is discarded, freezes lift, and the cluster keeps routing on the
+// old epoch exactly as before.
+
+// NodeAdmin is the rebalance control plane's transport to one node:
+// LocalAdmin in-process, HTTPAdmin over the wire (cmd/telemetryd's
+// /admin/* endpoints) — either optionally wrapped in a fault injector.
+type NodeAdmin interface {
+	// Flush settles every accepted envelope into queryable rollups (and
+	// the WAL), so a page cut taken after it is complete.
+	Flush(ctx context.Context) error
+	// FreezePartition makes the node refuse ingest for one partition — the
+	// source side of the exact cut (telemetry.Ingestor.FreezePartition).
+	FreezePartition(ctx context.Context, p, of int) error
+	// UnfreezePartition lifts a partition freeze (idempotent).
+	UnfreezePartition(ctx context.Context, p, of int) error
+	// PartitionPages returns the node's durable state for one partition in
+	// sketch-page wire form.
+	PartitionPages(ctx context.Context, p, of int) ([]telemetry.SketchPage, error)
+	// AbsorbPages folds pages into the node's rollups, durably (WAL
+	// control records). The ack reports what was applied.
+	AbsorbPages(ctx context.Context, pages []telemetry.SketchPage) (telemetry.AbsorbAck, error)
+	// DropPartition removes the node's copy of one partition, durably.
+	DropPartition(ctx context.Context, p, of int) (int, error)
+	// PushAssignment installs an activated epoch's table on the node, so
+	// its /healthz self-description tracks the placement it serves.
+	PushAssignment(ctx context.Context, a Assignment) error
+}
+
+// LocalAdmin adapts an in-process Ingestor to NodeAdmin — the test and
+// benchmark transport. Ing is resolved on every call so a harness that
+// crash-recovers a node (swapping the Ingestor) keeps the same admin.
+type LocalAdmin struct {
+	Node string
+	Ing  func() *telemetry.Ingestor
+}
+
+func (l LocalAdmin) Flush(context.Context) error {
+	l.Ing().Flush()
+	return nil
+}
+
+func (l LocalAdmin) FreezePartition(_ context.Context, p, of int) error {
+	return l.Ing().FreezePartition(p, of)
+}
+
+func (l LocalAdmin) UnfreezePartition(_ context.Context, p, of int) error {
+	l.Ing().UnfreezePartition(p, of)
+	return nil
+}
+
+func (l LocalAdmin) PartitionPages(_ context.Context, p, of int) ([]telemetry.SketchPage, error) {
+	return l.Ing().PartitionPages(p, of)
+}
+
+func (l LocalAdmin) AbsorbPages(_ context.Context, pages []telemetry.SketchPage) (telemetry.AbsorbAck, error) {
+	return l.Ing().AbsorbPages(pages)
+}
+
+func (l LocalAdmin) DropPartition(_ context.Context, p, of int) (int, error) {
+	return l.Ing().DropPartition(p, of)
+}
+
+func (l LocalAdmin) PushAssignment(_ context.Context, a Assignment) error {
+	l.Ing().SetNodeInfo(a.NodeInfo(l.Node))
+	return nil
+}
+
+// HandoffStep names one point in a partition's handoff, for fault
+// injection and tracing. Phases, in order: "freeze", "flush", "fetch",
+// "rebuild" (drop+absorb at the destination), "cutover"; then per
+// migration "activate" and per stale copy "drop_stale".
+type HandoffStep struct {
+	Phase     string
+	Partition int
+	Source    string
+	Dest      string
+}
+
+// StepHook intercepts handoff steps. Returning an error fails that step
+// exactly as a transport failure would — the attempt retries or the
+// migration rolls back. The chaos harness injects handoff-phase faults
+// through this seam.
+type StepHook func(HandoffStep) error
+
+// MigratorConfig tunes the rebalance coordinator.
+type MigratorConfig struct {
+	// Attempts bounds per-partition rebuild tries (each a full
+	// drop-then-absorb at the destination). Default 3.
+	Attempts int
+	// Health, when set, gains/loses probed members as the migrator
+	// admits/removes them — a joining node must be probed (and start Up)
+	// before dual writes can target it.
+	Health *HealthTracker
+	// Hook, when set, intercepts every handoff step (fault injection).
+	Hook StepHook
+	// OnActivate, when set, observes each activated epoch — the frontend
+	// persists its cluster state here.
+	OnActivate func(Assignment)
+}
+
+func (c *MigratorConfig) fill() {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+}
+
+// Migrator executes epoch transitions. One migration runs at a time
+// (Join/Leave/Drain/CatchUp serialize on an internal mutex); ingest and
+// queries keep flowing throughout, per-partition freezes excepted.
+type Migrator struct {
+	pm  *PartitionMap
+	cfg MigratorConfig
+
+	mu sync.Mutex // serializes migrations
+
+	adminMu sync.RWMutex
+	admins  map[string]NodeAdmin
+}
+
+// NewMigrator builds a coordinator over a partition map and one admin
+// transport per current member.
+func NewMigrator(pm *PartitionMap, admins map[string]NodeAdmin, cfg MigratorConfig) *Migrator {
+	cfg.fill()
+	m := &Migrator{pm: pm, cfg: cfg, admins: make(map[string]NodeAdmin, len(admins))}
+	for n, a := range admins {
+		m.admins[n] = a
+	}
+	return m
+}
+
+// AddAdmin wires (or replaces) a node's admin transport.
+func (m *Migrator) AddAdmin(node string, a NodeAdmin) {
+	m.adminMu.Lock()
+	m.admins[node] = a
+	m.adminMu.Unlock()
+}
+
+// RemoveAdmin unwires a departed node's admin transport.
+func (m *Migrator) RemoveAdmin(node string) {
+	m.adminMu.Lock()
+	delete(m.admins, node)
+	m.adminMu.Unlock()
+}
+
+// Admin returns the admin transport wired for a node, if any.
+func (m *Migrator) Admin(node string) (NodeAdmin, bool) {
+	m.adminMu.RLock()
+	defer m.adminMu.RUnlock()
+	a, ok := m.admins[node]
+	return a, ok
+}
+
+// Migrating reports whether a migration is in flight right now.
+func (m *Migrator) Migrating() bool {
+	if !m.mu.TryLock() {
+		return true
+	}
+	m.mu.Unlock()
+	return false
+}
+
+// Join admits a new member: wires its admin, computes the minimal-movement
+// next epoch, migrates, activates. On failure everything rolls back —
+// admin unwired, health untracked, old epoch routing untouched. The
+// caller wires the node's query client (Frontend.AddClient) before Join
+// so the member is queryable the moment its epoch activates.
+func (m *Migrator) Join(ctx context.Context, node string, admin NodeAdmin) (Assignment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.pm.Current()
+	if cur.Member(node) {
+		return Assignment{}, fmt.Errorf("cluster: %q is already a member", node)
+	}
+	if admin != nil {
+		m.AddAdmin(node, admin)
+	}
+	if _, ok := m.Admin(node); !ok {
+		return Assignment{}, fmt.Errorf("cluster: no admin transport for joining node %q", node)
+	}
+	next, err := Rebalance(cur, append(append([]string(nil), cur.Nodes...), node))
+	if err != nil {
+		return Assignment{}, err
+	}
+	if m.cfg.Health != nil {
+		m.cfg.Health.Add(node) // must be probed (and Up) before dual writes target it
+	}
+	if err := m.migrate(ctx, cur, next); err != nil {
+		if m.cfg.Health != nil {
+			m.cfg.Health.Remove(node)
+		}
+		m.RemoveAdmin(node)
+		return Assignment{}, err
+	}
+	return next, nil
+}
+
+// Leave removes a member: its partitions hand off to the survivors, the
+// epoch activates, and only then is the node unwired. The node's daemon
+// can shut down once Leave returns — nothing routes to it anymore.
+func (m *Migrator) Leave(ctx context.Context, node string) (Assignment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.pm.Current()
+	if !cur.Member(node) {
+		return Assignment{}, fmt.Errorf("cluster: %q is not a member", node)
+	}
+	survivors := make([]string, 0, len(cur.Nodes)-1)
+	for _, n := range cur.Nodes {
+		if n != node {
+			survivors = append(survivors, n)
+		}
+	}
+	next, err := Rebalance(cur, survivors)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if err := m.migrate(ctx, cur, next); err != nil {
+		return Assignment{}, err
+	}
+	if m.cfg.Health != nil {
+		m.cfg.Health.Remove(node)
+	}
+	m.RemoveAdmin(node)
+	return next, nil
+}
+
+// Drain empties a member without removing it: its quota drops to zero and
+// every partition it held hands off, but it stays probed and wired — the
+// prelude to a clean Leave, which then moves nothing.
+func (m *Migrator) Drain(ctx context.Context, node string) (Assignment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.pm.Current()
+	next, err := RebalanceDrain(cur, node)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return next, m.migrate(ctx, cur, next)
+}
+
+// step runs the fault-injection hook, if any.
+func (m *Migrator) step(phase string, p int, src, dst string) error {
+	if m.cfg.Hook == nil {
+		return nil
+	}
+	return m.cfg.Hook(HandoffStep{Phase: phase, Partition: p, Source: src, Dest: dst})
+}
+
+// partPlan is one partition's work inside a migration: rebuild its data
+// at the destination owner from the listed sources' pages. Sources are
+// the current owner and — when the slice must consolidate — the current
+// replica holding failover traffic that would otherwise strand.
+type partPlan struct {
+	p        int
+	dst      string   // next epoch's owner
+	srcOwner string   // current owner ("" when dst == current owner)
+	sources  []string // nodes whose pages rebuild dst, canonical order
+}
+
+// plan lists the partitions a migration must move, ascending. A partition
+// needs work when its owner changes, or when (under replication factor 2)
+// its replica changes while holding failover data — the consolidation
+// case; replica emptiness is only discoverable at fetch time, so replica
+// changes always plan and the rebuild is skipped later if the fetched
+// pages turn out empty.
+func plan(cur, next Assignment) []partPlan {
+	var out []partPlan
+	for p := 0; p < cur.Partitions; p++ {
+		ownerMoved := cur.Owners[p] != next.Owners[p]
+		replicaMoved := cur.ReplicationFactor == 2 && cur.Replicas[p] != next.Replicas[p]
+		if !ownerMoved && !replicaMoved {
+			continue
+		}
+		pl := partPlan{p: p, dst: next.Owners[p]}
+		if ownerMoved {
+			pl.srcOwner = cur.Owners[p]
+			pl.sources = append(pl.sources, cur.Owners[p])
+		}
+		if cur.ReplicationFactor == 2 {
+			r := cur.Replicas[p]
+			// The current replica's failover slice must fold into the new
+			// owner whenever the partition moves at all — it belongs with
+			// the data it shadowed. That includes a promotion (the replica
+			// IS the new owner): its own slice is cut into the held pages
+			// before the rebuild drops it, so nothing strands.
+			if r != pl.srcOwner {
+				pl.sources = append(pl.sources, r)
+			}
+		}
+		out = append(out, pl)
+	}
+	return out
+}
+
+// migrate drives one epoch transition end to end. On error the pending
+// epoch is aborted and the cluster keeps serving the current one.
+func (m *Migrator) migrate(ctx context.Context, cur, next Assignment) error {
+	if err := m.pm.BeginMigration(next); err != nil {
+		return err
+	}
+	work := plan(cur, next)
+	var done []partPlan
+	for _, pl := range work {
+		if err := m.handoff(ctx, pl); err != nil {
+			m.rollback(next, done)
+			return fmt.Errorf("cluster: handoff of partition %d (%s → %s) failed, rolled back to epoch %d: %w",
+				pl.p, pl.srcOwner, pl.dst, cur.Epoch, err)
+		}
+		done = append(done, pl)
+	}
+	if err := m.step("activate", -1, "", ""); err != nil {
+		m.rollback(next, done)
+		return fmt.Errorf("cluster: activation of epoch %d failed, rolled back: %w", next.Epoch, err)
+	}
+	if _, err := m.pm.Activate(); err != nil {
+		m.rollback(next, done)
+		return err
+	}
+	// The epoch is live: routing, ownership filtering and partiality all
+	// flip atomically. What remains is cleanup that can no longer fail the
+	// migration — push the table to members, then drop the stale
+	// pre-migration copies on losing nodes.
+	for _, n := range next.Nodes {
+		if a, ok := m.Admin(n); ok {
+			_ = a.PushAssignment(ctx, next) // best-effort: /healthz self-description only
+		}
+	}
+	if m.cfg.OnActivate != nil {
+		m.cfg.OnActivate(next)
+	}
+	m.dropStale(ctx, next, work)
+	return nil
+}
+
+// dropStale removes losing nodes' copies of moved partitions after
+// activation. A failed drop on a node the new epoch still assigns the
+// partition to is marked suspect — the copy would double-count in a
+// merge, so queries exclude it and stay partial until Settle drops it. A
+// failed drop on an unassigned (or departed) node is harmless: the
+// ownership filter already hides the copy.
+func (m *Migrator) dropStale(ctx context.Context, next Assignment, work []partPlan) {
+	for _, pl := range work {
+		for _, src := range pl.sources {
+			if src == pl.dst {
+				continue
+			}
+			failed := m.step("drop_stale", pl.p, src, pl.dst) != nil
+			if !failed {
+				a, ok := m.Admin(src)
+				if ok {
+					_, err := a.DropPartition(ctx, pl.p, next.Partitions)
+					failed = err != nil
+				} else {
+					failed = true
+				}
+			}
+			if failed && next.Member(src) && assignedIn(next, src, pl.p) {
+				m.pm.MarkSuspect(pl.p, src)
+			}
+		}
+	}
+}
+
+// assignedIn reports whether an assignment places partition p on node.
+func assignedIn(a Assignment, node string, p int) bool {
+	if a.Owners[p] == node {
+		return true
+	}
+	return a.ReplicationFactor == 2 && a.Replicas[p] == node
+}
+
+// Settle retries the suspect drops a past activation left behind. It
+// returns the partitions still suspect afterwards (nil means queries are
+// no longer partial on this account).
+func (m *Migrator) Settle(ctx context.Context) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	parts := m.pm.Partitions()
+	for p, node := range m.pm.Suspects() {
+		a, ok := m.Admin(node)
+		if !ok {
+			continue
+		}
+		if _, err := a.DropPartition(ctx, p, parts); err == nil {
+			m.pm.ClearSuspect(p)
+		}
+	}
+	var still []int
+	for p := range m.pm.Suspects() {
+		still = append(still, p)
+	}
+	sort.Ints(still)
+	return still
+}
+
+// handoff rebuilds one partition at its destination. The freeze and the
+// page fetch happen once; the destination rebuild (drop, then absorb the
+// held pages) retries up to the attempt budget — drop-then-rebuild from
+// an immutable cut is what makes a retry after a destination crash
+// idempotent. Any failure unfreezes and reports; the caller rolls the
+// migration back.
+func (m *Migrator) handoff(ctx context.Context, pl partPlan) (err error) {
+	dst, ok := m.Admin(pl.dst)
+	if !ok {
+		return fmt.Errorf("no admin transport for destination %q", pl.dst)
+	}
+	parts := m.pm.Partitions()
+
+	// Freeze: router-side first (new sends refuse and back off), then each
+	// source node-side (the exact cut — an envelope accepted before the
+	// node freeze is flushed into the pages; one accepted after cutover is
+	// dual-written; the freeze window admits nothing).
+	if err := m.step("freeze", pl.p, pl.srcOwner, pl.dst); err != nil {
+		return err
+	}
+	m.pm.Freeze(pl.p)
+	frozen := make([]NodeAdmin, 0, len(pl.sources))
+	unfreeze := func() {
+		m.pm.Unfreeze(pl.p)
+		for _, a := range frozen {
+			_ = a.UnfreezePartition(ctx, pl.p, parts) // best-effort; a crash clears it anyway
+		}
+	}
+	defer func() {
+		if err != nil {
+			unfreeze()
+		}
+	}()
+	srcAdmins := make([]NodeAdmin, len(pl.sources))
+	for i, src := range pl.sources {
+		a, ok := m.Admin(src)
+		if !ok {
+			return fmt.Errorf("no admin transport for source %q", src)
+		}
+		if err := a.FreezePartition(ctx, pl.p, parts); err != nil {
+			return fmt.Errorf("freeze %q: %w", src, err)
+		}
+		srcAdmins[i], frozen = a, append(frozen, a)
+	}
+
+	// Flush + fetch: settle every accepted envelope into rollups, then cut
+	// the pages. The cut is immutable for the rest of the handoff — the
+	// freeze guarantees nothing lands behind it.
+	var pages []telemetry.SketchPage
+	for i, a := range srcAdmins {
+		if err := m.step("flush", pl.p, pl.sources[i], pl.dst); err != nil {
+			return err
+		}
+		if err := a.Flush(ctx); err != nil {
+			return fmt.Errorf("flush %q: %w", pl.sources[i], err)
+		}
+		if err := m.step("fetch", pl.p, pl.sources[i], pl.dst); err != nil {
+			return err
+		}
+		pp, err := a.PartitionPages(ctx, pl.p, parts)
+		if err != nil {
+			return fmt.Errorf("fetch %q: %w", pl.sources[i], err)
+		}
+		pages = append(pages, pp...)
+	}
+
+	// Consolidation-only plans (owner unchanged) with nothing to move are
+	// done: no rebuild, no cutover, no dual writes.
+	if pl.srcOwner == "" && len(pages) == 0 {
+		unfreeze()
+		return nil
+	}
+
+	// Rebuild: drop whatever the destination holds (a partial earlier
+	// attempt, a recovered crash's remnant) and absorb the held cut. Every
+	// attempt starts from empty, so retries converge instead of
+	// double-counting.
+	rebuilt := false
+	for attempt := 0; attempt < m.cfg.Attempts; attempt++ {
+		if err := m.step("rebuild", pl.p, pl.srcOwner, pl.dst); err != nil {
+			continue
+		}
+		if _, err := dst.DropPartition(ctx, pl.p, parts); err != nil {
+			continue
+		}
+		if _, err := dst.AbsorbPages(ctx, pages); err != nil {
+			continue
+		}
+		rebuilt = true
+		break
+	}
+	if !rebuilt {
+		return fmt.Errorf("destination %q rebuild did not complete in %d attempts", pl.dst, m.cfg.Attempts)
+	}
+
+	// Cutover: lift the router-side freeze and start dual-epoch writes
+	// (both owners must ack every envelope for this partition until
+	// activation), then unfreeze the sources so held-back traffic drains.
+	if err := m.step("cutover", pl.p, pl.srcOwner, pl.dst); err != nil {
+		return err
+	}
+	m.pm.Cutover(pl.p)
+	for _, a := range frozen {
+		_ = a.UnfreezePartition(ctx, pl.p, parts)
+	}
+	return nil
+}
+
+// rollback discards a failed migration: the pending epoch aborts (routing
+// never left the current one), and staged copies on destinations are
+// dropped best-effort — they were never visible (the ownership filter
+// hides unassigned copies), so a failed drop here costs disk, not
+// correctness.
+func (m *Migrator) rollback(next Assignment, done []partPlan) {
+	m.pm.Abort()
+	ctx := context.Background()
+	for _, pl := range done {
+		if pl.srcOwner == "" || pl.srcOwner == pl.dst {
+			continue
+		}
+		if a, ok := m.Admin(pl.dst); ok {
+			_, _ = a.DropPartition(ctx, pl.p, next.Partitions)
+		}
+	}
+}
+
+// CatchUp consolidates one partition's failover slice back onto its owner
+// — the replica re-sync after a markdown window under replication factor
+// 2. The owner's durable state and the replica's slice are cut under the
+// same freeze, the owner is rebuilt from both (its own pages re-insert
+// bit-exactly; the replica's windows merge), and the replica's copy is
+// dropped. When the markdown covered whole rollup windows the two cuts
+// are window-disjoint, so the rebuilt owner — and every query after it —
+// is byte-identical to a single node that ingested the whole stream.
+func (m *Migrator) CatchUp(ctx context.Context, p int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.pm.Current()
+	if p < 0 || p >= cur.Partitions {
+		return fmt.Errorf("cluster: partition %d of %d", p, cur.Partitions)
+	}
+	if cur.ReplicationFactor != 2 {
+		return fmt.Errorf("cluster: catch-up needs replication factor 2")
+	}
+	owner, replica := cur.Owners[p], cur.Replicas[p]
+	pl := partPlan{p: p, dst: owner, srcOwner: owner, sources: []string{owner, replica}}
+	if err := m.handoff(ctx, pl); err != nil {
+		return err
+	}
+	// handoff left a dual-write shadow only under a pending epoch; here
+	// there is none, so Cutover was a plain unfreeze. Drop the replica's
+	// now-merged slice; a failure leaves it suspect (it would
+	// double-count) until Settle.
+	if err := m.step("drop_stale", p, replica, owner); err == nil {
+		if a, ok := m.Admin(replica); ok {
+			if _, err := a.DropPartition(ctx, p, cur.Partitions); err == nil {
+				return nil
+			}
+		}
+	}
+	m.pm.MarkSuspect(p, replica)
+	return nil
+}

@@ -1,56 +1,79 @@
 // Package cluster turns the single-process telemetry pipeline into a
-// partitioned, fault-tolerant serving tier: a static partition map over the
-// (metric, region, network) keyspace, health-checked membership, a routing
-// ingest client with replica failover, and a scatter-gather query front-end
-// with explicit partial-result semantics.
+// partitioned, fault-tolerant serving tier: epoch-versioned partition
+// assignments over the (metric, region, network) keyspace, health-checked
+// membership, a routing ingest client with replica failover and dual-epoch
+// migration writes, and a scatter-gather query front-end with explicit
+// partial-result semantics.
 //
 // The layering mirrors the Periscope analytics pipeline: stateless routers
 // fan ingest out to partitioned stateful nodes (each an ordinary
 // telemetry.Ingestor with its own WAL — PR 6's durability is the per-node
 // substrate), and the query tier merges window sketches across nodes.
-// Because every (window, key) rollup lives on exactly one node and the
-// front-end merges sketches on the same sorted path the single-node query
-// uses (telemetry.MergeSketchPages), a clean clustered run answers every
-// query byte-identically to one process that ingested the whole stream —
-// the property the chaos tests pin.
+// Because every (window, key) rollup lives on exactly one assigned node and
+// the front-end merges sketches on the same sorted path the single-node
+// query uses (telemetry.MergeSketchPages), a clean clustered run answers
+// every query byte-identically to one process that ingested the whole
+// stream — the property the chaos tests pin, including across join/leave
+// rebalances (migrate.go).
 package cluster
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"edgescope/internal/telemetry"
 )
 
 // DefaultPartitions is the partition count when a MapConfig names none.
-// Partitions are the unit of placement and of partial-result reporting;
-// more partitions than nodes keeps rebalancing (a config change) granular.
+// Partitions are the unit of placement, of handoff and of partial-result
+// reporting; more partitions than nodes keeps rebalancing granular.
 const DefaultPartitions = 16
 
-// MapConfig declares a cluster's static layout.
+// MapConfig declares a cluster's boot layout — the input to epoch 1.
 type MapConfig struct {
 	// Partitions is the keyspace partition count. Default DefaultPartitions.
 	Partitions int `json:"partitions"`
-	// Nodes lists the node ids in canonical order. Placement depends on
-	// this order, so every router and front-end must share it — ship the
-	// same config everywhere (it is a deployment artifact, not discovery).
+	// Nodes lists the node ids in canonical order. Epoch-1 placement
+	// depends on this order, so every router and front-end must boot with
+	// the same list; later epochs ship the member list inside the
+	// Assignment itself.
 	Nodes []string `json:"nodes"`
 	// ReplicationFactor is 1 (owner only) or 2 (owner + one replica, the
 	// ingest failover target). Default 1.
 	ReplicationFactor int `json:"replication_factor,omitempty"`
 }
 
-// PartitionMap is the resolved placement: partition → owner (and replica,
-// under replication factor 2). The key→partition hash is the pipeline's
-// stable FNV-1a (telemetry.Key.ShardOf), so a key's partition depends only
-// on the key and the partition count — replays, routers and recovered
-// nodes always agree, with no coordination service anywhere.
+// PartitionMap holds the cluster's live placement: the current epoch's
+// Assignment, plus the transient migration state (pending epoch, frozen
+// partitions, dual-write targets, suspect stale copies) a rebalance moves
+// through. The key→partition hash is the pipeline's stable FNV-1a
+// (telemetry.Key.ShardOf), so a key's partition depends only on the key
+// and the partition count — replays, routers and recovered nodes always
+// agree, with no coordination service anywhere.
+//
+// All methods are safe for concurrent use; readers (the router's hot path,
+// the front-end's filters) take a read lock only.
 type PartitionMap struct {
-	cfg   MapConfig
-	index map[string]int // node id → position in cfg.Nodes
+	mu    sync.RWMutex
+	cur   Assignment
+	index map[string]int // node id → position in cur.Nodes
+
+	// pending is the proposed next epoch while a migration runs, nil
+	// otherwise. frozen partitions refuse ingest (the handoff's exact-cut
+	// window); dual maps a cut-over partition to the pending owner that
+	// must also ack every write until activation.
+	pending *Assignment
+	frozen  map[int]bool
+	dual    map[int]string
+	// suspect maps partitions to a still-assigned node holding a stale
+	// pre-migration copy whose post-activation drop has not succeeded yet.
+	// Queries stay partial for these until the drop lands — the copy would
+	// otherwise double-count in a merge.
+	suspect map[int]string
 }
 
-// NewMap validates and resolves a layout.
+// NewMap validates a boot layout and resolves it to epoch 1.
 func NewMap(cfg MapConfig) (*PartitionMap, error) {
 	if cfg.Partitions <= 0 {
 		cfg.Partitions = DefaultPartitions
@@ -77,70 +100,153 @@ func NewMap(cfg MapConfig) (*PartitionMap, error) {
 		}
 		index[n] = i
 	}
-	return &PartitionMap{cfg: cfg, index: index}, nil
+	m := &PartitionMap{index: index}
+	m.resetLocked(InitialAssignment(cfg))
+	return m, nil
 }
 
-// Config returns the resolved (default-filled) layout.
-func (m *PartitionMap) Config() MapConfig { return m.cfg }
+// NewMapFromAssignment resumes a map at a persisted assignment — how a
+// restarted frontend rejoins at the epoch it last activated instead of
+// regressing to epoch 1.
+func NewMapFromAssignment(a Assignment) (*PartitionMap, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	m := &PartitionMap{}
+	m.resetLocked(a.clone())
+	return m, nil
+}
+
+// resetLocked installs an assignment as current and clears migration state.
+// Callers hold m.mu (or own m exclusively during construction).
+func (m *PartitionMap) resetLocked(a Assignment) {
+	m.cur = a
+	m.index = make(map[string]int, len(a.Nodes))
+	for i, n := range a.Nodes {
+		m.index[n] = i
+	}
+	m.pending = nil
+	m.frozen = map[int]bool{}
+	m.dual = map[int]string{}
+	if m.suspect == nil {
+		m.suspect = map[int]string{}
+	}
+}
+
+// Config returns the current epoch's layout in MapConfig form.
+func (m *PartitionMap) Config() MapConfig {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return MapConfig{
+		Partitions:        m.cur.Partitions,
+		Nodes:             append([]string(nil), m.cur.Nodes...),
+		ReplicationFactor: m.cur.ReplicationFactor,
+	}
+}
+
+// Current returns the current epoch's assignment (a deep copy).
+func (m *PartitionMap) Current() Assignment {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur.clone()
+}
+
+// Epoch returns the current epoch number.
+func (m *PartitionMap) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur.Epoch
+}
+
+// Pending returns the in-flight next epoch's assignment, or nil.
+func (m *PartitionMap) Pending() *Assignment {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.pending == nil {
+		return nil
+	}
+	p := m.pending.clone()
+	return &p
+}
 
 // Partitions returns the partition count.
-func (m *PartitionMap) Partitions() int { return m.cfg.Partitions }
+func (m *PartitionMap) Partitions() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur.Partitions
+}
 
-// Nodes returns the node ids in canonical order.
-func (m *PartitionMap) Nodes() []string { return append([]string(nil), m.cfg.Nodes...) }
+// Nodes returns the current member ids in canonical order.
+func (m *PartitionMap) Nodes() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.cur.Nodes...)
+}
 
 // PartitionOf maps a key to its partition: the same FNV-1a hash the
 // in-process shard router uses, taken modulo the partition count.
 func (m *PartitionMap) PartitionOf(k telemetry.Key) int {
-	return k.ShardOf(m.cfg.Partitions)
+	m.mu.RLock()
+	p := m.cur.Partitions
+	m.mu.RUnlock()
+	return k.ShardOf(p)
 }
 
-// Owner returns the node owning a partition: round-robin over the node
-// list, so every node owns ⌈P/N⌉ or ⌊P/N⌋ partitions.
+// Owner returns the node owning a partition in the current epoch.
 func (m *PartitionMap) Owner(p int) string {
-	return m.cfg.Nodes[p%len(m.cfg.Nodes)]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur.Owners[p]
 }
 
-// Replica returns the partition's failover node — the next node in
-// canonical order — and whether the layout has one (replication factor 2).
+// Replica returns the partition's failover node and whether the layout has
+// one (replication factor 2).
 func (m *PartitionMap) Replica(p int) (string, bool) {
-	if m.cfg.ReplicationFactor < 2 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.cur.ReplicationFactor < 2 {
 		return "", false
 	}
-	return m.cfg.Nodes[(p+1)%len(m.cfg.Nodes)], true
+	return m.cur.Replicas[p], true
 }
 
 // OwnedBy returns the partitions a node owns, ascending. Unknown nodes own
 // nothing.
 func (m *PartitionMap) OwnedBy(node string) []int {
-	return m.assigned(node, 0)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []int
+	for p, o := range m.cur.Owners {
+		if o == node {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // ReplicatedBy returns the partitions a node stands replica for,
 // ascending; empty under replication factor 1.
 func (m *PartitionMap) ReplicatedBy(node string) []int {
-	if m.cfg.ReplicationFactor < 2 {
-		return nil
-	}
-	return m.assigned(node, 1)
-}
-
-// assigned collects the partitions placed on node at the given replica
-// offset (0 = owner, 1 = replica).
-func (m *PartitionMap) assigned(node string, offset int) []int {
-	i, ok := m.index[node]
-	if !ok {
-		return nil
-	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []int
-	n := len(m.cfg.Nodes)
-	for p := 0; p < m.cfg.Partitions; p++ {
-		if (p+offset)%n == i {
+	for p, r := range m.cur.Replicas {
+		if r == node {
 			out = append(out, p)
 		}
 	}
-	sort.Ints(out)
 	return out
+}
+
+// Assigned reports whether a node holds partition p in the current epoch,
+// as owner or replica — the front-end's query-time ownership filter.
+func (m *PartitionMap) Assigned(node string, p int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.cur.Owners[p] == node {
+		return true
+	}
+	return m.cur.ReplicationFactor == 2 && m.cur.Replicas[p] == node
 }
 
 // NodeInfo builds the self-describing health identity a cluster node
@@ -152,4 +258,153 @@ func (m *PartitionMap) NodeInfo(node string) *telemetry.NodeInfo {
 		Partitions: m.OwnedBy(node),
 		Replicates: m.ReplicatedBy(node),
 	}
+}
+
+// --- Migration state machine (driven by Migrator, migrate.go) ---
+
+// BeginMigration stages the next epoch. It refuses a table that is not the
+// direct successor of the current epoch or that changes the immutable
+// layout parameters, and refuses to stack migrations.
+func (m *PartitionMap) BeginMigration(next Assignment) error {
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending != nil {
+		return fmt.Errorf("cluster: migration to epoch %d already in flight", m.pending.Epoch)
+	}
+	if next.Epoch != m.cur.Epoch+1 {
+		return fmt.Errorf("cluster: epoch %d does not succeed %d", next.Epoch, m.cur.Epoch)
+	}
+	if next.Partitions != m.cur.Partitions || next.ReplicationFactor != m.cur.ReplicationFactor {
+		return fmt.Errorf("cluster: epoch %d changes partitions/replication (%d/%d → %d/%d)",
+			next.Epoch, m.cur.Partitions, m.cur.ReplicationFactor, next.Partitions, next.ReplicationFactor)
+	}
+	staged := next.clone()
+	m.pending = &staged
+	return nil
+}
+
+// Freeze marks a partition's ingest frozen: the router refuses it (retry
+// backoff absorbs the pause) while the handoff cuts and ships its pages.
+func (m *PartitionMap) Freeze(p int) {
+	m.mu.Lock()
+	m.frozen[p] = true
+	m.mu.Unlock()
+}
+
+// Cutover ends a partition's freeze and starts dual-epoch writes: from now
+// until activation, every write to the partition must be acked by both the
+// current owner and the pending owner.
+func (m *PartitionMap) Cutover(p int) {
+	m.mu.Lock()
+	delete(m.frozen, p)
+	if m.pending != nil && m.pending.Owners[p] != m.cur.Owners[p] {
+		m.dual[p] = m.pending.Owners[p]
+	}
+	m.mu.Unlock()
+}
+
+// Unfreeze lifts a freeze without starting dual writes — the rollback path.
+func (m *PartitionMap) Unfreeze(p int) {
+	m.mu.Lock()
+	delete(m.frozen, p)
+	m.mu.Unlock()
+}
+
+// Frozen reports whether a partition currently refuses ingest.
+func (m *PartitionMap) Frozen(p int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.frozen[p]
+}
+
+// DualTarget returns the extra node that must ack writes to partition p
+// during migration, if any.
+func (m *PartitionMap) DualTarget(p int) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.dual[p]
+	return n, ok
+}
+
+// Activate atomically installs the pending epoch as current, ending the
+// migration: routing flips to the new owners, freezes and dual writes
+// clear. Returns the moves that changed owners — whose sources now hold
+// stale copies the migrator must drop (marking them suspect until done).
+func (m *PartitionMap) Activate() ([]Move, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending == nil {
+		return nil, fmt.Errorf("cluster: no migration in flight")
+	}
+	moves := Moves(m.cur, *m.pending)
+	m.resetLocked(*m.pending)
+	return moves, nil
+}
+
+// Abort discards the pending epoch and clears all migration state — the
+// rollback path; the cluster keeps routing on the current epoch exactly as
+// before BeginMigration.
+func (m *PartitionMap) Abort() {
+	m.mu.Lock()
+	m.pending = nil
+	m.frozen = map[int]bool{}
+	m.dual = map[int]string{}
+	m.mu.Unlock()
+}
+
+// Migrating lists the partitions whose answers may be incomplete right
+// now: every owner-changing partition while a migration is in flight, plus
+// any suspect partitions (stale copies not yet dropped). Ascending,
+// deduplicated, nil when settled.
+func (m *PartitionMap) Migrating() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	set := map[int]bool{}
+	if m.pending != nil {
+		for _, mv := range Moves(m.cur, *m.pending) {
+			set[mv.Partition] = true
+		}
+	}
+	for p := range m.suspect {
+		set[p] = true
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MarkSuspect records that node still holds partition p's pre-migration
+// copy (its post-activation drop failed); queries stay partial for p until
+// ClearSuspect.
+func (m *PartitionMap) MarkSuspect(p int, node string) {
+	m.mu.Lock()
+	m.suspect[p] = node
+	m.mu.Unlock()
+}
+
+// ClearSuspect removes a suspect entry once the stale copy is gone.
+func (m *PartitionMap) ClearSuspect(p int) {
+	m.mu.Lock()
+	delete(m.suspect, p)
+	m.mu.Unlock()
+}
+
+// Suspects returns the current suspect set (partition → holding node).
+func (m *PartitionMap) Suspects() map[int]string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[int]string, len(m.suspect))
+	for p, n := range m.suspect {
+		out[p] = n
+	}
+	return out
 }

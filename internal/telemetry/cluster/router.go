@@ -33,6 +33,13 @@ type RouterStats struct {
 	// (live) replica. The retry client backs off and retries these, so one
 	// envelope can count several times while an outage lasts.
 	Unroutable uint64 `json:"unroutable"`
+	// Frozen counts attempts refused because the partition was mid-handoff
+	// (its exact-cut freeze window); the retry client's backoff absorbs
+	// the pause and redelivers after cutover.
+	Frozen uint64 `json:"frozen,omitempty"`
+	// DualWrites counts deliveries duplicated to the pending epoch's owner
+	// during a migration's dual-write phase.
+	DualWrites uint64 `json:"dual_writes,omitempty"`
 	// Client is the underlying retry client's view (sent/retries/failed).
 	Client telemetry.ClientStats `json:"client"`
 }
@@ -63,6 +70,8 @@ type Router struct {
 	routed     *obs.Counter
 	failedOver *obs.Counter
 	unroutable *obs.Counter
+	frozen     *obs.Counter
+	dualWrites *obs.Counter
 }
 
 // NewRouter wires a routing client over a partition map, a health tracker
@@ -73,10 +82,14 @@ func NewRouter(pm *PartitionMap, health *HealthTracker, transport Transport, src
 		r.routed = cfg.Metrics.Counter("cluster_router_routed_total", "envelopes delivered to their partition owner")
 		r.failedOver = cfg.Metrics.Counter("cluster_router_failed_over_total", "envelopes delivered to the replica while the owner was down")
 		r.unroutable = cfg.Metrics.Counter("cluster_router_unroutable_total", "send attempts with no live target node")
+		r.frozen = cfg.Metrics.Counter("cluster_router_frozen_total", "send attempts refused during a partition's handoff freeze")
+		r.dualWrites = cfg.Metrics.Counter("cluster_router_dual_writes_total", "deliveries duplicated to the pending epoch's owner")
 	} else {
 		r.routed = &obs.Counter{}
 		r.failedOver = &obs.Counter{}
 		r.unroutable = &obs.Counter{}
+		r.frozen = &obs.Counter{}
+		r.dualWrites = &obs.Counter{}
 	}
 	r.client = telemetry.NewRetryClient(r.route, src, cfg.Retry)
 	return r
@@ -85,11 +98,19 @@ func NewRouter(pm *PartitionMap, health *HealthTracker, transport Transport, src
 // route is the RetryClient's send function: one delivery attempt.
 func (r *Router) route(e telemetry.Envelope) bool {
 	p := r.pm.PartitionOf(e.Key())
+	if r.pm.Frozen(p) {
+		// Mid-handoff exact cut: refuse so the retry client backs off and
+		// redelivers after cutover. Nothing may land on either side while
+		// the pages are being shipped, or the page and the live write could
+		// double-count.
+		r.frozen.Inc()
+		return false
+	}
 	owner := r.pm.Owner(p)
 	if r.health.State(owner) != StateDown {
 		if r.transport(owner, e) {
 			r.routed.Inc()
-			return true
+			return r.dualWrite(p, owner, e)
 		}
 		// The owner is marked routable but the send failed: transient.
 		// Let the retry client back off rather than failing over on a
@@ -99,12 +120,29 @@ func (r *Router) route(e telemetry.Envelope) bool {
 	if replica, ok := r.pm.Replica(p); ok && r.health.State(replica) != StateDown {
 		if r.transport(replica, e) {
 			r.failedOver.Inc()
-			return true
+			return r.dualWrite(p, replica, e)
 		}
 		return false
 	}
 	r.unroutable.Inc()
 	return false
+}
+
+// dualWrite duplicates a delivered envelope to the pending epoch's owner
+// during a migration's dual-write phase. The attempt only succeeds when
+// BOTH copies ack: a false here makes the retry client resend, and the
+// per-key sequence numbers fold the duplicate away on whichever node
+// already folded it — idempotent convergence instead of divergent copies.
+func (r *Router) dualWrite(p int, delivered string, e telemetry.Envelope) bool {
+	dual, ok := r.pm.DualTarget(p)
+	if !ok || dual == delivered {
+		return true
+	}
+	if !r.transport(dual, e) {
+		return false
+	}
+	r.dualWrites.Inc()
+	return true
 }
 
 // Send routes one envelope, retrying with backoff until acknowledged or
@@ -127,6 +165,8 @@ func (r *Router) Stats() RouterStats {
 		Routed:     r.routed.Value(),
 		FailedOver: r.failedOver.Value(),
 		Unroutable: r.unroutable.Value(),
+		Frozen:     r.frozen.Value(),
+		DualWrites: r.dualWrites.Value(),
 		Client:     r.client.Stats(),
 	}
 }

@@ -1,0 +1,408 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"edgescope/internal/stats"
+)
+
+// Sketch-page handoff. A cluster rebalance moves whole partitions between
+// nodes by shipping their rollups in exact binary sketch form — the same
+// wire format /sketches serves — and folding them into the gaining node's
+// state. Three primitives make that loss-free and crash-safe:
+//
+//   - PartitionPages exports every rollup of one partition (the stable
+//     FNV-1a Key hash modulo the cluster's partition count) as SketchPages.
+//   - AbsorbPages folds pages into this ingestor. Each absorbed rollup is
+//     logged to the WAL first as a control record, so a crashed gaining
+//     node recovers absorbed state exactly like enveloped state.
+//   - DropPartition deletes one partition's rollups, WAL-logged the same
+//     way, which is what makes a retried handoff idempotent: the
+//     coordinator drops, then re-absorbs from a fresh source cut.
+//
+// Control records ride inside the ordinary per-window WAL segments, at
+// their fold position, so per-segment replay order stays exactly fold
+// order and the recover(snapshot+WAL) == recover(WAL-only) invariant is
+// untouched. A rollup absorbed as a page insert is bit-identical to the
+// source's sketch state, which is what keeps post-rebalance cluster
+// answers byte-identical to a single node's.
+
+// Control record kinds.
+const (
+	ctlAbsorb = "absorb"
+	ctlDrop   = "drop"
+)
+
+// ctlPrefix distinguishes control records from envelope records inside a
+// WAL segment. Control records are always encoded with "ctl" as the first
+// field; envelope JSON starts with "v", so the prefix test is exact for
+// records this package wrote.
+var ctlPrefix = []byte(`{"ctl":`)
+
+// walCtl is one WAL control record: an absorbed rollup (with its exact
+// binary sketch state) or a partition drop. The window start is implied by
+// the segment the record lives in.
+type walCtl struct {
+	Ctl    string `json:"ctl"`
+	Metric string `json:"metric,omitempty"`
+	Region string `json:"region,omitempty"`
+	Net    string `json:"net,omitempty"`
+	Sketch []byte `json:"sketch,omitempty"`
+	// Partition/Of scope a drop: delete every rollup whose key hashes to
+	// Partition under Of partitions.
+	Partition int `json:"partition,omitempty"`
+	Of        int `json:"of,omitempty"`
+
+	// sk is the decoded Sketch payload, filled by decodeCtl for absorb
+	// records so replay never re-parses and corruption fails loudly at read
+	// time.
+	sk *stats.Sketch
+}
+
+// decodeCtl parses and validates one control line. Any structural problem
+// is an error — a durable control record that cannot be applied must fail
+// recovery loudly, exactly like a corrupt envelope.
+func decodeCtl(body []byte) (walCtl, error) {
+	var c walCtl
+	if err := json.Unmarshal(body, &c); err != nil {
+		return walCtl{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	switch c.Ctl {
+	case ctlAbsorb:
+		if c.Metric == "" {
+			return walCtl{}, fmt.Errorf("%w: absorb record without metric", ErrInvalid)
+		}
+		c.sk = new(stats.Sketch)
+		if err := c.sk.UnmarshalBinary(c.Sketch); err != nil {
+			return walCtl{}, fmt.Errorf("%w: absorb sketch: %v", ErrInvalid, err)
+		}
+	case ctlDrop:
+		if c.Of <= 0 || c.Partition < 0 || c.Partition >= c.Of {
+			return walCtl{}, fmt.Errorf("%w: drop record partition %d of %d", ErrInvalid, c.Partition, c.Of)
+		}
+	default:
+		return walCtl{}, fmt.Errorf("%w: unknown control record %q", ErrInvalid, c.Ctl)
+	}
+	return c, nil
+}
+
+// appendCtl logs one control record to a window's segment — the control
+// twin of append, with the same sticky-error and fsync-cadence behaviour.
+func (w *shardWAL) appendCtl(start int64, c walCtl) {
+	if w.err != nil {
+		return
+	}
+	seg, err := w.openSeg(start)
+	if err != nil {
+		w.err = err
+		return
+	}
+	line, err := json.Marshal(c)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if !bytes.HasPrefix(line, ctlPrefix) {
+		// Field order is encode-stable in encoding/json; this guards the
+		// prefix dispatch against a struct reordering ever silently turning
+		// control records into "corrupt envelopes".
+		w.err = fmt.Errorf("telemetry: control record encoded without ctl prefix: %s", line)
+		return
+	}
+	if _, err := seg.bw.Write(append(line, '\n')); err != nil {
+		w.err = err
+		return
+	}
+	w.records[start]++
+	w.appended++
+	w.appendedC.Inc()
+	w.unsynced++
+	if w.syncEvery > 0 && w.unsynced >= w.syncEvery {
+		w.sync()
+	}
+}
+
+// applyCtl replays one control record into a shard — the recovery twin of
+// the live absorb/drop paths, applied at the record's exact fold position.
+func (ing *Ingestor) applyCtl(s *shard, start int64, c walCtl) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch c.Ctl {
+	case ctlAbsorb:
+		wk := windowKey{Start: start, Key: Key{Metric: c.Metric, Region: c.Region, Net: c.Net}}
+		ing.absorbLocked(s, wk, c.sk, foldReplay)
+	case ctlDrop:
+		dropWindowLocked(s, start, c.Partition, c.Of)
+	}
+}
+
+// absorbLocked folds one rollup's sketch into the shard state: a pure
+// insert when the (window, key) is new — bit-identical to the source, the
+// property the byte-identity pins need — or a deterministic sketch merge
+// when data already accumulated there (dual-written traffic, or a catch-up
+// straddling a window boundary). Called with s.mu held.
+func (ing *Ingestor) absorbLocked(s *shard, wk windowKey, sk *stats.Sketch, mode foldMode) {
+	if existing := s.windows[wk]; existing != nil {
+		existing.Absorb(sk)
+		return
+	}
+	s.windows[wk] = sk
+	if s.starts[wk.Start]++; s.starts[wk.Start] == 1 && mode == foldLive {
+		ing.enforceRetention(s)
+	}
+}
+
+// dropWindowLocked deletes one window's rollups in one partition. Dedup
+// trackers are kept: their (key, user, seq) memory is harmless across a
+// drop (a re-absorbed partition arrives as sketches, not as sequenced
+// envelopes), and keeping them means live drops and segment replay agree
+// without cross-segment ordering. Called with s.mu held.
+func dropWindowLocked(s *shard, start int64, p, of int) int {
+	dropped := 0
+	for wk := range s.windows {
+		if wk.Start != start || wk.Key.ShardOf(of) != p {
+			continue
+		}
+		delete(s.windows, wk)
+		dropped++
+		if s.starts[start]--; s.starts[start] <= 0 {
+			delete(s.starts, start)
+		}
+	}
+	return dropped
+}
+
+// PartitionPages exports every rollup whose key hashes to partition p of
+// `of` as sketch pages — one page per metric, metrics sorted, matches in
+// the canonical (start, region, net) order — the exact wire shape
+// /sketches serves and MergeSketchPages consumes. Sketches are cloned
+// under the shard locks and encoded outside them.
+func (ing *Ingestor) PartitionPages(p, of int) ([]SketchPage, error) {
+	if of <= 0 || p < 0 || p >= of {
+		return nil, fmt.Errorf("telemetry: partition %d of %d", p, of)
+	}
+	var matches []sketchMatch
+	for _, s := range ing.shards {
+		s.mu.Lock()
+		for wk, sk := range s.windows {
+			if wk.Key.ShardOf(of) != p {
+				continue
+			}
+			matches = append(matches, sketchMatch{wk, sk.Clone()})
+		}
+		s.mu.Unlock()
+	}
+	byMetric := map[string][]sketchMatch{}
+	var metrics []string
+	for _, m := range matches {
+		if _, ok := byMetric[m.wk.Metric]; !ok {
+			metrics = append(metrics, m.wk.Metric)
+		}
+		byMetric[m.wk.Metric] = append(byMetric[m.wk.Metric], m)
+	}
+	sort.Strings(metrics)
+	pages := make([]SketchPage, 0, len(metrics))
+	var buf []byte
+	for _, metric := range metrics {
+		ms := byMetric[metric]
+		sortMatches(ms)
+		page := SketchPage{
+			Metric:      metric,
+			Compression: ing.cfg.Compression,
+			WindowMs:    ing.cfg.Window.Milliseconds(),
+			Matches:     make([]WindowSketch, 0, len(ms)),
+		}
+		for _, m := range ms {
+			buf, _ = m.sk.AppendBinary(buf[:0]) // encoding a live sketch cannot fail
+			page.Matches = append(page.Matches, WindowSketch{
+				Start:  m.wk.Start,
+				Region: m.wk.Region,
+				Net:    m.wk.Net,
+				Sketch: append([]byte(nil), buf...),
+			})
+		}
+		pages = append(pages, page)
+	}
+	return pages, nil
+}
+
+// AbsorbAck acknowledges one AbsorbPages call: what was folded, durably,
+// before the ack was produced. The handoff coordinator gates epoch
+// activation on it.
+type AbsorbAck struct {
+	// Pages and Rollups count the absorbed input.
+	Pages   int `json:"pages"`
+	Rollups int `json:"rollups"`
+	// Windows counts the distinct window starts touched.
+	Windows int `json:"windows"`
+	// Count is the total event weight absorbed.
+	Count float64 `json:"count"`
+}
+
+// AbsorbPages folds exported sketch pages into this ingestor — the gaining
+// side of a partition handoff. Every page is validated and decoded before
+// anything is folded, so a malformed transfer mutates nothing; each rollup
+// is WAL-logged (control record, at its fold position) before folding, and
+// the WAL is fsynced before the ack returns, so an acked absorb survives a
+// crash. Pages must match this ingestor's compression and window length —
+// a cluster must be homogeneously configured.
+func (ing *Ingestor) AbsorbPages(pages []SketchPage) (AbsorbAck, error) {
+	windowMs := ing.cfg.Window.Milliseconds()
+	type pending struct {
+		wk windowKey
+		sk *stats.Sketch
+		ws WindowSketch
+	}
+	var todo []pending
+	for i, p := range pages {
+		if p.Metric == "" {
+			return AbsorbAck{}, fmt.Errorf("telemetry: absorb page %d without metric", i)
+		}
+		if p.Compression != ing.cfg.Compression || p.WindowMs != windowMs {
+			return AbsorbAck{}, fmt.Errorf(
+				"telemetry: absorb page %d is compression %v/window %dms, ingestor configured %v/%dms",
+				i, p.Compression, p.WindowMs, ing.cfg.Compression, windowMs)
+		}
+		for _, m := range p.Matches {
+			if m.Start%windowMs != 0 {
+				return AbsorbAck{}, fmt.Errorf("telemetry: absorb page %d start %d not window-aligned", i, m.Start)
+			}
+			sk := new(stats.Sketch)
+			if err := sk.UnmarshalBinary(m.Sketch); err != nil {
+				return AbsorbAck{}, fmt.Errorf("telemetry: absorb page %d sketch (start=%d %s/%s): %w",
+					i, m.Start, m.Region, m.Net, err)
+			}
+			todo = append(todo, pending{
+				wk: windowKey{Start: m.Start, Key: Key{Metric: p.Metric, Region: m.Region, Net: m.Net}},
+				sk: sk,
+				ws: m,
+			})
+		}
+	}
+	ack := AbsorbAck{Pages: len(pages)}
+	starts := map[int64]bool{}
+	for _, t := range todo {
+		s := ing.shards[t.wk.Key.ShardOf(len(ing.shards))]
+		s.mu.Lock()
+		if s.wal != nil {
+			s.wal.appendCtl(t.wk.Start, walCtl{
+				Ctl:    ctlAbsorb,
+				Metric: t.wk.Metric,
+				Region: t.ws.Region,
+				Net:    t.ws.Net,
+				Sketch: t.ws.Sketch,
+			})
+		}
+		ing.absorbLocked(s, t.wk, t.sk, foldLive)
+		s.mu.Unlock()
+		ack.Rollups++
+		ack.Count += t.sk.Count()
+		starts[t.wk.Start] = true
+	}
+	ack.Windows = len(starts)
+	if err := ing.SyncWAL(); err != nil {
+		return ack, fmt.Errorf("telemetry: absorb fsync: %w", err)
+	}
+	return ack, nil
+}
+
+// DropPartition deletes every rollup whose key hashes to partition p of
+// `of`, WAL-logging a drop control record into each affected window's
+// segment first (and fsyncing before returning), so recovery replays the
+// drop at its exact position. Dedup trackers survive — see
+// dropWindowLocked. Returns the number of rollups dropped.
+func (ing *Ingestor) DropPartition(p, of int) (int, error) {
+	if of <= 0 || p < 0 || p >= of {
+		return 0, fmt.Errorf("telemetry: partition %d of %d", p, of)
+	}
+	dropped := 0
+	for _, s := range ing.shards {
+		s.mu.Lock()
+		affected := map[int64]bool{}
+		for wk := range s.windows {
+			if wk.Key.ShardOf(of) == p {
+				affected[wk.Start] = true
+			}
+		}
+		starts := make([]int64, 0, len(affected))
+		for start := range affected {
+			starts = append(starts, start)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		for _, start := range starts {
+			if s.wal != nil {
+				s.wal.appendCtl(start, walCtl{Ctl: ctlDrop, Partition: p, Of: of})
+			}
+			dropped += dropWindowLocked(s, start, p, of)
+		}
+		s.mu.Unlock()
+	}
+	if err := ing.SyncWAL(); err != nil {
+		return dropped, fmt.Errorf("telemetry: drop fsync: %w", err)
+	}
+	return dropped, nil
+}
+
+// FreezePartition makes the ingestor refuse envelopes whose key hashes to
+// partition p of `of` — the source side of a handoff's exact cut. The
+// freeze is installed under the same writer lock Offer holds across its
+// enqueue, so when FreezePartition returns, every already-accepted
+// envelope is countable by Flush and every later Offer of the partition
+// returns false (the routing client's bounded backoff absorbs the pause).
+// That ordering is what guarantees an acked envelope is either in the
+// flushed page cut or retried into the dual-write phase — never lost
+// between them. Only one partition split may be frozen at a time.
+func (ing *Ingestor) FreezePartition(p, of int) error {
+	if of <= 0 || p < 0 || p >= of {
+		return fmt.Errorf("telemetry: partition %d of %d", p, of)
+	}
+	ing.offerMu.Lock()
+	defer ing.offerMu.Unlock()
+	if len(ing.frozen) > 0 && ing.frozenOf != of {
+		return fmt.Errorf("telemetry: freeze split %d conflicts with active split %d", of, ing.frozenOf)
+	}
+	if ing.frozen == nil {
+		ing.frozen = map[int]bool{}
+	}
+	ing.frozenOf = of
+	ing.frozen[p] = true
+	return nil
+}
+
+// UnfreezePartition lifts a partition freeze (idempotent).
+func (ing *Ingestor) UnfreezePartition(p, of int) {
+	ing.offerMu.Lock()
+	defer ing.offerMu.Unlock()
+	if ing.frozenOf == of {
+		delete(ing.frozen, p)
+	}
+}
+
+// frozenFor reports whether an envelope's partition is frozen. Called with
+// offerMu read-held (Offer's existing hold spans the check and the
+// enqueue, which is what makes the freeze an exact cut).
+func (ing *Ingestor) frozenFor(e Envelope) bool {
+	if len(ing.frozen) == 0 {
+		return false
+	}
+	return ing.frozen[e.Key().ShardOf(ing.frozenOf)]
+}
+
+// SetNodeInfo replaces the ingestor's cluster identity (Config.Node) —
+// called when an epoch activation reassigns this node's partitions, so
+// /healthz keeps describing the live layout without a restart.
+func (ing *Ingestor) SetNodeInfo(info *NodeInfo) {
+	ing.nodeMu.Lock()
+	ing.node = info
+	ing.nodeMu.Unlock()
+}
+
+// nodeInfo returns the current cluster identity.
+func (ing *Ingestor) nodeInfo() *NodeInfo {
+	ing.nodeMu.Lock()
+	defer ing.nodeMu.Unlock()
+	return ing.node
+}

@@ -233,6 +233,19 @@ type Ingestor struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	// node is the live cluster identity, seeded from Config.Node and
+	// replaceable at runtime (SetNodeInfo) when an epoch activation
+	// reassigns this node's partitions; nodeMu guards it against /healthz
+	// readers racing an activation.
+	nodeMu sync.Mutex
+	node   *NodeInfo
+
+	// frozen marks partitions (under the frozenOf split) refusing ingest
+	// while a handoff cuts their pages; guarded by offerMu so the freeze
+	// and Offer's enqueue serialize (see FreezePartition).
+	frozen   map[int]bool
+	frozenOf int
+
 	// m holds the registered instrument families, nil without Config.Metrics.
 	m *ingestMetrics
 }
@@ -259,7 +272,7 @@ func NewIngestor(cfg Config) *Ingestor {
 func Open(cfg Config) (*Ingestor, RecoveryStats, error) {
 	cfg.fill()
 	began := time.Now()
-	ing := &Ingestor{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	ing := &Ingestor{cfg: cfg, shards: make([]*shard, cfg.Shards), node: cfg.Node}
 	var im *ingestMetrics
 	if cfg.Metrics != nil {
 		im = newIngestMetrics(cfg.Metrics)
@@ -464,7 +477,7 @@ func (ing *Ingestor) Offer(e Envelope) bool {
 	}
 	ing.offerMu.RLock()
 	defer ing.offerMu.RUnlock()
-	if ing.closed {
+	if ing.closed || ing.frozenFor(e) {
 		return false
 	}
 	s := ing.shards[e.Key().ShardOf(len(ing.shards))]
@@ -728,7 +741,7 @@ func (ing *Ingestor) Health() HealthState {
 	h := HealthState{
 		Status:   "ok",
 		Durable:  ing.cfg.WAL.Dir != "",
-		Node:     ing.cfg.Node,
+		Node:     ing.nodeInfo(),
 		Shards:   ing.Stats(),
 		Recovery: ing.recovery,
 	}

@@ -88,6 +88,17 @@ func (ing *Ingestor) recoverShard(s *shard, st *RecoveryStats) error {
 			idx++
 			st.RecordsReplayed++
 			ing.fold(s, e, foldReplay)
+		}, func(c walCtl) {
+			// Control records share the per-segment index clock with
+			// envelopes, so snapshot applied counts skip both uniformly.
+			if idx < skip {
+				idx++
+				st.RecordsSkipped++
+				return
+			}
+			idx++
+			st.RecordsReplayed++
+			ing.applyCtl(s, start, c)
 		})
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -260,8 +261,11 @@ func listSegments(dir string) ([]int64, error) {
 // errWALCorrupt marks mid-segment corruption (vs a tolerable torn tail).
 var errWALCorrupt = errors.New("telemetry: wal segment corrupt")
 
-// readWALSegment replays one segment, calling fn for every valid record in
-// append order. Two failure shapes are distinguished:
+// readWALSegment replays one segment, calling fn for every valid envelope
+// record and ctlFn for every control record (handoff.go: absorbed rollups
+// and partition drops), in append order; both kinds count toward records,
+// so snapshot applied counts cover them uniformly. Two failure shapes are
+// distinguished:
 //
 //   - A torn tail — trailing bytes with no final newline, the footprint of a
 //     write cut by a crash — is tolerated: replay stops at the last durable
@@ -273,7 +277,7 @@ var errWALCorrupt = errors.New("telemetry: wal segment corrupt")
 //     before the tail, is real corruption: a positioned error wrapping
 //     errWALCorrupt, never a silent skip — durable data that cannot be
 //     replayed must fail recovery loudly.
-func readWALSegment(path string, fn func(Envelope)) (records uint64, validEnd int64, torn bool, err error) {
+func readWALSegment(path string, fn func(Envelope), ctlFn func(walCtl)) (records uint64, validEnd int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, false, err
@@ -299,13 +303,23 @@ func readWALSegment(path string, fn func(Envelope)) (records uint64, validEnd in
 		lineLen := int64(len(line))
 		body := line[:len(line)-1] // strip newline
 		if len(body) > 0 {
-			e, derr := DecodeLine(body)
-			if derr != nil {
-				return records, validEnd, false, fmt.Errorf("%w: %s line %d (byte offset %d): %v",
-					errWALCorrupt, path, lineNo, offset, derr)
+			if bytes.HasPrefix(body, ctlPrefix) {
+				c, derr := decodeCtl(body)
+				if derr != nil {
+					return records, validEnd, false, fmt.Errorf("%w: %s line %d (byte offset %d): %v",
+						errWALCorrupt, path, lineNo, offset, derr)
+				}
+				ctlFn(c)
+				records++
+			} else {
+				e, derr := DecodeLine(body)
+				if derr != nil {
+					return records, validEnd, false, fmt.Errorf("%w: %s line %d (byte offset %d): %v",
+						errWALCorrupt, path, lineNo, offset, derr)
+				}
+				fn(e)
+				records++
 			}
-			fn(e)
-			records++
 		}
 		offset += lineLen
 		validEnd = offset

@@ -16,6 +16,10 @@
 #     small scenario must answer /query byte-identically to a single-node
 #     replay; a SIGKILLed member must surface as an explicit partial
 #     result; a restarted member (WAL recovery) must reconverge
+#   → rebalance smoke: a fourth node joins the live cluster through
+#     POST /admin/join (sketch-page handoff, epoch activation), then a
+#     member drains and leaves — /query and /keys must stay byte-identical
+#     to the single-node replay at every epoch, with no daemon restarted
 #   → scenario smoke: small built-in scenarios through reproall, with the
 #     -parallel invariance diff (stdout must be byte-identical at any
 #     worker count)
@@ -125,8 +129,8 @@ cluster_cleanup() {
   done
 }
 trap 'cluster_cleanup; rm -rf "$smoke"' EXIT
-start_node() { # id port
-  "$smoke/telemetryd" -role node -node-id "$1" -peers "$PEERS" \
+start_node() { # id port [peers]
+  "$smoke/telemetryd" -role node -node-id "$1" -peers "${3:-$PEERS}" \
     -addr "127.0.0.1:$2" -data "$smoke/cluster-$1" -sync-every 1 \
     -log-format json 2>> "$smoke/cluster-$1.log" &
   CLUSTER_PIDS+=($!)
@@ -151,9 +155,11 @@ wait_http "http://127.0.0.1:$N2/healthz"
   -log-format json 2> "$smoke/cluster-single.log" &
 CLUSTER_PIDS+=($!)
 # The frontend replays the same campaign through the partition router; it
-# only starts serving once the replay is done.
+# only starts serving once the replay is done. -data gives it a place to
+# persist each activated assignment (the rebalance smoke checks it).
 "$smoke/telemetryd" -role frontend -addr "127.0.0.1:$FRONT" -peers "$PEERS" \
   -probe-interval 200ms -node-timeout 1s -replay -scenario small \
+  -data "$smoke/cluster-frontend-state" \
   -log-format json 2> "$smoke/cluster-frontend.log" &
 CLUSTER_PIDS+=($!)
 wait_http "http://127.0.0.1:$SINGLE/healthz" 300
@@ -203,6 +209,51 @@ echo "  killed n1: /query answers partial, naming the missing member"
 start_node n1 "$N1"
 converge "$smoke/cluster-recovered.json" 150
 echo "  n1 recovered from its WAL: /query reconverged to the single-node bytes"
+
+echo "== rebalance smoke (live join, drain, leave through /admin) =="
+# Elastic membership end to end over real processes: a fourth node joins
+# the loaded cluster (sketch-page handoff, atomic epoch activation) and
+# /query + /keys must stay byte-identical to the single-node replay; then
+# n2 drains and leaves — still byte-identical, with no daemon restarted.
+N3=$((CLUSTER_BASE + 5))
+PEERS4="$PEERS,n3=http://127.0.0.1:$N3"
+start_node n3 "$N3" "$PEERS4"
+wait_http "http://127.0.0.1:$N3/healthz"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"id\":\"n3\",\"url\":\"http://127.0.0.1:$N3\"}" \
+  "http://127.0.0.1:$FRONT/admin/join" > "$smoke/cluster-join.json"
+active_at() { # epoch tries
+  for _ in $(seq 1 "${2:-100}"); do
+    curl -fsS "http://127.0.0.1:$FRONT/admin/assignment" \
+      > "$smoke/cluster-assignment.json" 2>/dev/null || true
+    if grep -q '"status": "active"' "$smoke/cluster-assignment.json" &&
+        grep -q "\"epoch\": $1" "$smoke/cluster-assignment.json"; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "assignment never activated at epoch $1:" >&2
+  cat "$smoke/cluster-assignment.json" >&2
+  cat "$smoke/cluster-frontend.log" >&2
+  return 1
+}
+active_at 2
+converge "$smoke/cluster-joined-query.json" 150
+curl -fsS "http://127.0.0.1:$FRONT/keys" > "$smoke/cluster-joined-keys.json"
+diff "$smoke/cluster-single-keys.json" "$smoke/cluster-joined-keys.json"
+grep -q '"n3"' "$smoke/cluster-frontend-state/cluster-state.json"
+echo "  n3 joined live: epoch 2 active, /query and /keys still byte-identical"
+
+curl -fsS -X POST -H 'Content-Type: application/json' -d '{"id":"n2"}' \
+  "http://127.0.0.1:$FRONT/admin/drain" > /dev/null
+active_at 3
+curl -fsS -X POST -H 'Content-Type: application/json' -d '{"id":"n2"}' \
+  "http://127.0.0.1:$FRONT/admin/leave" > /dev/null
+active_at 4
+converge "$smoke/cluster-left-query.json" 150
+curl -fsS "http://127.0.0.1:$FRONT/keys" > "$smoke/cluster-left-keys.json"
+diff "$smoke/cluster-single-keys.json" "$smoke/cluster-left-keys.json"
+echo "  n2 drained and left: epoch 4 active, answers still byte-identical"
 cluster_cleanup
 CLUSTER_PIDS=()
 trap 'rm -rf "$smoke"' EXIT
