@@ -113,6 +113,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -407,8 +408,13 @@ func runFrontend(o frontendOpts) {
 		Timeout: o.nodeTimeout,
 		Metrics: reg,
 	})
+	spillDir := ""
+	if o.dataDir != "" {
+		spillDir = filepath.Join(o.dataDir, "handoff-spill")
+	}
 	mig := cluster.NewMigrator(pm, admins, cluster.MigratorConfig{
-		Health: tracker,
+		Health:   tracker,
+		SpillDir: spillDir,
 		OnActivate: func(a cluster.Assignment) {
 			if o.dataDir == "" {
 				return
@@ -418,6 +424,15 @@ func runFrontend(o frontendOpts) {
 			}
 		},
 	})
+	// A crash mid-rebalance can leave a handoff destination dropped with
+	// its replacement cut spilled here; put every such node back to its
+	// pre-handoff state before serving (migrations refuse to start over an
+	// unrecovered spill).
+	if restored, err := mig.RecoverSpills(context.Background()); err != nil {
+		log.Error("handoff spill recovery incomplete", "restored", restored, "err", err)
+	} else if len(restored) > 0 {
+		log.Info("recovered interrupted handoff", "partitions", restored)
+	}
 	start := time.Now()
 
 	if o.replay {

@@ -25,10 +25,17 @@ import (
 // the dual-write phase, never lost between them. The destination is
 // rebuilt drop-then-absorb from coordinator-held pages on every attempt,
 // which is what makes a retry after a mid-transfer crash idempotent
-// instead of double-counting. If a partition's handoff cannot complete
-// within the attempt budget, the whole migration rolls back: the pending
-// epoch is discarded, freezes lift, and the cluster keeps routing on the
-// old epoch exactly as before.
+// instead of double-counting. Because that rebuild is destructive, a
+// destination that already holds the partition (a consolidating owner, a
+// promoted replica) is always one of the cut's sources — its own pages go
+// back in with everyone else's — and the cut is spilled durably on the
+// coordinator (MigratorConfig.SpillDir) before the first drop, so neither
+// a failed rebuild nor a coordinator crash between the drop and the
+// absorb can orphan the only copy. If a partition's handoff cannot
+// complete within the attempt budget, the destination is restored to its
+// pre-handoff state and the whole migration rolls back: the pending epoch
+// is discarded, freezes lift, and the cluster keeps routing on the old
+// epoch exactly as before.
 
 // NodeAdmin is the rebalance control plane's transport to one node:
 // LocalAdmin in-process, HTTPAdmin over the wire (cmd/telemetryd's
@@ -116,6 +123,14 @@ type MigratorConfig struct {
 	// Attempts bounds per-partition rebuild tries (each a full
 	// drop-then-absorb at the destination). Default 3.
 	Attempts int
+	// SpillDir, when set, persists each partition's fetched page cut to
+	// this directory before the destructive rebuild begins, and clears it
+	// once the staged copy is safe (epoch activated, or destination
+	// restored). A coordinator that crashes mid-rebuild recovers the
+	// destinations' pre-handoff state with RecoverSpills at boot. When
+	// empty, restore-after-failure still works from the in-memory cut, but
+	// a coordinator crash between a drop and its absorb can orphan data.
+	SpillDir string
 	// Health, when set, gains/loses probed members as the migrator
 	// admits/removes them — a joining node must be probed (and start Up)
 	// before dual writes can target it.
@@ -250,6 +265,10 @@ func (m *Migrator) Leave(ctx context.Context, node string) (Assignment, error) {
 		m.cfg.Health.Remove(node)
 	}
 	m.RemoveAdmin(node)
+	// Any suspect entry pinned on the departed node can never settle (its
+	// admin is gone) and no longer needs to: the assignment filter already
+	// hides non-member copies from every query.
+	m.pm.ClearSuspectsOf(node)
 	return next, nil
 }
 
@@ -278,7 +297,12 @@ func (m *Migrator) step(phase string, p int, src, dst string) error {
 // partPlan is one partition's work inside a migration: rebuild its data
 // at the destination owner from the listed sources' pages. Sources are
 // the current owner and — when the slice must consolidate — the current
-// replica holding failover traffic that would otherwise strand.
+// replica holding failover traffic that would otherwise strand. The
+// rebuild is drop-then-absorb at the destination, so a destination that
+// already holds the partition in the current epoch (a consolidating
+// owner, a promoted replica) is ALWAYS among the sources: its own pages
+// are cut before the drop and re-absorbed with everyone else's, never
+// destroyed.
 type partPlan struct {
 	p        int
 	dst      string   // next epoch's owner
@@ -304,15 +328,19 @@ func plan(cur, next Assignment) []partPlan {
 		if ownerMoved {
 			pl.srcOwner = cur.Owners[p]
 			pl.sources = append(pl.sources, cur.Owners[p])
+		} else {
+			// Replica-only move: the destination IS the current owner, and
+			// the rebuild drops it first — its live partition must be in the
+			// cut or the drop would destroy the only copy.
+			pl.sources = append(pl.sources, pl.dst)
 		}
 		if cur.ReplicationFactor == 2 {
-			r := cur.Replicas[p]
 			// The current replica's failover slice must fold into the new
 			// owner whenever the partition moves at all — it belongs with
 			// the data it shadowed. That includes a promotion (the replica
 			// IS the new owner): its own slice is cut into the held pages
 			// before the rebuild drops it, so nothing strands.
-			if r != pl.srcOwner {
+			if r := cur.Replicas[p]; r != pl.sources[0] {
 				pl.sources = append(pl.sources, r)
 			}
 		}
@@ -322,33 +350,46 @@ func plan(cur, next Assignment) []partPlan {
 }
 
 // migrate drives one epoch transition end to end. On error the pending
-// epoch is aborted and the cluster keeps serving the current one.
+// epoch is aborted, every completed handoff's destination is restored to
+// its pre-handoff state, and the cluster keeps serving the current epoch.
 func (m *Migrator) migrate(ctx context.Context, cur, next Assignment) error {
+	// An outstanding spill means an earlier rebuild's restore never landed:
+	// some destination's durable state is not the current epoch's truth.
+	// Repair it first — migrating over it would cut the broken state as a
+	// "source" and launder the loss into the new epoch.
+	if err := m.recoverSpills(ctx); err != nil {
+		return fmt.Errorf("cluster: unrecovered handoff spill blocks migration: %w", err)
+	}
 	if err := m.pm.BeginMigration(next); err != nil {
 		return err
 	}
 	work := plan(cur, next)
-	var done []partPlan
+	var done []handoffState
 	for _, pl := range work {
-		if err := m.handoff(ctx, pl); err != nil {
-			m.rollback(next, done)
+		hs, err := m.handoff(ctx, pl)
+		if err != nil {
+			m.rollback(done)
 			return fmt.Errorf("cluster: handoff of partition %d (%s → %s) failed, rolled back to epoch %d: %w",
 				pl.p, pl.srcOwner, pl.dst, cur.Epoch, err)
 		}
-		done = append(done, pl)
+		done = append(done, hs)
 	}
 	if err := m.step("activate", -1, "", ""); err != nil {
-		m.rollback(next, done)
+		m.rollback(done)
 		return fmt.Errorf("cluster: activation of epoch %d failed, rolled back: %w", next.Epoch, err)
 	}
 	if _, err := m.pm.Activate(); err != nil {
-		m.rollback(next, done)
+		m.rollback(done)
 		return err
 	}
 	// The epoch is live: routing, ownership filtering and partiality all
-	// flip atomically. What remains is cleanup that can no longer fail the
-	// migration — push the table to members, then drop the stale
-	// pre-migration copies on losing nodes.
+	// flip atomically, and the staged copies are the partitions' truth —
+	// their spills are obsolete. What remains is cleanup that can no
+	// longer fail the migration — push the table to members, then drop the
+	// stale pre-migration copies on losing nodes.
+	for _, pl := range work {
+		m.clearSpill(pl.p)
+	}
 	for _, n := range next.Nodes {
 		if a, ok := m.Admin(n); ok {
 			_ = a.PushAssignment(ctx, next) // best-effort: /healthz self-description only
@@ -405,7 +446,15 @@ func (m *Migrator) Settle(ctx context.Context) []int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	parts := m.pm.Partitions()
+	cur := m.pm.Current()
 	for p, node := range m.pm.Suspects() {
+		if !cur.Member(node) {
+			// The holder left the membership: the assignment filter hides
+			// non-member copies already, and there is no transport left to
+			// drop through — the entry would pin partiality forever.
+			m.pm.ClearSuspect(p)
+			continue
+		}
 		a, ok := m.Admin(node)
 		if !ok {
 			continue
@@ -422,16 +471,30 @@ func (m *Migrator) Settle(ctx context.Context) []int {
 	return still
 }
 
+// handoffState records what one partition's handoff did to its
+// destination, so a later rollback can undo it: whether the destructive
+// rebuild was reached, and the destination's own pre-handoff page cut
+// (non-empty exactly when the destination already held the partition —
+// a consolidating owner or a promoted replica).
+type handoffState struct {
+	pl      partPlan
+	touched bool // a drop was issued at the destination
+	own     []telemetry.SketchPage
+}
+
 // handoff rebuilds one partition at its destination. The freeze and the
 // page fetch happen once; the destination rebuild (drop, then absorb the
 // held pages) retries up to the attempt budget — drop-then-rebuild from
 // an immutable cut is what makes a retry after a destination crash
-// idempotent. Any failure unfreezes and reports; the caller rolls the
-// migration back.
-func (m *Migrator) handoff(ctx context.Context, pl partPlan) (err error) {
+// idempotent. Before the first drop the cut is spilled durably (when
+// configured), so a coordinator crash mid-rebuild is recoverable. Any
+// failure restores the destination to its pre-handoff state, unfreezes
+// and reports; the caller rolls the migration back.
+func (m *Migrator) handoff(ctx context.Context, pl partPlan) (hs handoffState, err error) {
+	hs.pl = pl
 	dst, ok := m.Admin(pl.dst)
 	if !ok {
-		return fmt.Errorf("no admin transport for destination %q", pl.dst)
+		return hs, fmt.Errorf("no admin transport for destination %q", pl.dst)
 	}
 	parts := m.pm.Partitions()
 
@@ -440,7 +503,7 @@ func (m *Migrator) handoff(ctx context.Context, pl partPlan) (err error) {
 	// node freeze is flushed into the pages; one accepted after cutover is
 	// dual-written; the freeze window admits nothing).
 	if err := m.step("freeze", pl.p, pl.srcOwner, pl.dst); err != nil {
-		return err
+		return hs, err
 	}
 	m.pm.Freeze(pl.p)
 	frozen := make([]NodeAdmin, 0, len(pl.sources))
@@ -452,6 +515,11 @@ func (m *Migrator) handoff(ctx context.Context, pl partPlan) (err error) {
 	}
 	defer func() {
 		if err != nil {
+			// Undo before lifting the freeze, so no write can land at the
+			// destination between the staged copy and its restoration.
+			if hs.touched {
+				m.restoreDst(ctx, pl, hs.own)
+			}
 			unfreeze()
 		}
 	}()
@@ -459,51 +527,67 @@ func (m *Migrator) handoff(ctx context.Context, pl partPlan) (err error) {
 	for i, src := range pl.sources {
 		a, ok := m.Admin(src)
 		if !ok {
-			return fmt.Errorf("no admin transport for source %q", src)
+			return hs, fmt.Errorf("no admin transport for source %q", src)
 		}
 		if err := a.FreezePartition(ctx, pl.p, parts); err != nil {
-			return fmt.Errorf("freeze %q: %w", src, err)
+			return hs, fmt.Errorf("freeze %q: %w", src, err)
 		}
 		srcAdmins[i], frozen = a, append(frozen, a)
 	}
 
 	// Flush + fetch: settle every accepted envelope into rollups, then cut
 	// the pages. The cut is immutable for the rest of the handoff — the
-	// freeze guarantees nothing lands behind it.
+	// freeze guarantees nothing lands behind it. The destination's own
+	// slice (when it is a source) is kept apart: it is the state a failed
+	// rebuild must restore.
 	var pages []telemetry.SketchPage
+	moved := 0 // pages cut from sources other than the destination itself
 	for i, a := range srcAdmins {
 		if err := m.step("flush", pl.p, pl.sources[i], pl.dst); err != nil {
-			return err
+			return hs, err
 		}
 		if err := a.Flush(ctx); err != nil {
-			return fmt.Errorf("flush %q: %w", pl.sources[i], err)
+			return hs, fmt.Errorf("flush %q: %w", pl.sources[i], err)
 		}
 		if err := m.step("fetch", pl.p, pl.sources[i], pl.dst); err != nil {
-			return err
+			return hs, err
 		}
 		pp, err := a.PartitionPages(ctx, pl.p, parts)
 		if err != nil {
-			return fmt.Errorf("fetch %q: %w", pl.sources[i], err)
+			return hs, fmt.Errorf("fetch %q: %w", pl.sources[i], err)
 		}
 		pages = append(pages, pp...)
+		if pl.sources[i] == pl.dst {
+			hs.own = pp
+		} else {
+			moved += len(pp)
+		}
 	}
 
-	// Consolidation-only plans (owner unchanged) with nothing to move are
-	// done: no rebuild, no cutover, no dual writes.
-	if pl.srcOwner == "" && len(pages) == 0 {
+	// Plans whose destination keeps its ownership (replica-only moves,
+	// catch-up) rebuild only to fold the other sources' pages in; when
+	// those turn out empty there is nothing to do — and skipping matters,
+	// because the rebuild is destructive at the destination.
+	if moved == 0 && (pl.srcOwner == "" || pl.srcOwner == pl.dst) {
 		unfreeze()
-		return nil
+		return hs, nil
 	}
 
-	// Rebuild: drop whatever the destination holds (a partial earlier
-	// attempt, a recovered crash's remnant) and absorb the held cut. Every
-	// attempt starts from empty, so retries converge instead of
-	// double-counting.
+	// Rebuild: drop whatever the destination holds (its own pre-handoff
+	// slice — already inside the cut — a partial earlier attempt, a
+	// recovered crash's remnant) and absorb the held cut. Every attempt
+	// starts from empty, so retries converge instead of double-counting.
+	// The spill lands first: the drop durably deletes state whose
+	// replacement otherwise exists only in this coordinator's memory.
+	if err := m.writeSpill(pl, hs.own); err != nil {
+		return hs, fmt.Errorf("spill for partition %d: %w", pl.p, err)
+	}
 	rebuilt := false
 	for attempt := 0; attempt < m.cfg.Attempts; attempt++ {
 		if err := m.step("rebuild", pl.p, pl.srcOwner, pl.dst); err != nil {
 			continue
 		}
+		hs.touched = true
 		if _, err := dst.DropPartition(ctx, pl.p, parts); err != nil {
 			continue
 		}
@@ -514,37 +598,73 @@ func (m *Migrator) handoff(ctx context.Context, pl partPlan) (err error) {
 		break
 	}
 	if !rebuilt {
-		return fmt.Errorf("destination %q rebuild did not complete in %d attempts", pl.dst, m.cfg.Attempts)
+		return hs, fmt.Errorf("destination %q rebuild did not complete in %d attempts", pl.dst, m.cfg.Attempts)
 	}
 
 	// Cutover: lift the router-side freeze and start dual-epoch writes
 	// (both owners must ack every envelope for this partition until
 	// activation), then unfreeze the sources so held-back traffic drains.
 	if err := m.step("cutover", pl.p, pl.srcOwner, pl.dst); err != nil {
-		return err
+		return hs, err
 	}
 	m.pm.Cutover(pl.p)
 	for _, a := range frozen {
 		_ = a.UnfreezePartition(ctx, pl.p, parts)
 	}
-	return nil
+	return hs, nil
+}
+
+// restoreDst returns a destination to its pre-handoff state after a failed
+// or rolled-back rebuild: drop whatever the rebuild staged, then re-absorb
+// the destination's own pre-handoff cut (non-empty exactly when the
+// current epoch already assigned it the partition). On success the
+// partition's spill clears and any suspect mark on the destination lifts.
+// On failure, a destination the current epoch assigns is marked suspect —
+// its copy is in an unknown intermediate state, so queries must exclude it
+// (and disclose partiality) until Settle or spill recovery repairs it; an
+// unassigned staged copy is invisible to queries anyway, so the failed
+// restore costs disk, not correctness.
+func (m *Migrator) restoreDst(ctx context.Context, pl partPlan, own []telemetry.SketchPage) {
+	parts := m.pm.Partitions()
+	if a, ok := m.Admin(pl.dst); ok {
+		for attempt := 0; attempt < m.cfg.Attempts; attempt++ {
+			if _, err := a.DropPartition(ctx, pl.p, parts); err != nil {
+				continue
+			}
+			if len(own) > 0 {
+				if _, err := a.AbsorbPages(ctx, own); err != nil {
+					continue
+				}
+			}
+			if m.pm.Suspects()[pl.p] == pl.dst {
+				m.pm.ClearSuspect(pl.p)
+			}
+			m.clearSpill(pl.p)
+			return
+		}
+	}
+	if assignedIn(m.pm.Current(), pl.dst, pl.p) {
+		m.pm.MarkSuspect(pl.p, pl.dst)
+	}
 }
 
 // rollback discards a failed migration: the pending epoch aborts (routing
-// never left the current one), and staged copies on destinations are
-// dropped best-effort — they were never visible (the ownership filter
-// hides unassigned copies), so a failed drop here costs disk, not
-// correctness.
-func (m *Migrator) rollback(next Assignment, done []partPlan) {
+// never left the current one), then every completed handoff's destination
+// is restored to its pre-handoff state — the staged copy is dropped and
+// the destination's own cut, if it had one (a promoted replica's failover
+// slice, a consolidating owner's live partition), is re-absorbed. Each
+// restore runs under a fresh router-side freeze so a failover write
+// cannot land at the destination mid-restore and be destroyed.
+func (m *Migrator) rollback(done []handoffState) {
 	m.pm.Abort()
 	ctx := context.Background()
-	for _, pl := range done {
-		if pl.srcOwner == "" || pl.srcOwner == pl.dst {
+	for _, hs := range done {
+		if !hs.touched {
 			continue
 		}
-		if a, ok := m.Admin(pl.dst); ok {
-			_, _ = a.DropPartition(ctx, pl.p, next.Partitions)
-		}
+		m.pm.Freeze(hs.pl.p)
+		m.restoreDst(ctx, hs.pl, hs.own)
+		m.pm.Unfreeze(hs.pl.p)
 	}
 }
 
@@ -566,11 +686,20 @@ func (m *Migrator) CatchUp(ctx context.Context, p int) error {
 	if cur.ReplicationFactor != 2 {
 		return fmt.Errorf("cluster: catch-up needs replication factor 2")
 	}
+	if err := m.recoverSpills(ctx); err != nil {
+		return fmt.Errorf("cluster: unrecovered handoff spill blocks catch-up: %w", err)
+	}
 	owner, replica := cur.Owners[p], cur.Replicas[p]
 	pl := partPlan{p: p, dst: owner, srcOwner: owner, sources: []string{owner, replica}}
-	if err := m.handoff(ctx, pl); err != nil {
+	if _, err := m.handoff(ctx, pl); err != nil {
 		return err
 	}
+	// The owner's rebuilt copy is durable (AbsorbPages acks behind a WAL
+	// fsync), so its spill is obsolete. Clear it before dropping the
+	// replica's slice: a spill restore replaying after that drop would
+	// regress the owner to its pre-merge cut with the slice's only other
+	// copy already gone.
+	m.clearSpill(p)
 	// handoff left a dual-write shadow only under a pending epoch; here
 	// there is none, so Cutover was a plain unfreeze. Drop the replica's
 	// now-merged slice; a failure leaves it suspect (it would

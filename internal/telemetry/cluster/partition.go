@@ -329,6 +329,34 @@ func (m *PartitionMap) DualTarget(p int) (string, bool) {
 	return n, ok
 }
 
+// RouteTarget is one partition's routing state, snapshotted atomically:
+// the owner (and failover replica) to deliver to, the dual-write target
+// that must also ack while a migration is in flight, and whether ingest is
+// frozen mid-handoff. The router must read all of these under one lock —
+// read piecemeal, an Activate could land between the owner read and the
+// dual-target read, clearing the dual map so an envelope is acked having
+// reached only the losing owner, whose copy the migrator then drops.
+type RouteTarget struct {
+	Owner      string
+	Replica    string
+	HasReplica bool
+	Dual       string
+	HasDual    bool
+	Frozen     bool
+}
+
+// Route snapshots partition p's routing state under a single read lock.
+func (m *PartitionMap) Route(p int) RouteTarget {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rt := RouteTarget{Owner: m.cur.Owners[p], Frozen: m.frozen[p]}
+	if m.cur.ReplicationFactor == 2 {
+		rt.Replica, rt.HasReplica = m.cur.Replicas[p], true
+	}
+	rt.Dual, rt.HasDual = m.dual[p]
+	return rt
+}
+
 // Activate atomically installs the pending epoch as current, ending the
 // migration: routing flips to the new owners, freezes and dual writes
 // clear. Returns the moves that changed owners — whose sources now hold
@@ -395,6 +423,21 @@ func (m *PartitionMap) MarkSuspect(p int, node string) {
 func (m *PartitionMap) ClearSuspect(p int) {
 	m.mu.Lock()
 	delete(m.suspect, p)
+	m.mu.Unlock()
+}
+
+// ClearSuspectsOf removes every suspect entry pinned on one node — called
+// when the node leaves the membership. A non-member's copies are invisible
+// to queries anyway (the assignment filter skips them) and its admin
+// transport is gone, so the entries could otherwise never clear and would
+// pin every query partial forever.
+func (m *PartitionMap) ClearSuspectsOf(node string) {
+	m.mu.Lock()
+	for p, n := range m.suspect {
+		if n == node {
+			delete(m.suspect, p)
+		}
+	}
 	m.mu.Unlock()
 }
 

@@ -95,10 +95,16 @@ func NewRouter(pm *PartitionMap, health *HealthTracker, transport Transport, src
 	return r
 }
 
-// route is the RetryClient's send function: one delivery attempt.
+// route is the RetryClient's send function: one delivery attempt. Owner,
+// freeze state and dual-write target are snapshotted atomically under one
+// lock (PartitionMap.Route) before anything is transported — read
+// piecemeal, an epoch activation could clear the dual map between the
+// owner read and the dual check, and the envelope would be acked having
+// landed only on the losing owner, whose copy the migrator then drops.
 func (r *Router) route(e telemetry.Envelope) bool {
 	p := r.pm.PartitionOf(e.Key())
-	if r.pm.Frozen(p) {
+	rt := r.pm.Route(p)
+	if rt.Frozen {
 		// Mid-handoff exact cut: refuse so the retry client backs off and
 		// redelivers after cutover. Nothing may land on either side while
 		// the pages are being shipped, or the page and the live write could
@@ -106,42 +112,54 @@ func (r *Router) route(e telemetry.Envelope) bool {
 		r.frozen.Inc()
 		return false
 	}
-	owner := r.pm.Owner(p)
-	if r.health.State(owner) != StateDown {
-		if r.transport(owner, e) {
-			r.routed.Inc()
-			return r.dualWrite(p, owner, e)
-		}
-		// The owner is marked routable but the send failed: transient.
-		// Let the retry client back off rather than failing over on a
-		// single error.
-		return false
+	if r.health.State(rt.Owner) != StateDown {
+		// A transport failure against an owner marked routable is transient:
+		// deliver returns false and the retry client backs off rather than
+		// failing over on a single error.
+		return r.deliver(p, rt, rt.Owner, e, r.routed)
 	}
-	if replica, ok := r.pm.Replica(p); ok && r.health.State(replica) != StateDown {
-		if r.transport(replica, e) {
-			r.failedOver.Inc()
-			return r.dualWrite(p, replica, e)
-		}
-		return false
+	if rt.HasReplica && r.health.State(rt.Replica) != StateDown {
+		return r.deliver(p, rt, rt.Replica, e, r.failedOver)
 	}
 	r.unroutable.Inc()
 	return false
 }
 
-// dualWrite duplicates a delivered envelope to the pending epoch's owner
-// during a migration's dual-write phase. The attempt only succeeds when
-// BOTH copies ack: a false here makes the retry client resend, and the
-// per-key sequence numbers fold the duplicate away on whichever node
-// already folded it — idempotent convergence instead of divergent copies.
-func (r *Router) dualWrite(p int, delivered string, e telemetry.Envelope) bool {
-	dual, ok := r.pm.DualTarget(p)
-	if !ok || dual == delivered {
-		return true
-	}
-	if !r.transport(dual, e) {
+// deliver transports one envelope to the chosen node, duplicates it to the
+// pending epoch's owner during a migration's dual-write phase, and guards
+// the ack against a migration racing the delivery. The attempt only
+// succeeds when every required copy acks: a false makes the retry client
+// resend, and the per-key sequence numbers fold the duplicate away on
+// whichever node already folded it — idempotent convergence instead of
+// divergent copies.
+func (r *Router) deliver(p int, rt RouteTarget, target string, e telemetry.Envelope, delivered *obs.Counter) bool {
+	if !r.transport(target, e) {
 		return false
 	}
-	r.dualWrites.Inc()
+	if rt.HasDual {
+		// The snapshot saw the dual-write phase, so both epochs' owners must
+		// ack. Once both have, the envelope is safe against any outcome:
+		// activation keeps the pending owner's copy, rollback keeps the
+		// current owner's.
+		if rt.Dual != target {
+			if !r.transport(rt.Dual, e) {
+				return false
+			}
+			r.dualWrites.Inc()
+		}
+		delivered.Inc()
+		return true
+	}
+	// No dual target when the snapshot was taken, so nothing guaranteed the
+	// pending owner a copy. If a cutover or activation landed while the
+	// envelope was in flight it may exist only on a node whose copy is
+	// about to be dropped — refuse the ack and let the retry client
+	// redeliver under the new routing state; sequence dedup folds the
+	// duplicate on whichever node already folded it.
+	if after := r.pm.Route(p); after.Owner != rt.Owner || after.HasDual {
+		return false
+	}
+	delivered.Inc()
 	return true
 }
 
